@@ -1,0 +1,33 @@
+// Figure 1: achieved message rate of 8 B messages vs attempted injection
+// rate — MPI vs LCI, with and without the send-immediate optimisation.
+#include "harness.hpp"
+
+int main() {
+  const auto env = bench::Env::from_environment();
+  bench::print_header(
+      "Figure 1: 8B message rate vs injection rate (mpi, mpi_i, "
+      "lci_psr_cq_pin, lci_psr_cq_pin_i)",
+      "rates first track the injection rate then plateau; mpi (without "
+      "send-immediate) degrades past its peak; lci plateaus highest",
+      env);
+  std::printf(
+      "config,attempted_K/s,achieved_injection_K/s,message_rate_K/s,"
+      "stddev_K/s\n");
+
+  const double rates_kps[] = {2, 4, 8, 16, 32, 64, 0 /*unlimited*/};
+  for (const char* config :
+       {"mpi", "mpi_i", "lci_psr_cq_pin", "lci_psr_cq_pin_i"}) {
+    for (double rate : rates_kps) {
+      bench::RateParams params;
+      params.parcelport = config;
+      params.msg_size = 8;
+      params.batch = 100;  // paper's batch size for 8B
+      params.total_msgs =
+          static_cast<std::size_t>(6000 * env.scale);
+      params.attempted_rate = rate * 1e3;
+      params.workers = env.workers;
+      bench::report_rate_point(params, env.runs);
+    }
+  }
+  return 0;
+}

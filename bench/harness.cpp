@@ -1,0 +1,235 @@
+#include "harness.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/clock.hpp"
+#include "octoproxy/simulation.hpp"
+#include "stack/stack.hpp"
+
+namespace bench {
+
+Env Env::from_environment() {
+  Env env;
+  if (const char* s = std::getenv("AMTNET_BENCH_SCALE")) {
+    env.scale = std::strtod(s, nullptr);
+  }
+  if (const char* s = std::getenv("AMTNET_BENCH_RUNS")) {
+    env.runs = static_cast<int>(std::strtol(s, nullptr, 10));
+  }
+  if (const char* s = std::getenv("AMTNET_BENCH_WORKERS")) {
+    env.workers = static_cast<unsigned>(std::strtoul(s, nullptr, 10));
+  }
+  return env;
+}
+
+void print_header(const char* figure, const char* expectation,
+                  const Env& env) {
+  std::printf("# %s\n", figure);
+  std::printf("# paper expectation: %s\n", expectation);
+  std::printf(
+      "# env: scale=%.2f runs=%d workers/locality=%u (set "
+      "AMTNET_BENCH_SCALE/RUNS/WORKERS to adjust)\n",
+      env.scale, env.runs, env.workers);
+}
+
+// ---- message rate ------------------------------------------------------
+
+namespace {
+
+// Global benchmark channel (one benchmark run active at a time).
+std::atomic<std::uint64_t> g_rate_received{0};
+std::atomic<std::uint64_t> g_rate_expected{0};
+std::atomic<std::uint64_t> g_rate_sent{0};
+std::atomic<std::int64_t> g_rate_injection_end_ns{0};
+std::atomic<bool> g_rate_done{false};
+
+void rate_ack() { g_rate_done.store(true, std::memory_order_release); }
+
+void rate_sink(std::vector<std::uint8_t> payload) {
+  (void)payload;
+  const auto received = g_rate_received.fetch_add(1) + 1;
+  if (received == g_rate_expected.load(std::memory_order_relaxed)) {
+    // Receiver signals back with one short message (paper §4.1).
+    amt::here().apply<&rate_ack>(0);
+  }
+}
+
+}  // namespace
+
+RateResult run_message_rate(const RateParams& params) {
+  amtnet::StackOptions options;
+  options.parcelport = params.parcelport;
+  options.num_localities = 2;
+  options.threads_per_locality = params.workers;
+  options.platform = params.platform;
+  options.zero_copy_threshold = params.zero_copy_threshold;
+  options.max_connections = params.max_connections;
+  options.fabric_rails = params.fabric_rails;
+  auto runtime = amtnet::make_runtime(options);
+
+  const std::size_t n_tasks =
+      (params.total_msgs + params.batch - 1) / params.batch;
+  const std::size_t total = n_tasks * params.batch;
+
+  g_rate_received.store(0);
+  g_rate_expected.store(total);
+  g_rate_sent.store(0);
+  g_rate_injection_end_ns.store(0);
+  g_rate_done.store(false);
+
+  const std::vector<std::uint8_t> payload(params.msg_size, 0x42);
+  const double task_rate =
+      params.attempted_rate > 0.0
+          ? params.attempted_rate / static_cast<double>(params.batch)
+          : 0.0;
+
+  const common::Nanos t0 = common::now_ns();
+  runtime->locality(0).spawn([&, t0] {
+    amt::Locality& here = amt::here();
+    for (std::size_t task = 0; task < n_tasks; ++task) {
+      if (task_rate > 0.0) {
+        const common::Nanos due =
+            t0 + static_cast<common::Nanos>(
+                     static_cast<double>(task) * 1e9 / task_rate);
+        here.scheduler().wait_until(
+            [&] { return common::now_ns() >= due; });
+      }
+      here.spawn([&] {
+        amt::Locality& sender = amt::here();
+        for (std::size_t i = 0; i < params.batch; ++i) {
+          sender.apply<&rate_sink>(1, payload);
+          if (g_rate_sent.fetch_add(1) + 1 == total) {
+            g_rate_injection_end_ns.store(common::now_ns());
+          }
+        }
+      });
+    }
+  });
+
+  runtime->locality(0).scheduler().wait_until(
+      [] { return g_rate_done.load(std::memory_order_acquire); });
+  const common::Nanos t_done = common::now_ns();
+  runtime->stop();
+
+  RateResult result;
+  const double injection_s =
+      common::ns_to_s(g_rate_injection_end_ns.load() - t0);
+  const double total_s = common::ns_to_s(t_done - t0);
+  result.achieved_injection_rate =
+      static_cast<double>(total) / std::max(injection_s, 1e-9);
+  result.message_rate = static_cast<double>(total) / std::max(total_s, 1e-9);
+  return result;
+}
+
+double report_rate_point(const RateParams& params, int runs) {
+  std::vector<double> rates, injections;
+  for (int run = 0; run < runs; ++run) {
+    const auto result = run_message_rate(params);
+    rates.push_back(result.message_rate / 1e3);
+    injections.push_back(result.achieved_injection_rate / 1e3);
+  }
+  const auto rate = stats_of(rates);
+  const auto injection = stats_of(injections);
+  std::printf("%s,%.1f,%.1f,%.1f,%.1f\n", params.parcelport.c_str(),
+              params.attempted_rate / 1e3, injection.mean, rate.mean,
+              rate.stddev);
+  std::fflush(stdout);
+  return rate.mean;
+}
+
+// ---- latency -------------------------------------------------------------
+
+namespace {
+
+std::atomic<unsigned> g_chains_done{0};
+
+void lat_pong(std::uint32_t chain, std::uint32_t remaining,
+              std::vector<std::uint8_t> payload);
+
+void lat_ping(std::uint32_t chain, std::uint32_t remaining,
+              std::vector<std::uint8_t> payload) {
+  // Runs on locality 1; each hop is a fresh task, as in the paper.
+  amt::here().apply<&lat_pong>(0, chain, remaining, std::move(payload));
+}
+
+void lat_pong(std::uint32_t chain, std::uint32_t remaining,
+              std::vector<std::uint8_t> payload) {
+  if (remaining > 0) {
+    amt::here().apply<&lat_ping>(1, chain, remaining - 1,
+                                 std::move(payload));
+  } else {
+    g_chains_done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+}  // namespace
+
+double run_latency_us(const LatencyParams& params) {
+  amtnet::StackOptions options;
+  options.parcelport = params.parcelport;
+  options.num_localities = 2;
+  options.threads_per_locality = params.workers;
+  options.platform = params.platform;
+  options.zero_copy_threshold = params.zero_copy_threshold;
+  auto runtime = amtnet::make_runtime(options);
+
+  g_chains_done.store(0);
+  const common::Timer timer;
+  runtime->locality(0).spawn([&] {
+    for (unsigned chain = 0; chain < params.window; ++chain) {
+      amt::here().apply<&lat_ping>(
+          1, chain, params.steps - 1,
+          std::vector<std::uint8_t>(params.msg_size, 0x17));
+    }
+  });
+  runtime->locality(0).scheduler().wait_until([&] {
+    return g_chains_done.load(std::memory_order_acquire) >= params.window;
+  });
+  const double elapsed_us = timer.elapsed_us();
+  runtime->stop();
+  return elapsed_us / (2.0 * params.steps);
+}
+
+void report_latency_point(const LatencyParams& params, int runs) {
+  std::vector<double> samples;
+  for (int run = 0; run < runs; ++run) {
+    samples.push_back(run_latency_us(params));
+  }
+  const auto stats = stats_of(samples);
+  std::printf("%s,%zu,%u,%.2f,%.2f\n", params.parcelport.c_str(),
+              params.msg_size, params.window, stats.mean, stats.stddev);
+  std::fflush(stdout);
+}
+
+// ---- octo-tiger proxy ------------------------------------------------------
+
+double run_octo_steps_per_second(const OctoParams& params) {
+  amtnet::StackOptions options;
+  options.parcelport = params.parcelport;
+  options.num_localities = params.localities;
+  options.threads_per_locality = params.workers;
+  options.platform = params.platform;
+  auto runtime = amtnet::make_runtime(options);
+
+  octo::Params sim;
+  sim.level = params.level;
+  sim.steps = params.steps;
+  const auto report = octo::run_simulation(*runtime, sim);
+  runtime->stop();
+  return report.steps_per_second;
+}
+
+double report_octo_point(const OctoParams& params, int runs) {
+  std::vector<double> samples;
+  for (int run = 0; run < runs; ++run) {
+    samples.push_back(run_octo_steps_per_second(params));
+  }
+  const auto stats = stats_of(samples);
+  std::printf("%s,%u,%.3f,%.3f\n", params.parcelport.c_str(),
+              params.localities, stats.mean, stats.stddev);
+  std::fflush(stdout);
+  return stats.mean;
+}
+
+}  // namespace bench

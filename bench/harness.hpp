@@ -1,0 +1,114 @@
+// Shared benchmark harness reproducing the paper's three experiment shapes:
+//   * message-rate microbenchmark (§4.1, Figures 1-6): a sender creates
+//     tasks at a fixed attempted rate, each task injects a batch of
+//     fixed-size messages; the receiver acks once everything arrived. We
+//     report the achieved injection rate and the achieved message rate.
+//   * multi-chain ping-pong latency (§4.2, Figures 7-9): `window` chains of
+//     `steps` round trips; one-way latency = elapsed / (2 * steps).
+//   * Octo-Tiger proxy strong scaling (§5, Figures 10-11): steps/second of
+//     the octree proxy across locality counts and parcelports.
+//
+// Scaling knobs (environment):
+//   AMTNET_BENCH_SCALE  multiplies message/step counts (default 1.0)
+//   AMTNET_BENCH_RUNS   repetitions per data point   (default 2)
+//   AMTNET_BENCH_WORKERS worker threads per locality (default 8)
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+struct Env {
+  double scale = 1.0;
+  int runs = 2;
+  unsigned workers = 8;
+  static Env from_environment();
+};
+
+struct Stats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+inline Stats stats_of(const std::vector<double>& samples) {
+  Stats stats;
+  if (samples.empty()) return stats;
+  for (double s : samples) stats.mean += s;
+  stats.mean /= static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double s : samples) var += (s - stats.mean) * (s - stats.mean);
+  stats.stddev = std::sqrt(var / static_cast<double>(samples.size()));
+  return stats;
+}
+
+// ---- message rate (Figures 1-6) ----
+
+struct RateParams {
+  std::string parcelport;
+  std::size_t msg_size = 8;
+  std::size_t batch = 100;
+  std::size_t total_msgs = 10000;
+  double attempted_rate = 0.0;  // messages/s; 0 = unlimited
+  unsigned workers = 4;
+  std::string platform = "expanse";
+  std::size_t zero_copy_threshold = 8192;  // HPX default
+  std::size_t max_connections = 8192;      // connection-cache cap
+  unsigned fabric_rails = 0;               // 0 = platform default
+};
+
+struct RateResult {
+  double achieved_injection_rate = 0.0;  // messages/s
+  double message_rate = 0.0;             // messages/s
+};
+
+RateResult run_message_rate(const RateParams& params);
+
+/// Repeats the rate benchmark and prints one CSV row:
+/// config,attempted_K/s,injection_K/s,rate_K/s,rate_stddev_K/s
+/// Returns the mean message rate (K/s).
+double report_rate_point(const RateParams& params, int runs);
+
+// ---- latency (Figures 7-9) ----
+
+struct LatencyParams {
+  std::string parcelport;
+  std::size_t msg_size = 8;
+  unsigned window = 1;  // concurrent ping-pong chains
+  unsigned steps = 100; // round trips per chain
+  unsigned workers = 4;
+  std::string platform = "expanse";
+  std::size_t zero_copy_threshold = 8192;
+};
+
+double run_latency_us(const LatencyParams& params);
+
+/// CSV row: config,msg_size,window,latency_us,stddev_us
+void report_latency_point(const LatencyParams& params, int runs);
+
+// ---- Octo-Tiger proxy (Figures 10-11) ----
+
+struct OctoParams {
+  std::string parcelport;
+  std::string platform = "expanse";
+  std::uint32_t localities = 2;
+  int level = 3;
+  int steps = 3;
+  unsigned workers = 2;
+};
+
+double run_octo_steps_per_second(const OctoParams& params);
+
+/// CSV row: config,localities,steps_per_s,stddev. Returns mean steps/s.
+double report_octo_point(const OctoParams& params, int runs);
+
+/// Prints the standard benchmark header: figure id, paper expectation, env.
+void print_header(const char* figure, const char* expectation,
+                  const Env& env);
+
+}  // namespace bench

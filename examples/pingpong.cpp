@@ -1,0 +1,68 @@
+// Ping-pong latency demo across parcelport configurations.
+//
+// Runs a small ping-pong exchange (one chain, like the paper's latency
+// microbenchmark with window size 1) over several Table-1 configurations
+// and prints the measured one-way latency per message size — a minimal,
+// human-readable version of what bench_fig7_latency_size measures in full.
+//
+// Usage: pingpong [rounds=200]
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "stack/stack.hpp"
+
+namespace {
+
+std::atomic<int> remaining{0};
+std::atomic<bool> done{false};
+
+void pong(std::vector<std::uint8_t> payload);
+
+void ping(std::vector<std::uint8_t> payload) {
+  // Runs on locality 1: bounce the payload back.
+  amt::here().apply<&pong>(0, std::move(payload));
+}
+
+void pong(std::vector<std::uint8_t> payload) {
+  // Runs on locality 0: keep the rally going or finish.
+  if (remaining.fetch_sub(1) > 1) {
+    amt::here().apply<&ping>(1, std::move(payload));
+  } else {
+    done.store(true);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::stoi(argv[1]) : 200;
+  std::printf("%-20s %10s %14s\n", "config", "size(B)", "latency(us)");
+
+  for (const char* config :
+       {"mpi", "mpi_i", "lci_psr_cq_pin", "lci_psr_cq_pin_i"}) {
+    amtnet::StackOptions options;
+    options.parcelport = config;
+    options.num_localities = 2;
+    options.threads_per_locality = 2;
+    auto runtime = amtnet::make_runtime(options);
+
+    for (const std::size_t size : {8u, 1024u, 16384u}) {
+      remaining.store(rounds);
+      done.store(false);
+      common::Timer timer;
+      runtime->locality(0).spawn([size] {
+        amt::here().apply<&ping>(1, std::vector<std::uint8_t>(size, 7));
+      });
+      runtime->locality(0).scheduler().wait_until(
+          [] { return done.load(); });
+      const double one_way_us =
+          timer.elapsed_us() / (2.0 * rounds);
+      std::printf("%-20s %10zu %14.2f\n", config, size, one_way_us);
+    }
+    runtime->stop();
+  }
+  return 0;
+}

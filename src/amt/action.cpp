@@ -1,0 +1,37 @@
+#include "amt/action.hpp"
+
+#include <cassert>
+#include <mutex>
+
+namespace amt {
+
+ActionRegistry& ActionRegistry::instance() {
+  static ActionRegistry registry;
+  return registry;
+}
+
+ActionRegistry::ActionRegistry() {
+  // Slot 0: the response action. It is dispatched specially by the parcel
+  // decoder (the promise table knows how to deserialize the result), so the
+  // vtable entry is a named placeholder.
+  actions_.push_back(ActionVTable{nullptr, "amt::response"});
+}
+
+ActionId ActionRegistry::add(const ActionVTable& vtable) {
+  std::lock_guard<common::SpinMutex> guard(mutex_);
+  actions_.push_back(vtable);
+  return static_cast<ActionId>(actions_.size() - 1);
+}
+
+ActionVTable ActionRegistry::get(ActionId id) const {
+  std::lock_guard<common::SpinMutex> guard(mutex_);
+  assert(id < actions_.size());
+  return actions_[id];
+}
+
+std::size_t ActionRegistry::size() const {
+  std::lock_guard<common::SpinMutex> guard(mutex_);
+  return actions_.size();
+}
+
+}  // namespace amt

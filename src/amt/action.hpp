@@ -1,0 +1,45 @@
+// Untyped action registry. Actions are functions registered process-wide and
+// invoked by id on any locality; the typed front end (runtime.hpp) derives
+// serialization and invocation glue from the function signature.
+//
+// Id 0 is reserved for the internal response action that fulfills promises
+// of async<> calls.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "amt/serialization.hpp"
+#include "common/spinlock.hpp"
+
+namespace amt {
+
+class Locality;
+
+using ActionId = std::uint32_t;
+inline constexpr ActionId kResponseAction = 0;
+
+struct ActionVTable {
+  /// Deserializes the argument tuple from `ar`, runs the action on the
+  /// calling (destination) locality, and — when promise_id != 0 — sends the
+  /// result back to `source` as a response parcel.
+  void (*invoke)(Locality& here, Rank source, std::uint64_t promise_id,
+                 InputArchive& ar) = nullptr;
+  const char* name = "";
+};
+
+class ActionRegistry {
+ public:
+  static ActionRegistry& instance();
+
+  ActionId add(const ActionVTable& vtable);
+  ActionVTable get(ActionId id) const;  // by value: the vector may grow
+  std::size_t size() const;
+
+ private:
+  ActionRegistry();
+  mutable common::SpinMutex mutex_;
+  std::vector<ActionVTable> actions_;
+};
+
+}  // namespace amt

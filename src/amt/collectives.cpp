@@ -1,0 +1,108 @@
+#include "amt/collectives.hpp"
+
+#include <cassert>
+#include <mutex>
+
+namespace amt {
+
+namespace {
+
+void act_arrive(std::uint64_t epoch, Rank from, double value) {
+  CollectiveGroup::slot(here().rank())->on_arrive(epoch, from, value);
+}
+
+void act_release(std::uint64_t epoch, double value) {
+  CollectiveGroup::slot(here().rank())->on_release(epoch, value);
+}
+
+}  // namespace
+
+CollectiveGroup*& CollectiveGroup::slot(Rank rank) {
+  static std::array<CollectiveGroup*, 64> slots{};
+  assert(rank < slots.size());
+  return slots[rank];
+}
+
+CollectiveGroup::CollectiveGroup(Runtime& runtime)
+    : runtime_(runtime),
+      num_ranks_(runtime.num_localities()),
+      rank_epoch_(num_ranks_) {
+  for (Rank r = 0; r < num_ranks_; ++r) {
+    assert(slot(r) == nullptr && "one CollectiveGroup at a time");
+    slot(r) = this;
+  }
+}
+
+CollectiveGroup::~CollectiveGroup() {
+  for (Rank r = 0; r < num_ranks_; ++r) slot(r) = nullptr;
+}
+
+CollectiveGroup::Round& CollectiveGroup::round(std::uint64_t epoch) {
+  std::lock_guard<common::SpinMutex> guard(rounds_mutex_);
+  auto& entry = rounds_[epoch];
+  if (!entry) {
+    entry = std::make_unique<Round>();
+    entry->contributions.assign(num_ranks_, 0.0);
+    entry->released =
+        std::vector<common::CachePadded<std::atomic<int>>>(num_ranks_);
+  }
+  return *entry;
+}
+
+void CollectiveGroup::drop_round(std::uint64_t epoch) {
+  std::lock_guard<common::SpinMutex> guard(rounds_mutex_);
+  auto it = rounds_.find(epoch);
+  if (it == rounds_.end()) return;
+  // The last rank to leave frees the round.
+  if (++it->second->leavers == static_cast<int>(num_ranks_)) {
+    rounds_.erase(it);
+  }
+}
+
+void CollectiveGroup::on_arrive(std::uint64_t epoch, Rank from,
+                                double value) {
+  Round& r = round(epoch);
+  r.contributions[from] = value;
+  r.arrived.fetch_add(1, std::memory_order_release);
+}
+
+void CollectiveGroup::on_release(std::uint64_t epoch, double value) {
+  Round& r = round(epoch);
+  r.result = value;
+  r.released[here().rank()].value.fetch_add(1, std::memory_order_release);
+}
+
+double CollectiveGroup::run_collective(double value) {
+  Locality& locality = here();
+  const Rank rank = locality.rank();
+  const std::uint64_t epoch = ++rank_epoch_[rank].value;
+  Round& r = round(epoch);
+
+  if (rank == 0) {
+    on_arrive(epoch, 0, value);
+    locality.scheduler().wait_until([&] {
+      return r.arrived.load(std::memory_order_acquire) ==
+             static_cast<int>(num_ranks_);
+    });
+    double sum = 0.0;
+    for (double c : r.contributions) sum += c;
+    for (Rank peer = 0; peer < num_ranks_; ++peer) {
+      locality.apply<&act_release>(peer, epoch, sum);
+    }
+  } else {
+    locality.apply<&act_arrive>(0, epoch, rank, value);
+  }
+
+  locality.scheduler().wait_until([&] {
+    return r.released[rank].value.load(std::memory_order_acquire) >= 1;
+  });
+  const double result = r.result;
+  drop_round(epoch);
+  return result;
+}
+
+double CollectiveGroup::broadcast_from_root(double value) {
+  return run_collective(here().rank() == 0 ? value : 0.0);
+}
+
+}  // namespace amt

@@ -1,0 +1,79 @@
+// Blocking collectives built purely on actions and futures — the small
+// coordination toolkit distributed AMT applications keep reinventing
+// (Octo-Tiger's step synchronisation is a hand-rolled version of these).
+//
+// Implementation: centralised gather-release rounds. Every rank's n-th
+// collective call joins round n (per-rank epoch counters; all ranks must
+// issue collectives in the same order, at most one outstanding per rank —
+// the usual collective-calling convention). Rank 0 gathers one double from
+// every rank, combines, and releases the result to all; arrive/release
+// travel as ordinary actions through the parcelport under test.
+//
+// Call collectives from locality tasks: waiting is scheduler-aware, so the
+// calling worker keeps executing other tasks (including the collective's
+// own message handling).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "amt/runtime.hpp"
+#include "common/cache.hpp"
+#include "common/spinlock.hpp"
+
+namespace amt {
+
+class CollectiveGroup {
+ public:
+  /// One group per runtime; registers itself in the per-rank slots used by
+  /// the action entry points. Construct after Runtime::start, destroy
+  /// before Runtime::stop.
+  explicit CollectiveGroup(Runtime& runtime);
+  ~CollectiveGroup();
+  CollectiveGroup(const CollectiveGroup&) = delete;
+  CollectiveGroup& operator=(const CollectiveGroup&) = delete;
+
+  Rank size() const { return num_ranks_; }
+
+  /// Returns once every rank has entered the same round.
+  void barrier() { run_collective(0.0); }
+
+  /// All-reduce sum of one double; every rank receives the global sum.
+  double allreduce_sum(double value) { return run_collective(value); }
+
+  /// Rank 0's value is returned on every rank (others' inputs are ignored).
+  double broadcast_from_root(double value);
+
+  // ---- internal action entry points ----
+  void on_arrive(std::uint64_t epoch, Rank from, double value);
+  void on_release(std::uint64_t epoch, double value);
+  static CollectiveGroup*& slot(Rank rank);
+
+ private:
+  struct Round {
+    std::atomic<int> arrived{0};
+    std::vector<double> contributions;  // indexed by rank, gathered at root
+    double result = 0.0;
+    std::vector<common::CachePadded<std::atomic<int>>> released;  // per rank
+    int leavers = 0;  // guarded by rounds_mutex_
+  };
+
+  Round& round(std::uint64_t epoch);
+  void drop_round(std::uint64_t epoch);
+  double run_collective(double value);
+
+  Runtime& runtime_;
+  const Rank num_ranks_;
+
+  // Per-rank round counters: rank r's n-th collective call uses epoch n.
+  std::vector<common::CachePadded<std::uint64_t>> rank_epoch_;
+
+  common::SpinMutex rounds_mutex_;
+  std::map<std::uint64_t, std::unique_ptr<Round>> rounds_;
+};
+
+}  // namespace amt

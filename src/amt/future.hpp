@@ -1,0 +1,188 @@
+// Futures/promises with continuations — the local-control-object layer the
+// runtime and applications use to express dependencies. Waiting is
+// scheduler-aware: a worker blocked in get() keeps executing other tasks and
+// communication background work, like a suspended HPX thread.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "amt/scheduler.hpp"
+#include "common/spinlock.hpp"
+
+namespace amt {
+
+namespace detail {
+
+template <typename T>
+struct FutureState {
+  using Stored = std::conditional_t<std::is_void_v<T>, std::monostate, T>;
+
+  common::SpinMutex mutex;
+  std::atomic<bool> ready{false};
+  std::optional<Stored> value;          // guarded by mutex until ready
+  std::vector<Task> continuations;      // guarded by mutex
+  Scheduler* scheduler = nullptr;       // where waits help / conts run
+
+  void set(Stored stored) {
+    std::vector<Task> to_run;
+    {
+      std::lock_guard<common::SpinMutex> guard(mutex);
+      assert(!ready.load() && "promise satisfied twice");
+      value.emplace(std::move(stored));
+      ready.store(true, std::memory_order_release);
+      to_run.swap(continuations);
+    }
+    for (auto& task : to_run) dispatch(std::move(task));
+  }
+
+  void add_continuation(Task task) {
+    {
+      std::lock_guard<common::SpinMutex> guard(mutex);
+      if (!ready.load(std::memory_order_relaxed)) {
+        continuations.push_back(std::move(task));
+        return;
+      }
+    }
+    dispatch(std::move(task));
+  }
+
+  void dispatch(Task task) {
+    if (scheduler != nullptr) {
+      scheduler->spawn(std::move(task));
+    } else {
+      task();
+    }
+  }
+
+  void wait() {
+    if (ready.load(std::memory_order_acquire)) return;
+    if (scheduler != nullptr) {
+      scheduler->wait_until(
+          [this] { return ready.load(std::memory_order_acquire); });
+    } else {
+      while (!ready.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    }
+  }
+};
+
+}  // namespace detail
+
+template <typename T>
+class Future {
+  using State = detail::FutureState<T>;
+
+ public:
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const {
+    return state_ && state_->ready.load(std::memory_order_acquire);
+  }
+
+  /// Blocks scheduler-aware until ready, then returns the value (by value;
+  /// void futures just return). Safe to call once per future copy.
+  T get() const {
+    assert(valid());
+    state_->wait();
+    if constexpr (!std::is_void_v<T>) {
+      return *state_->value;
+    }
+  }
+
+  /// Read access without consuming (non-void only).
+  template <typename U = T>
+    requires(!std::is_void_v<U>)
+  const U& value() const {
+    assert(ready());
+    return *state_->value;
+  }
+
+  /// Schedules `task` to run once the future becomes ready. The task runs on
+  /// the promise's scheduler (or inline when there is none).
+  void then(Task task) const {
+    assert(valid());
+    state_->add_continuation(std::move(task));
+  }
+
+ private:
+  template <typename>
+  friend class Promise;
+  explicit Future(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+template <typename T>
+class Promise {
+  using State = detail::FutureState<T>;
+
+ public:
+  /// `scheduler` (optional) is where continuations run and where waiting
+  /// threads help out.
+  explicit Promise(Scheduler* scheduler = nullptr)
+      : state_(std::make_shared<State>()) {
+    state_->scheduler = scheduler;
+  }
+
+  Promise(Promise&&) noexcept = default;
+  Promise& operator=(Promise&&) noexcept = default;
+  Promise(const Promise&) = delete;
+  Promise& operator=(const Promise&) = delete;
+
+  Future<T> get_future() const { return Future<T>(state_); }
+
+  template <typename U = T>
+    requires(!std::is_void_v<U>)
+  void set_value(U value) {
+    state_->set(std::move(value));
+  }
+
+  template <typename U = T>
+    requires std::is_void_v<U>
+  void set_value() {
+    state_->set(std::monostate{});
+  }
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+/// A future that becomes ready when every input future is ready. The inputs
+/// stay usable (values are not consumed). `scheduler` is where continuations
+/// of the combined future run.
+template <typename T>
+Future<void> when_all(const std::vector<Future<T>>& futures,
+                      Scheduler* scheduler = nullptr) {
+  Promise<void> promise(scheduler);
+  Future<void> combined = promise.get_future();
+  if (futures.empty()) {
+    promise.set_value();
+    return combined;
+  }
+  struct Shared {
+    Shared(std::size_t n, Promise<void> p)
+        : remaining(n), promise(std::move(p)) {}
+    std::atomic<std::size_t> remaining;
+    Promise<void> promise;
+  };
+  auto shared = std::make_shared<Shared>(futures.size(), std::move(promise));
+  for (const auto& future : futures) {
+    future.then([shared] {
+      if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        shared->promise.set_value();
+      }
+    });
+  }
+  return combined;
+}
+
+}  // namespace amt

@@ -1,0 +1,44 @@
+// A trivial in-process parcelport that hands messages straight to the
+// destination locality, bypassing the fabric. Used by runtime unit tests and
+// as the reference semantics every real parcelport must match.
+#pragma once
+
+#include <utility>
+
+#include "amt/parcelport.hpp"
+#include "amt/runtime.hpp"
+
+namespace amt {
+
+class LoopbackParcelport final : public Parcelport {
+ public:
+  LoopbackParcelport(Runtime& runtime, const ParcelportContext& context)
+      : runtime_(runtime), rank_(context.rank) {}
+
+  void send(Rank dst, OutMessage msg,
+            common::UniqueFunction<void()> done) override {
+    InMessage in;
+    in.source = rank_;
+    in.main_chunk = std::move(msg.main_chunk);
+    in.zchunks.reserve(msg.zchunks.size());
+    for (const ZChunk& chunk : msg.zchunks) {
+      in.zchunks.emplace_back(chunk.data, chunk.data + chunk.size);
+    }
+    runtime_.locality(dst).on_message(std::move(in));
+    done();
+  }
+
+  bool background_work(unsigned) override { return false; }
+
+ private:
+  Runtime& runtime_;
+  const Rank rank_;
+};
+
+inline Runtime::ParcelportFactory loopback_parcelport_factory() {
+  return [](Runtime& runtime, const ParcelportContext& context) {
+    return std::make_unique<LoopbackParcelport>(runtime, context);
+  };
+}
+
+}  // namespace amt

@@ -1,0 +1,70 @@
+#include "amt/parcelport.hpp"
+
+#include <stdexcept>
+
+#include "common/config.hpp"
+
+namespace amt {
+
+ParcelportConfig ParcelportConfig::parse(const std::string& name) {
+  ParcelportConfig config;
+  bool kind_seen = false;
+  for (const auto& token : common::split_trim(name, '_')) {
+    if (token == "mpi") {
+      config.kind = Kind::kMpi;
+      kind_seen = true;
+    } else if (token == "lci") {
+      config.kind = Kind::kLci;
+      kind_seen = true;
+    } else if (token == "tcp") {
+      config.kind = Kind::kTcp;
+      kind_seen = true;
+    } else if (token == "psr") {
+      config.protocol = Protocol::kPutSendRecv;
+    } else if (token == "sr") {
+      config.protocol = Protocol::kSendRecv;
+    } else if (token == "cq") {
+      config.completion = CompType::kQueue;
+    } else if (token == "sy") {
+      config.completion = CompType::kSync;
+    } else if (token == "pin" || token == "rp") {
+      config.progress = ProgressType::kPinned;
+    } else if (token == "mt") {
+      config.progress = ProgressType::kWorker;
+    } else if (token == "i") {
+      config.send_immediate = true;
+    } else if (token == "fine") {
+      config.mpi_coarse_lock = false;
+    } else if (token == "orig") {
+      config.mpi_original = true;
+    } else if (!token.empty()) {
+      throw std::invalid_argument("unknown parcelport config token: " +
+                                  token);
+    }
+  }
+  if (!kind_seen) {
+    throw std::invalid_argument(
+        "parcelport config must name mpi, lci, or tcp: " + name);
+  }
+  return config;
+}
+
+std::string ParcelportConfig::name() const {
+  std::string out;
+  if (kind == Kind::kMpi) {
+    out = "mpi";
+    if (!mpi_coarse_lock) out += "_fine";
+    if (mpi_original) out += "_orig";
+  } else if (kind == Kind::kTcp) {
+    out = "tcp";
+  } else {
+    out = "lci";
+    out += (protocol == Protocol::kPutSendRecv) ? "_psr" : "_sr";
+    out += (completion == CompType::kQueue) ? "_cq" : "_sy";
+    out += (progress == ProgressType::kPinned) ? "_pin" : "_mt";
+  }
+  if (send_immediate) out += "_i";
+  return out;
+}
+
+}  // namespace amt

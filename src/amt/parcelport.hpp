@@ -1,0 +1,78 @@
+// The parcelport interface — the boundary between the AMT runtime's parcel
+// layer and a communication backend (paper §2.2/§3), plus the configuration
+// naming scheme of Table 1 (mpi, lci, sr/psr, cq/sy, pin/mt, _i).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "amt/message.hpp"
+#include "amt/serialization.hpp"
+#include "common/unique_function.hpp"
+#include "fabric/nic.hpp"
+
+namespace amt {
+
+/// Which backend and which design-variant knobs to use. Parsed from the
+/// paper's configuration names, e.g. "lci_psr_cq_pin_i", "mpi_i"; "tcp" is
+/// HPX's original stream backend (no variant knobs beyond "_i").
+struct ParcelportConfig {
+  enum class Kind { kMpi, kLci, kTcp };
+  /// LCI header-message protocol: one-sided dynamic put vs two-sided.
+  enum class Protocol { kPutSendRecv, kSendRecv };  // psr | sr
+  /// Who calls the progress function: a dedicated pinned thread or all
+  /// worker threads when idle.
+  enum class ProgressType { kPinned, kWorker };  // pin (a.k.a rp) | mt
+  /// Completion mechanism for sends/receives.
+  enum class CompType { kQueue, kSync };  // cq | sy
+
+  Kind kind = Kind::kLci;
+  Protocol protocol = Protocol::kPutSendRecv;
+  ProgressType progress = ProgressType::kPinned;
+  CompType completion = CompType::kQueue;
+  bool send_immediate = false;  // "_i": bypass parcel queue + connection cache
+
+  // MPI-parcelport ablation knobs (beyond Table 1):
+  bool mpi_coarse_lock = true;  // "fine" clears it (lock-granularity ablation)
+  bool mpi_original = false;    // "orig": pre-optimisation MPI parcelport
+                                // (static 512B header, tag-release protocol)
+
+  /// Parses a Table-1 style name. Unknown tokens throw std::invalid_argument.
+  static ParcelportConfig parse(const std::string& name);
+  /// Canonical Table-1 style name for this configuration.
+  std::string name() const;
+};
+
+/// Everything a parcelport implementation receives from its hosting
+/// locality.
+struct ParcelportContext {
+  fabric::Fabric* fabric = nullptr;
+  Rank rank = 0;
+  std::size_t zero_copy_threshold = kDefaultZeroCopyThreshold;
+  unsigned num_workers = 1;
+  ParcelportConfig config;
+  /// Delivers a fully received HPX message to the runtime. Thread-safe;
+  /// callable from any progress context.
+  std::function<void(InMessage&&)> deliver;
+};
+
+class Parcelport {
+ public:
+  virtual ~Parcelport() = default;
+
+  virtual void start() {}
+  virtual void stop() {}
+
+  /// Transfers one serialized HPX message. `done` fires exactly once, when
+  /// all of the message's buffers (including zero-copy keepalives) may be
+  /// released; it may fire before send() returns.
+  virtual void send(Rank dst, OutMessage msg,
+                    common::UniqueFunction<void()> done) = 0;
+
+  /// Invoked by idle worker threads (HPX background work). Returns whether
+  /// any progress was made.
+  virtual bool background_work(unsigned worker_index) = 0;
+};
+
+}  // namespace amt

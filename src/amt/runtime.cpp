@@ -1,0 +1,258 @@
+#include "amt/runtime.hpp"
+
+#include <mutex>
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace amt {
+
+namespace {
+thread_local Locality* tls_here = nullptr;
+}  // namespace
+
+Locality& here() {
+  assert(tls_here != nullptr && "here() outside a locality task");
+  return *tls_here;
+}
+
+bool has_here() { return tls_here != nullptr; }
+
+namespace detail {
+ScopedHere::ScopedHere(Locality* locality) : previous(tls_here) {
+  tls_here = locality;
+}
+ScopedHere::~ScopedHere() { tls_here = previous; }
+}  // namespace detail
+
+// ---- Locality ---------------------------------------------------------------
+
+Locality::Locality(Runtime& runtime, Rank rank, const RuntimeConfig& config)
+    : runtime_(runtime),
+      rank_(rank),
+      zero_copy_threshold_(config.zero_copy_threshold),
+      send_immediate_(config.parcelport.send_immediate),
+      scheduler_(config.threads_per_locality,
+                 "loc" + std::to_string(rank)),
+      connection_cache_(config.max_connections) {
+  parcel_queues_.reserve(config.num_localities);
+  for (Rank r = 0; r < config.num_localities; ++r) {
+    parcel_queues_.push_back(std::make_unique<DestQueue>());
+  }
+}
+
+Locality::~Locality() = default;
+
+Rank Locality::num_localities() const { return runtime_.num_localities(); }
+
+void Locality::spawn(common::UniqueFunction<void()> fn) {
+  scheduler_.spawn([this, fn = std::move(fn)]() mutable {
+    detail::ScopedHere scope(this);
+    fn();
+  });
+}
+
+void Locality::put_parcel(Rank dst, ParcelWriter writer) {
+  stat_parcels_sent_.fetch_add(1, std::memory_order_relaxed);
+
+  if (send_immediate_) {
+    // Bypass the parcel queue and the connection cache entirely (paper
+    // §3.2.2, the "_i" configurations).
+    OutputArchive ar(zero_copy_threshold_);
+    const std::uint32_t count = 1;
+    ar << count;
+    writer(ar);
+    OutMessage msg = ar.finish();
+    stat_messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (dst == rank_) {
+      deliver_local(std::move(msg));
+    } else {
+      parcelport_->send(dst, std::move(msg), [] {});
+    }
+    return;
+  }
+
+  {
+    DestQueue& queue = *parcel_queues_[dst];
+    std::lock_guard<common::SpinMutex> guard(queue.mutex);
+    queue.parcels.push_back(std::move(writer));
+  }
+  try_flush(dst);
+}
+
+void Locality::try_flush(Rank dst) {
+  for (;;) {
+    if (!connection_cache_.try_acquire()) return;  // parcels stay queued
+    std::vector<ParcelWriter> writers;
+    {
+      DestQueue& queue = *parcel_queues_[dst];
+      std::lock_guard<common::SpinMutex> guard(queue.mutex);
+      writers.swap(queue.parcels);
+    }
+    if (writers.empty()) {
+      connection_cache_.release();
+      return;
+    }
+    // Aggregate everything queued for this destination into one HPX message.
+    OutputArchive ar(zero_copy_threshold_);
+    ar << static_cast<std::uint32_t>(writers.size());
+    for (auto& writer : writers) writer(ar);
+    OutMessage msg = ar.finish();
+    stat_messages_sent_.fetch_add(1, std::memory_order_relaxed);
+
+    if (dst == rank_) {
+      deliver_local(std::move(msg));
+      connection_cache_.release();
+      continue;  // more parcels may have queued meanwhile
+    }
+    parcelport_->send(dst, std::move(msg), [this, dst] {
+      connection_cache_.release();
+      // The freed connection may unblock queued parcels — this or others.
+      try_flush(dst);
+      flush_all();
+    });
+    return;
+  }
+}
+
+void Locality::flush_all() {
+  for (Rank dst = 0; dst < parcel_queues_.size(); ++dst) {
+    bool nonempty;
+    {
+      DestQueue& queue = *parcel_queues_[dst];
+      std::lock_guard<common::SpinMutex> guard(queue.mutex);
+      nonempty = !queue.parcels.empty();
+    }
+    if (nonempty) try_flush(dst);
+  }
+}
+
+void Locality::deliver_local(OutMessage&& msg) {
+  // Local-destination parcels skip the parcelport (as in HPX) but take the
+  // same serialize/deserialize path, so local and remote semantics match.
+  InMessage in;
+  in.source = rank_;
+  in.main_chunk = std::move(msg.main_chunk);
+  in.zchunks.reserve(msg.zchunks.size());
+  for (const ZChunk& chunk : msg.zchunks) {
+    in.zchunks.emplace_back(chunk.data, chunk.data + chunk.size);
+  }
+  on_message(std::move(in));
+}
+
+void Locality::on_message(InMessage&& msg) {
+  stat_messages_received_.fetch_add(1, std::memory_order_relaxed);
+  scheduler_.spawn([this, msg = std::move(msg)]() mutable {
+    detail::ScopedHere scope(this);
+    handle_message(msg);
+  });
+}
+
+void Locality::handle_message(const InMessage& msg) {
+  InputArchive ar(msg);
+  std::uint32_t count = 0;
+  ar >> count;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ActionId action = 0;
+    std::uint64_t promise_id = 0;
+    ar >> action >> promise_id;
+    if (action == kResponseAction) {
+      common::UniqueFunction<void(InputArchive&)> handler;
+      {
+        std::lock_guard<common::SpinMutex> guard(promise_mutex_);
+        auto it = promises_.find(promise_id);
+        if (it == promises_.end()) {
+          AMTNET_LOG_ERROR("response for unknown promise ", promise_id);
+          return;  // cannot resynchronise the archive; drop the rest
+        }
+        handler = std::move(it->second);
+        promises_.erase(it);
+      }
+      handler(ar);
+    } else {
+      const ActionVTable vtable = ActionRegistry::instance().get(action);
+      assert(vtable.invoke != nullptr);
+      vtable.invoke(*this, msg.source, promise_id, ar);
+    }
+    stat_actions_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Locality::register_promise(
+    common::UniqueFunction<void(InputArchive&)> handler) {
+  std::lock_guard<common::SpinMutex> guard(promise_mutex_);
+  const std::uint64_t id = next_promise_id_++;
+  promises_.emplace(id, std::move(handler));
+  return id;
+}
+
+void Locality::send_response(Rank dst, std::uint64_t promise_id,
+                             ParcelWriter payload) {
+  put_parcel(dst, [promise_id,
+                   payload = std::move(payload)](OutputArchive& ar) mutable {
+    ar << kResponseAction << promise_id;
+    payload(ar);
+  });
+}
+
+LocalityStats Locality::stats() const {
+  LocalityStats stats;
+  stats.parcels_sent = stat_parcels_sent_.load(std::memory_order_relaxed);
+  stats.messages_sent = stat_messages_sent_.load(std::memory_order_relaxed);
+  stats.messages_received =
+      stat_messages_received_.load(std::memory_order_relaxed);
+  stats.actions_executed =
+      stat_actions_executed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+// ---- Runtime ----------------------------------------------------------------
+
+Runtime::Runtime(RuntimeConfig config, ParcelportFactory factory)
+    : config_([&] {
+        config.fabric.num_ranks = config.num_localities;
+        return config;
+      }()),
+      factory_(std::move(factory)),
+      fabric_(config_.fabric) {
+  localities_.reserve(config_.num_localities);
+  for (Rank r = 0; r < config_.num_localities; ++r) {
+    localities_.push_back(std::make_unique<Locality>(*this, r, config_));
+  }
+}
+
+Runtime::~Runtime() { stop(); }
+
+void Runtime::start() {
+  if (started_) return;
+  started_ = true;
+  for (Rank r = 0; r < config_.num_localities; ++r) {
+    Locality& locality = *localities_[r];
+    ParcelportContext context;
+    context.fabric = &fabric_;
+    context.rank = r;
+    context.zero_copy_threshold = config_.zero_copy_threshold;
+    context.num_workers = config_.threads_per_locality;
+    context.config = config_.parcelport;
+    context.deliver = [&locality](InMessage&& msg) {
+      locality.on_message(std::move(msg));
+    };
+    locality.parcelport_ = factory_(*this, context);
+    Parcelport* port = locality.parcelport_.get();
+    locality.scheduler_.set_background(
+        [port](unsigned worker) { return port->background_work(worker); });
+    port->start();
+  }
+  for (auto& locality : localities_) locality->scheduler_.start();
+}
+
+void Runtime::stop() {
+  if (!started_) return;
+  started_ = false;
+  for (auto& locality : localities_) locality->scheduler_.stop();
+  for (auto& locality : localities_) {
+    if (locality->parcelport_) locality->parcelport_->stop();
+  }
+}
+
+}  // namespace amt

@@ -1,0 +1,125 @@
+#include "amt/scheduler.hpp"
+
+#include <cassert>
+#include <mutex>
+
+#include "common/affinity.hpp"
+
+namespace amt {
+
+namespace {
+// Which scheduler (if any) the current thread belongs to, and as which
+// worker. Used to route spawn() to the local queue and to answer
+// current_worker_index() without a map lookup.
+struct WorkerTls {
+  const Scheduler* scheduler = nullptr;
+  unsigned index = 0;
+};
+thread_local WorkerTls tls_worker;
+}  // namespace
+
+Scheduler::Scheduler(unsigned num_workers, std::string name)
+    : num_workers_(num_workers == 0 ? 1 : num_workers),
+      name_(std::move(name)),
+      workers_(num_workers_) {}
+
+Scheduler::~Scheduler() { stop(); }
+
+void Scheduler::start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  stopping_.store(false);
+  threads_.reserve(num_workers_);
+  for (unsigned i = 0; i < num_workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void Scheduler::stop() {
+  if (!started_.load()) return;
+  stopping_.store(true);
+  for (auto& thread : threads_) thread.join();
+  threads_.clear();
+  started_.store(false);
+}
+
+bool Scheduler::on_worker() const { return tls_worker.scheduler == this; }
+
+unsigned Scheduler::current_worker_index() const {
+  return on_worker() ? tls_worker.index : num_workers_;
+}
+
+void Scheduler::spawn(Task task) {
+  assert(task);
+  if (on_worker()) {
+    Worker& worker = *workers_[tls_worker.index];
+    std::lock_guard<common::SpinMutex> guard(worker.mutex);
+    worker.queue.push_back(std::move(task));
+    return;
+  }
+  inject_.push(std::move(task));
+}
+
+bool Scheduler::try_pop_local(unsigned index, Task& task) {
+  Worker& worker = *workers_[index];
+  std::lock_guard<common::SpinMutex> guard(worker.mutex);
+  if (worker.queue.empty()) return false;
+  task = std::move(worker.queue.front());
+  worker.queue.pop_front();
+  return true;
+}
+
+bool Scheduler::try_steal(unsigned thief, Task& task) {
+  // One sweep over the other workers, starting after the thief.
+  for (unsigned k = 1; k < num_workers_; ++k) {
+    Worker& victim = *workers_[(thief + k) % num_workers_];
+    if (!victim.mutex.try_lock()) continue;  // busy victim: skip, don't wait
+    if (!victim.queue.empty()) {
+      task = std::move(victim.queue.back());
+      victim.queue.pop_back();
+      victim.mutex.unlock();
+      return true;
+    }
+    victim.mutex.unlock();
+  }
+  return false;
+}
+
+bool Scheduler::try_pop_inject(Task& task) {
+  auto popped = inject_.try_pop();
+  if (!popped) return false;
+  task = std::move(*popped);
+  return true;
+}
+
+bool Scheduler::run_one() {
+  Task task;
+  if (on_worker()) {
+    const unsigned index = tls_worker.index;
+    if (!try_pop_local(index, task) && !try_pop_inject(task) &&
+        !try_steal(index, task)) {
+      return false;
+    }
+  } else {
+    // External threads may help drain the inject queue (used by tests).
+    if (!try_pop_inject(task)) return false;
+  }
+  stat_executed_.fetch_add(1, std::memory_order_relaxed);
+  task();
+  return true;
+}
+
+void Scheduler::worker_loop(unsigned index) {
+  tls_worker.scheduler = this;
+  tls_worker.index = index;
+  common::set_current_thread_name(name_ + "-w" + std::to_string(index));
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    if (run_one()) continue;
+    // Idle: perform communication background work, like an HPX worker.
+    if (background_ && background_(index)) continue;
+    std::this_thread::yield();
+  }
+  tls_worker.scheduler = nullptr;
+}
+
+}  // namespace amt

@@ -1,0 +1,119 @@
+// Work-stealing task scheduler — the per-locality worker pool standing in
+// for HPX's thread scheduler. Matches the paper-relevant behaviours:
+//   * any worker can spawn and execute tasks,
+//   * idle workers call the parcelport's background-work function,
+//   * a "resource partitioner" can reserve a dedicated progress thread
+//     (handled by the parcelport itself; see parcelport_lci).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cache.hpp"
+#include "common/rng.hpp"
+#include "common/spinlock.hpp"
+#include "common/unique_function.hpp"
+#include "queues/mpsc_queue.hpp"
+
+namespace amt {
+
+using Task = common::UniqueFunction<void()>;
+
+class Scheduler {
+ public:
+  /// `name` labels worker threads (debuggers); workers are created by
+  /// start(). The background hook is invoked by idle workers with their
+  /// worker index and returns whether it found work (HPX background work).
+  Scheduler(unsigned num_workers, std::string name);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  void set_background(std::function<bool(unsigned)> hook) {
+    background_ = std::move(hook);
+  }
+
+  void start();
+  /// Stops workers; pending tasks are abandoned (quiesce first).
+  void stop();
+
+  /// Thread-safe from any thread, including non-workers.
+  void spawn(Task task);
+
+  /// Executes one pending task on the calling thread if any is available.
+  /// Callable from workers (local pop + steal) and from external threads
+  /// (inject queue only). Returns whether a task ran.
+  bool run_one();
+
+  /// Worker-aware wait: executes tasks and background work while `pred` is
+  /// false. Deadlock-free as long as the awaited event is produced by a
+  /// task or by communication progress.
+  template <typename Pred>
+  void wait_until(Pred&& pred) {
+    while (!pred()) {
+      if (run_one()) continue;
+      if (background_ && background_(current_worker_index())) continue;
+      std::this_thread::yield();
+    }
+  }
+
+  unsigned num_workers() const { return num_workers_; }
+
+  /// True when the calling thread is one of this scheduler's workers.
+  bool on_worker() const;
+  /// Worker index of the calling thread, or num_workers() for externals.
+  unsigned current_worker_index() const;
+
+  std::uint64_t tasks_executed() const {
+    return stat_executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    common::SpinMutex mutex;
+    std::deque<Task> queue;  // guarded by mutex
+  };
+
+  void worker_loop(unsigned index);
+  bool try_pop_local(unsigned index, Task& task);
+  bool try_steal(unsigned thief, Task& task);
+  bool try_pop_inject(Task& task);
+
+  const unsigned num_workers_;
+  const std::string name_;
+  std::function<bool(unsigned)> background_;
+
+  std::vector<common::CachePadded<Worker>> workers_;
+  queues::TryMpmcQueue<Task> inject_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<std::uint64_t> stat_executed_{0};
+};
+
+/// Counting latch with a scheduler-aware wait; the building block tests and
+/// applications use to join fan-out work.
+class Latch {
+ public:
+  explicit Latch(std::int64_t count) : count_(count) {}
+
+  void count_down(std::int64_t n = 1) {
+    count_.fetch_sub(n, std::memory_order_acq_rel);
+  }
+
+  bool ready() const { return count_.load(std::memory_order_acquire) <= 0; }
+
+  void wait(Scheduler& scheduler) {
+    scheduler.wait_until([this] { return ready(); });
+  }
+
+ private:
+  std::atomic<std::int64_t> count_;
+};
+
+}  // namespace amt

@@ -1,0 +1,147 @@
+// The parcelport *header message* format shared by the MPI and LCI
+// parcelports (paper §3.1/§3.2): per HPX message, one protocol message
+// carrying the metadata the receiver needs — the base tag for follow-up
+// messages, the non-zero-copy chunk size, and the existence/size of the
+// transmission chunk — plus optional piggybacked transmission and
+// non-zero-copy chunks when they fit under the maximum header size (set to
+// the zero-copy serialization threshold; 512 bytes fixed in the "original"
+// MPI parcelport variant).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "amt/message.hpp"
+
+namespace amt {
+
+struct WireHeader {
+  std::uint32_t tag = 0;          // base tag; follow-up i uses tag + i
+  std::uint32_t num_zchunks = 0;
+  std::uint64_t main_size = 0;
+  std::uint8_t piggy_main = 0;    // non-zero-copy chunk rides in the header
+  std::uint8_t piggy_tchunk = 0;  // transmission chunk rides in the header
+  std::uint8_t reserved[6] = {};
+};
+static_assert(sizeof(WireHeader) == 24);
+
+/// How a message will be split into header + follow-ups.
+struct HeaderPlan {
+  bool piggy_main = false;
+  bool piggy_tchunk = false;
+
+  /// Follow-up message order (paper §3.1): non-zero-copy chunk (unless
+  /// piggybacked), transmission chunk (if present and not piggybacked),
+  /// then one message per zero-copy chunk.
+  std::size_t num_followups(const OutMessage& msg) const {
+    std::size_t n = msg.zchunks.size();
+    if (!piggy_main) ++n;
+    if (msg.has_zchunks() && !piggy_tchunk) ++n;
+    return n;
+  }
+
+  /// Improved-parcelport policy: dynamic header buffer up to `max_header`
+  /// bytes, piggybacking both chunks when possible, else just the
+  /// transmission chunk.
+  static HeaderPlan decide(const OutMessage& msg, std::size_t max_header) {
+    const std::size_t tchunk_size =
+        msg.has_zchunks() ? msg.zchunks.size() * sizeof(std::uint64_t) : 0;
+    HeaderPlan plan;
+    if (sizeof(WireHeader) + tchunk_size + msg.main_chunk.size() <=
+        max_header) {
+      plan.piggy_main = true;
+      plan.piggy_tchunk = msg.has_zchunks();
+    } else if (msg.has_zchunks() &&
+               sizeof(WireHeader) + tchunk_size <= max_header) {
+      plan.piggy_tchunk = true;
+    }
+    return plan;
+  }
+
+  /// Original-parcelport policy (paper §3.1 "the original version"): fixed
+  /// 512-byte header that can only piggyback the non-zero-copy chunk.
+  static HeaderPlan decide_original(const OutMessage& msg,
+                                    std::size_t max_header = 512) {
+    HeaderPlan plan;
+    plan.piggy_main =
+        sizeof(WireHeader) + msg.main_chunk.size() <= max_header;
+    return plan;
+  }
+};
+
+/// Exact wire size of the header message under `plan`.
+inline std::size_t encoded_header_size(const OutMessage& msg,
+                                       const HeaderPlan& plan) {
+  std::size_t size = sizeof(WireHeader);
+  if (plan.piggy_tchunk) size += msg.zchunks.size() * sizeof(std::uint64_t);
+  if (plan.piggy_main) size += msg.main_chunk.size();
+  return size;
+}
+
+/// Serializes header fields (+ piggybacked chunks) into `out`, which must
+/// have capacity >= encoded_header_size(). Returns the bytes written. `tag`
+/// is the follow-up base tag. Used directly by the LCI parcelport to
+/// assemble the header in an LCI packet buffer without an extra copy.
+inline std::size_t encode_header_to(const OutMessage& msg,
+                                    const HeaderPlan& plan, std::uint32_t tag,
+                                    std::byte* out, std::size_t capacity) {
+  WireHeader header;
+  header.tag = tag;
+  header.num_zchunks = static_cast<std::uint32_t>(msg.zchunks.size());
+  header.main_size = msg.main_chunk.size();
+  header.piggy_main = plan.piggy_main ? 1 : 0;
+  header.piggy_tchunk = plan.piggy_tchunk ? 1 : 0;
+
+  const std::size_t total = encoded_header_size(msg, plan);
+  assert(total <= capacity);
+  (void)capacity;
+  std::memcpy(out, &header, sizeof(header));
+  std::size_t offset = sizeof(header);
+  if (plan.piggy_tchunk) {
+    const auto tchunk = msg.make_tchunk();
+    std::memcpy(out + offset, tchunk.data(), tchunk.size());
+    offset += tchunk.size();
+  }
+  if (plan.piggy_main) {
+    std::memcpy(out + offset, msg.main_chunk.data(), msg.main_chunk.size());
+  }
+  return total;
+}
+
+/// Convenience: encode into a freshly sized vector (MPI parcelport path).
+inline void encode_header(const OutMessage& msg, const HeaderPlan& plan,
+                          std::uint32_t tag, std::vector<std::byte>& out) {
+  out.resize(encoded_header_size(msg, plan));
+  encode_header_to(msg, plan, tag, out.data(), out.size());
+}
+
+/// Decoded header view (piggybacked chunks are copied out).
+struct DecodedHeader {
+  WireHeader fields;
+  std::vector<std::byte> piggy_tchunk;  // valid if fields.piggy_tchunk
+  std::vector<std::byte> piggy_main;    // valid if fields.piggy_main
+};
+
+inline DecodedHeader decode_header(const std::byte* data, std::size_t size) {
+  DecodedHeader decoded;
+  assert(size >= sizeof(WireHeader));
+  std::memcpy(&decoded.fields, data, sizeof(WireHeader));
+  std::size_t offset = sizeof(WireHeader);
+  if (decoded.fields.piggy_tchunk) {
+    const std::size_t tchunk_size =
+        decoded.fields.num_zchunks * sizeof(std::uint64_t);
+    assert(offset + tchunk_size <= size);
+    decoded.piggy_tchunk.assign(data + offset, data + offset + tchunk_size);
+    offset += tchunk_size;
+  }
+  if (decoded.fields.piggy_main) {
+    assert(offset + decoded.fields.main_size <= size);
+    decoded.piggy_main.assign(data + offset,
+                              data + offset + decoded.fields.main_size);
+  }
+  return decoded;
+}
+
+}  // namespace amt

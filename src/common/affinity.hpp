@@ -1,0 +1,19 @@
+// Thread-affinity shim. On the paper's clusters HPX pins the dedicated LCI
+// progress thread to core 0 via the resource partitioner; on our test machine
+// (possibly 1 hardware core) pinning is best-effort and never fatal.
+#pragma once
+
+#include <string>
+
+namespace common {
+
+/// Tries to pin the calling thread to `core` (mod hardware concurrency).
+/// Returns false when the platform refuses; callers treat that as advisory.
+bool pin_current_thread(unsigned core) noexcept;
+
+/// Names the calling thread for debuggers/profilers (best effort).
+void set_current_thread_name(const std::string& name) noexcept;
+
+unsigned hardware_core_count() noexcept;
+
+}  // namespace common

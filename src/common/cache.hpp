@@ -1,0 +1,32 @@
+// Cache-line utilities: alignment constants and a padded wrapper that keeps
+// hot shared variables on their own cache line to avoid false sharing.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace common {
+
+// Pinned to 64 (true for every platform we target) rather than
+// std::hardware_destructive_interference_size, whose value is ABI-unstable
+// across compiler versions and tuning flags.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a value so that it occupies at least one full cache line.
+/// Use for per-thread or per-channel counters that are written concurrently.
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+  T value;
+
+  CachePadded() = default;
+  template <typename... Args>
+  explicit CachePadded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+}  // namespace common

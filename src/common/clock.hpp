@@ -1,0 +1,39 @@
+// Monotonic time helpers. All fabric/latency arithmetic is done in integer
+// nanoseconds to keep comparisons between threads cheap and lock-free.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace common {
+
+using Nanos = std::int64_t;
+
+inline Nanos now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline double ns_to_us(Nanos ns) noexcept {
+  return static_cast<double>(ns) / 1e3;
+}
+
+inline double ns_to_s(Nanos ns) noexcept {
+  return static_cast<double>(ns) / 1e9;
+}
+
+/// Simple stopwatch for benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(now_ns()) {}
+  void reset() { start_ = now_ns(); }
+  Nanos elapsed_ns() const { return now_ns() - start_; }
+  double elapsed_us() const { return ns_to_us(elapsed_ns()); }
+  double elapsed_s() const { return ns_to_s(elapsed_ns()); }
+
+ private:
+  Nanos start_;
+};
+
+}  // namespace common

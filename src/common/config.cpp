@@ -1,0 +1,85 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+
+namespace common {
+
+namespace {
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  const auto end = text.find_last_not_of(" \t\r\n");
+  return text.substr(begin, end - begin + 1);
+}
+}  // namespace
+
+std::vector<std::string> split_trim(const std::string& text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto pos = text.find(delim, start);
+    if (pos == std::string::npos) {
+      out.push_back(trim(text.substr(start)));
+      break;
+    }
+    out.push_back(trim(text.substr(start, pos - start)));
+    start = pos + 1;
+  }
+  while (!out.empty() && out.back().empty()) out.pop_back();
+  return out;
+}
+
+KvConfig KvConfig::parse(const std::string& text) {
+  KvConfig config;
+  for (const auto& piece : split_trim(text, ',')) {
+    if (piece.empty()) continue;
+    const auto eq = piece.find('=');
+    if (eq == std::string::npos) {
+      config.kv_[trim(piece)] = "1";  // bare key acts as a boolean flag
+    } else {
+      config.kv_[trim(piece.substr(0, eq))] = trim(piece.substr(eq + 1));
+    }
+  }
+  return config;
+}
+
+std::optional<std::string> KvConfig::get(const std::string& key) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string KvConfig::get_or(const std::string& key,
+                             const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+std::int64_t KvConfig::get_int_or(const std::string& key,
+                                  std::int64_t fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  return std::strtoll(value->c_str(), nullptr, 10);
+}
+
+double KvConfig::get_double_or(const std::string& key, double fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  return std::strtod(value->c_str(), nullptr);
+}
+
+bool KvConfig::get_bool_or(const std::string& key, bool fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  return *value == "1" || *value == "true" || *value == "yes" ||
+         *value == "on";
+}
+
+void KvConfig::set(const std::string& key, const std::string& value) {
+  kv_[key] = value;
+}
+
+bool KvConfig::contains(const std::string& key) const {
+  return kv_.count(key) != 0;
+}
+
+}  // namespace common

@@ -1,0 +1,50 @@
+#include "common/logging.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace common {
+
+namespace {
+LogLevel parse_level_from_env() {
+  const char* env = std::getenv("AMTNET_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+
+std::mutex& log_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+}  // namespace
+
+LogLevel log_level() noexcept {
+  static const LogLevel level = parse_level_from_env();
+  return level;
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> guard(log_mutex());
+  std::fprintf(stderr, "[amtnet %s] %s\n", level_tag(level), msg.c_str());
+}
+
+}  // namespace common

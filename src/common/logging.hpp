@@ -1,0 +1,42 @@
+// Minimal leveled logging. Level is read once from the AMTNET_LOG environment
+// variable (error|warn|info|debug); default is warn. Logging is off the hot
+// path everywhere — debug-level calls compile to a level check only.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace common {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel log_level() noexcept;
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string format_parts(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (static_cast<int>(level) <= static_cast<int>(log_level())) {
+    log_line(level, detail::format_parts(std::forward<Args>(args)...));
+  }
+}
+
+#define AMTNET_LOG_ERROR(...) \
+  ::common::log(::common::LogLevel::kError, __VA_ARGS__)
+#define AMTNET_LOG_WARN(...) \
+  ::common::log(::common::LogLevel::kWarn, __VA_ARGS__)
+#define AMTNET_LOG_INFO(...) \
+  ::common::log(::common::LogLevel::kInfo, __VA_ARGS__)
+#define AMTNET_LOG_DEBUG(...) \
+  ::common::log(::common::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace common

@@ -1,0 +1,27 @@
+// Non-blocking operation result codes shared by the fabric and the
+// communication libraries. Mirrors LCI's convention: every injection
+// primitive may return kRetry when a transient resource (packet pool, SRQ
+// credit, queue slot) is unavailable, and the caller decides when to retry.
+#pragma once
+
+namespace common {
+
+enum class Status {
+  kOk,      // operation accepted / completed
+  kRetry,   // transient resource exhaustion; retry later
+  kError,   // permanent failure (bad argument, shut down)
+};
+
+inline const char* to_string(Status status) noexcept {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kRetry:
+      return "retry";
+    case Status::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace common

@@ -1,0 +1,57 @@
+// Move-only type-erased callable (std::move_only_function is C++23; we target
+// C++20). Tasks capture promises and owned buffers, which are move-only, so
+// std::function cannot hold them.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace common {
+
+template <typename Signature>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual R invoke(Args&&... args) = 0;
+  };
+
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F&& f) : fn(std::move(f)) {}
+    R invoke(Args&&... args) override {
+      return fn(std::forward<Args>(args)...);
+    }
+    F fn;
+  };
+
+ public:
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Model<std::decay_t<F>>>(
+            std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+  R operator()(Args... args) {
+    return impl_->invoke(std::forward<Args>(args)...);
+  }
+
+ private:
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace common

@@ -1,0 +1,254 @@
+#include <mutex>
+#include "fabric/nic.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace fabric {
+
+Config Profile::expanse(Rank num_ranks) {
+  Config config;
+  config.num_ranks = num_ranks;
+  config.latency_us = 1.1;        // HDR-class small-message latency
+  config.bandwidth_gbps = 100.0;  // HDR InfiniBand (2x50 Gbps)
+  config.pkt_rate_mpps = 0.0;
+  config.num_rails = 2;
+  return config;
+}
+
+Config Profile::rostam(Rank num_ranks) {
+  Config config;
+  config.num_ranks = num_ranks;
+  config.latency_us = 1.6;       // FDR-class small-message latency
+  config.bandwidth_gbps = 56.0;  // FDR InfiniBand (4x14 Gbps)
+  config.pkt_rate_mpps = 0.0;
+  config.num_rails = 2;
+  return config;
+}
+
+Config Profile::loopback(Rank num_ranks) {
+  Config config;
+  config.num_ranks = num_ranks;
+  config.zero_time = true;
+  config.num_rails = 1;
+  return config;
+}
+
+std::string Profile::describe(const Config& config, const std::string& name) {
+  std::ostringstream oss;
+  oss << "profile=" << name << " ranks=" << config.num_ranks
+      << " latency_us=" << config.latency_us
+      << " bandwidth_gbps=" << config.bandwidth_gbps
+      << " pkt_rate_mpps=" << config.pkt_rate_mpps
+      << " rails=" << config.num_rails << " srq_depth=" << config.srq_depth
+      << " tx_window=" << config.tx_window;
+  return oss.str();
+}
+
+Nic::Nic(Fabric& fabric, Rank rank, const Config& config)
+    : fabric_(fabric),
+      rank_(rank),
+      config_(config),
+      latency_ns_(static_cast<common::Nanos>(config.latency_us * 1000.0)),
+      rail_bytes_per_ns_(config.bytes_per_ns() /
+                         std::max(1u, config.num_rails)),
+      pkt_gap_ns_(config.pkt_rate_mpps > 0.0
+                      ? static_cast<common::Nanos>(1000.0 /
+                                                   config.pkt_rate_mpps)
+                      : 0),
+      jitter_ns_(static_cast<common::Nanos>(config.jitter_us * 1000.0)),
+      srq_(config.srq_depth, config.srq_buffer_size) {
+  const std::size_t n = static_cast<std::size_t>(config.num_ranks) *
+                        std::max(1u, config.num_rails);
+  rx_channels_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rx_channels_.push_back(std::make_unique<detail::Channel>());
+  }
+}
+
+common::Nanos Nic::advance_busy(std::atomic<common::Nanos>& busy,
+                                common::Nanos now, common::Nanos duration) {
+  common::Nanos old_busy = busy.load(std::memory_order_relaxed);
+  for (;;) {
+    const common::Nanos start = std::max(now, old_busy);
+    if (busy.compare_exchange_weak(old_busy, start + duration,
+                                   std::memory_order_relaxed)) {
+      return start;
+    }
+  }
+}
+
+common::Status Nic::post_packet(Rank dst, detail::Packet packet,
+                                std::size_t wire_len) {
+  if (dst >= config_.num_ranks) return common::Status::kError;
+
+  // TX window back-pressure (QP send-queue depth).
+  const auto in_flight =
+      tx_in_flight_.value.fetch_add(1, std::memory_order_relaxed);
+  if (in_flight >= static_cast<std::int64_t>(config_.tx_window)) {
+    tx_in_flight_.value.fetch_sub(1, std::memory_order_relaxed);
+    stat_tx_window_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return common::Status::kRetry;
+  }
+  packet.tx_owner = rank_;
+
+  // Read responses are delivered back to THIS NIC (they only traverse the
+  // remote NIC in hardware); everything else goes to the destination.
+  Nic& target = packet.kind == detail::Packet::Kind::kReadResp
+                    ? *this
+                    : fabric_.nic(dst);
+  const unsigned rails = std::max(1u, config_.num_rails);
+  const unsigned rail = static_cast<unsigned>(
+      tx_rail_rr_.value.fetch_add(1, std::memory_order_relaxed) % rails);
+  detail::Channel& channel =
+      *target.rx_channels_[static_cast<std::size_t>(packet.src) * rails +
+                           rail];
+
+  if (config_.zero_time) {
+    packet.deliver_time = 0;
+  } else {
+    const common::Nanos now = common::now_ns();
+    common::Nanos start = now;
+    if (pkt_gap_ns_ > 0) {
+      start = advance_busy(tx_pkt_busy_.value, now, pkt_gap_ns_);
+    }
+    const common::Nanos tx_ns = static_cast<common::Nanos>(
+        static_cast<double>(wire_len) / rail_bytes_per_ns_);
+    start = advance_busy(channel.busy_until.value, start, tx_ns);
+    packet.deliver_time = start + tx_ns + latency_ns_ + packet.extra_latency;
+    if (jitter_ns_ > 0) {
+      std::uint64_t state =
+          config_.jitter_seed ^
+          (jitter_counter_.fetch_add(1, std::memory_order_relaxed) +
+           (static_cast<std::uint64_t>(rank_) << 32));
+      packet.deliver_time += static_cast<common::Nanos>(
+          common::splitmix64(state) % static_cast<std::uint64_t>(jitter_ns_));
+    }
+  }
+
+  stat_packets_sent_.fetch_add(1, std::memory_order_relaxed);
+  stat_bytes_sent_.fetch_add(wire_len, std::memory_order_relaxed);
+  channel.queue.push(std::move(packet));
+  return common::Status::kOk;
+}
+
+common::Status Nic::post_send(Rank dst, const void* data, std::size_t len,
+                              std::uint64_t imm) {
+  if (len > srq_.buffer_size()) {
+    AMTNET_LOG_ERROR("post_send: payload ", len, " exceeds SRQ buffer size ",
+                     srq_.buffer_size());
+    return common::Status::kError;
+  }
+  detail::Packet packet;
+  packet.kind = detail::Packet::Kind::kSend;
+  packet.src = rank_;
+  packet.imm = imm;
+  if (len > 0) {
+    packet.payload.assign(static_cast<const std::byte*>(data),
+                          static_cast<const std::byte*>(data) + len);
+  }
+  // Headers-on-the-wire: count a small fixed framing overhead plus payload.
+  return post_packet(dst, std::move(packet), len + 32);
+}
+
+common::Status Nic::post_read(Rank dst, const MrKey& rkey,
+                              std::size_t offset, void* local,
+                              std::size_t len, std::uint64_t imm) {
+  detail::Packet packet;
+  packet.kind = detail::Packet::Kind::kReadResp;
+  packet.src = dst;  // the event appears to come from the remote peer
+  packet.imm = imm;
+  packet.mr_id = rkey.id;
+  packet.mr_offset = offset;
+  packet.read_dst = static_cast<std::byte*>(local);
+  packet.read_len = len;
+  packet.extra_latency = latency_ns_;  // the request's one-way trip
+  // Round trip: request one way, payload back the other.
+  return post_packet(dst, std::move(packet),
+                     len + 64 /*request + response framing*/);
+}
+
+common::Status Nic::post_write(Rank dst, const MrKey& rkey,
+                               std::size_t offset, const void* data,
+                               std::size_t len) {
+  detail::Packet packet;
+  packet.kind = detail::Packet::Kind::kWrite;
+  packet.src = rank_;
+  packet.mr_id = rkey.id;
+  packet.mr_offset = offset;
+  packet.payload.assign(static_cast<const std::byte*>(data),
+                        static_cast<const std::byte*>(data) + len);
+  return post_packet(dst, std::move(packet), len + 32);
+}
+
+common::Status Nic::post_write_imm(Rank dst, const MrKey& rkey,
+                                   std::size_t offset, const void* data,
+                                   std::size_t len, std::uint64_t imm) {
+  detail::Packet packet;
+  packet.kind = detail::Packet::Kind::kWrite;
+  packet.src = rank_;
+  packet.mr_id = rkey.id;
+  packet.mr_offset = offset;
+  packet.imm = imm;
+  packet.has_imm = true;
+  packet.payload.assign(static_cast<const std::byte*>(data),
+                        static_cast<const std::byte*>(data) + len);
+  return post_packet(dst, std::move(packet), len + 32);
+}
+
+MrKey Nic::register_memory(void* base, std::size_t len) {
+  const std::uint64_t id =
+      next_mr_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<common::SpinMutex> guard(mr_mutex_);
+    mr_table_[id] = MrEntry{static_cast<std::byte*>(base), len};
+  }
+  return MrKey{rank_, id};
+}
+
+void Nic::deregister_memory(const MrKey& key) {
+  std::lock_guard<common::SpinMutex> guard(mr_mutex_);
+  mr_table_.erase(key.id);
+}
+
+std::optional<Nic::MrEntry> Nic::lookup_mr(std::uint64_t id) const {
+  std::lock_guard<common::SpinMutex> guard(mr_mutex_);
+  const auto it = mr_table_.find(id);
+  if (it == mr_table_.end()) {
+    AMTNET_LOG_ERROR("RDMA write to unregistered MR id ", id, " on rank ",
+                     rank_);
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool Nic::rx_looks_nonempty() const {
+  for (const auto& channel : rx_channels_) {
+    if (!channel->queue.looks_empty()) return true;
+  }
+  return false;
+}
+
+NicStats Nic::stats() const {
+  NicStats stats;
+  stats.packets_sent = stat_packets_sent_.load(std::memory_order_relaxed);
+  stats.bytes_sent = stat_bytes_sent_.load(std::memory_order_relaxed);
+  stats.packets_received =
+      stat_packets_received_.load(std::memory_order_relaxed);
+  stats.sends_rejected_tx_window =
+      stat_tx_window_rejects_.load(std::memory_order_relaxed);
+  stats.rnr_stalls = stat_rnr_stalls_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Fabric::Fabric(const Config& config) : config_(config) {
+  nics_.reserve(config_.num_ranks);
+  for (Rank r = 0; r < config_.num_ranks; ++r) {
+    nics_.push_back(std::make_unique<Nic>(*this, r, config_));
+  }
+}
+
+}  // namespace fabric

@@ -1,0 +1,293 @@
+// Simulated RDMA NIC. See types.hpp for the modelling contract.
+//
+// Threading: post_send / post_write may be called from any thread; poll_rx
+// may be called from any number of threads concurrently (each incoming
+// channel is drained under a consumer try-lock, so concurrent pollers skip
+// channels another poller holds — the same discipline real LCI uses for its
+// receive path).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cache.hpp"
+#include "common/clock.hpp"
+#include "common/spinlock.hpp"
+#include "common/status.hpp"
+#include "fabric/srq_pool.hpp"
+#include "fabric/types.hpp"
+#include "queues/mpsc_queue.hpp"
+
+namespace fabric {
+
+class Fabric;
+
+/// An event produced by poll_rx.
+struct RxEvent {
+  enum class Kind : std::uint8_t {
+    kRecv,      // a post_send arrived; payload in `payload` (if size > 0)
+    kWriteImm,  // an RDMA write-with-immediate landed; data already in place
+    kReadDone,  // an RDMA read this NIC posted has completed locally
+  };
+  Kind kind = Kind::kRecv;
+  Rank src = 0;
+  std::uint64_t imm = 0;
+  std::size_t size = 0;
+  /// kRecv: the datagram contents, moved (not copied) off the wire. The
+  /// consumer owns it and may move it onward.
+  std::vector<std::byte> payload;
+  /// The SRQ slot this datagram consumed; held until the event (or whoever
+  /// the consumer hands it to) is destroyed, so receive-buffer back-pressure
+  /// (RNR) behaves exactly as if the payload had been copied into the slot.
+  RecvBuffer credit;
+
+  const std::byte* data() const { return payload.data(); }
+};
+
+namespace detail {
+
+struct Packet {
+  enum class Kind : std::uint8_t { kSend, kWrite, kReadResp };
+  Kind kind = Kind::kSend;
+  Rank src = 0;        // rank shown to the receiver (the remote peer)
+  Rank tx_owner = 0;   // rank whose TX window this packet occupies
+  std::uint64_t imm = 0;
+  bool has_imm = false;
+  std::uint64_t mr_id = 0;       // kWrite / kReadResp
+  std::size_t mr_offset = 0;     // kWrite / kReadResp
+  std::byte* read_dst = nullptr;   // kReadResp: reader-local destination
+  std::size_t read_len = 0;        // kReadResp
+  common::Nanos extra_latency = 0;  // reads: the request's one-way trip
+  std::vector<std::byte> payload;
+  common::Nanos deliver_time = 0;
+};
+
+/// One ordered rail of a directed link. busy_until carries the bandwidth
+/// serialisation state for the rail and is advanced by senders with CAS.
+struct Channel {
+  queues::TryMpmcQueue<Packet> queue;
+  common::CachePadded<std::atomic<common::Nanos>> busy_until{0};
+};
+
+}  // namespace detail
+
+class Nic {
+ public:
+  Nic(Fabric& fabric, Rank rank, const Config& config);
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  Rank rank() const { return rank_; }
+
+  /// Two-sided-style datagram: `len` bytes (<= srq_buffer_size) plus a 64-bit
+  /// immediate. The payload is copied before return; the caller's buffer is
+  /// immediately reusable. Returns kRetry when the TX window is full.
+  common::Status post_send(Rank dst, const void* data, std::size_t len,
+                           std::uint64_t imm);
+
+  /// One-sided RDMA write into (rkey, offset) at the target, invisible to the
+  /// target's poll loop (completion must be signalled by a follow-up message
+  /// or by using post_write_imm).
+  common::Status post_write(Rank dst, const MrKey& rkey, std::size_t offset,
+                            const void* data, std::size_t len);
+
+  /// RDMA write with immediate: like post_write but additionally produces a
+  /// kWriteImm event at the target once the data has landed.
+  common::Status post_write_imm(Rank dst, const MrKey& rkey,
+                                std::size_t offset, const void* data,
+                                std::size_t len, std::uint64_t imm);
+
+  /// One-sided RDMA read: fetches `len` bytes from (rkey, offset) at `dst`
+  /// into `local`, entirely without target-side software involvement (the
+  /// target NIC serves it). Completion surfaces at THIS NIC's poll loop as a
+  /// kReadDone event carrying `imm`. The remote memory is snapshotted at
+  /// completion time. Round-trip latency plus payload bandwidth are charged.
+  common::Status post_read(Rank dst, const MrKey& rkey, std::size_t offset,
+                           void* local, std::size_t len, std::uint64_t imm);
+
+  /// Registers [base, base+len) for remote writes. Cheap, never fails.
+  MrKey register_memory(void* base, std::size_t len);
+  void deregister_memory(const MrKey& key);
+
+  /// Drains deliverable packets from all incoming channels, invoking
+  /// `sink(RxEvent&&)` for each visible event. Returns the number of packets
+  /// processed (including writes without immediates, which produce no event).
+  template <typename Sink>
+  std::size_t poll_rx(std::size_t max_packets, Sink&& sink);
+
+  /// True if any incoming channel looks non-empty (racy; for idle checks).
+  bool rx_looks_nonempty() const;
+
+  NicStats stats() const;
+
+  std::size_t srq_buffer_size() const { return srq_.buffer_size(); }
+
+ private:
+  friend class Fabric;
+
+  struct MrEntry {
+    std::byte* base = nullptr;
+    std::size_t len = 0;
+  };
+
+  common::Status post_packet(Rank dst, detail::Packet packet,
+                             std::size_t wire_len);
+  // Resolves a registered region; nullopt when the key is stale/bogus.
+  std::optional<MrEntry> lookup_mr(std::uint64_t id) const;
+  // Credits the sender's TX window back when one of its packets lands here.
+  void on_packet_delivered(Rank src);
+
+  // Advances `busy` to cover [start, start+duration) and returns start,
+  // where start = max(now, old busy). Lock-free CAS loop.
+  static common::Nanos advance_busy(std::atomic<common::Nanos>& busy,
+                                    common::Nanos now, common::Nanos duration);
+
+  Fabric& fabric_;
+  const Rank rank_;
+  const Config& config_;
+  const common::Nanos latency_ns_;
+  const double rail_bytes_per_ns_;
+  const common::Nanos pkt_gap_ns_;  // 0 when unlimited
+  const common::Nanos jitter_ns_;   // 0 when chaos mode is off
+  std::atomic<std::uint64_t> jitter_counter_{0};
+
+  SrqPool srq_;
+
+  // Incoming channels, one per (source rank, rail); index src*rails + rail.
+  std::vector<std::unique_ptr<detail::Channel>> rx_channels_;
+
+  // Senders' NIC-level message-rate gate.
+  common::CachePadded<std::atomic<common::Nanos>> tx_pkt_busy_{0};
+  // In-flight window (incremented at post, decremented at delivery).
+  common::CachePadded<std::atomic<std::int64_t>> tx_in_flight_{0};
+  // Rail selector for outgoing packets.
+  common::CachePadded<std::atomic<std::uint64_t>> tx_rail_rr_{0};
+  // Rotating start index for poll fairness.
+  common::CachePadded<std::atomic<std::uint64_t>> poll_rr_{0};
+
+  mutable common::SpinMutex mr_mutex_;
+  std::unordered_map<std::uint64_t, MrEntry> mr_table_;
+  std::atomic<std::uint64_t> next_mr_id_{1};
+
+  // Stats (relaxed atomics; read as a racy snapshot).
+  std::atomic<std::uint64_t> stat_packets_sent_{0};
+  std::atomic<std::uint64_t> stat_bytes_sent_{0};
+  std::atomic<std::uint64_t> stat_packets_received_{0};
+  std::atomic<std::uint64_t> stat_tx_window_rejects_{0};
+  std::atomic<std::uint64_t> stat_rnr_stalls_{0};
+};
+
+/// The collection of NICs for all simulated ranks (localities) in this
+/// process, plus the shared configuration.
+class Fabric {
+ public:
+  explicit Fabric(const Config& config);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  Nic& nic(Rank rank) { return *nics_[rank]; }
+  const Nic& nic(Rank rank) const { return *nics_[rank]; }
+  Rank num_ranks() const { return config_.num_ranks; }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+// ---- template implementation -------------------------------------------
+
+inline void Nic::on_packet_delivered(Rank src) {
+  fabric_.nic(src).tx_in_flight_.value.fetch_sub(1,
+                                                 std::memory_order_relaxed);
+}
+
+template <typename Sink>
+std::size_t Nic::poll_rx(std::size_t max_packets, Sink&& sink) {
+  const std::size_t n_channels = rx_channels_.size();
+  if (n_channels == 0 || max_packets == 0) return 0;
+  const common::Nanos now =
+      config_.zero_time ? 0 : common::now_ns();
+  const std::uint64_t start =
+      poll_rr_.value.fetch_add(1, std::memory_order_relaxed);
+
+  std::size_t processed = 0;
+  for (std::size_t i = 0; i < n_channels && processed < max_packets; ++i) {
+    detail::Channel& channel =
+        *rx_channels_[(start + i) % n_channels];
+    std::byte* reserved = nullptr;  // SRQ buffer pre-acquired by the predicate
+
+    auto deliverable = [&](const detail::Packet& p) {
+      if (!config_.zero_time && p.deliver_time > now) return false;
+      if (p.kind == detail::Packet::Kind::kSend && !p.payload.empty() &&
+          reserved == nullptr) {
+        reserved = srq_.try_acquire();
+        if (reserved == nullptr) {
+          // RNR: stall this channel until buffers are recycled.
+          stat_rnr_stalls_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+      }
+      return true;
+    };
+
+    auto consume = [&](detail::Packet&& p) {
+      stat_packets_received_.fetch_add(1, std::memory_order_relaxed);
+      on_packet_delivered(p.tx_owner);
+      if (p.kind == detail::Packet::Kind::kReadResp) {
+        // Serve the read: snapshot the remote registered region now and
+        // land it in the reader's buffer, then surface completion.
+        const auto entry = fabric_.nic(p.src).lookup_mr(p.mr_id);
+        if (entry && p.mr_offset + p.read_len <= entry->len) {
+          std::memcpy(p.read_dst, entry->base + p.mr_offset, p.read_len);
+        }
+        RxEvent event;
+        event.kind = RxEvent::Kind::kReadDone;
+        event.src = p.src;
+        event.imm = p.imm;
+        event.size = p.read_len;
+        sink(std::move(event));
+      } else if (p.kind == detail::Packet::Kind::kSend) {
+        RxEvent event;
+        event.kind = RxEvent::Kind::kRecv;
+        event.src = p.src;
+        event.imm = p.imm;
+        event.size = p.payload.size();
+        if (!p.payload.empty()) {
+          event.payload = std::move(p.payload);
+          event.credit = RecvBuffer(&srq_, reserved, event.size);
+          reserved = nullptr;
+        }
+        sink(std::move(event));
+      } else {
+        // RDMA write: land the data, then surface the immediate if any.
+        const auto entry = lookup_mr(p.mr_id);
+        if (entry && p.mr_offset + p.payload.size() <= entry->len) {
+          std::memcpy(entry->base + p.mr_offset, p.payload.data(),
+                      p.payload.size());
+        }
+        if (p.has_imm) {
+          RxEvent event;
+          event.kind = RxEvent::Kind::kWriteImm;
+          event.src = p.src;
+          event.imm = p.imm;
+          event.size = p.payload.size();
+          sink(std::move(event));
+        }
+      }
+    };
+
+    processed += channel.queue.try_drain_while(max_packets - processed,
+                                               deliverable, consume);
+    if (reserved != nullptr) srq_.release(reserved);
+  }
+  return processed;
+}
+
+}  // namespace fabric

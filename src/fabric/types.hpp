@@ -1,0 +1,72 @@
+// Core types of the simulated RDMA fabric.
+//
+// The fabric stands in for the InfiniBand networks of the paper's testbeds
+// (SDSC Expanse: HDR, Rostam: FDR). It models, per NIC:
+//   - wire latency (constant, per packet),
+//   - bandwidth serialisation per rail (a packet occupies the link for
+//     size/bandwidth before the next can start),
+//   - an optional packet-rate cap (models the NIC's message-rate limit),
+//   - a bounded in-flight window (models QP/SQ depth; exceeding it returns
+//     Status::kRetry, the verbs "queue full" condition),
+//   - shared receive queues (SRQ) of pre-posted buffers; exhaustion stalls
+//     the channel like an RC RNR NAK until buffers are recycled,
+//   - multiple rails per directed pair: packets are in-order within one rail
+//     and unordered across rails (like multi-QP striping on real NICs).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fabric {
+
+using Rank = std::uint32_t;
+
+/// Remote-key for a registered memory region, exchanged out of band (in our
+/// stack: inside rendezvous control messages).
+struct MrKey {
+  Rank rank = 0;
+  std::uint64_t id = 0;
+};
+
+struct Config {
+  Rank num_ranks = 2;
+  double latency_us = 1.1;       // one-way wire latency per packet
+  double bandwidth_gbps = 100.0; // per-NIC line rate, split across rails
+  double pkt_rate_mpps = 0.0;    // NIC message-rate cap; 0 = unlimited
+  unsigned num_rails = 2;        // parallel ordered channels per direction
+  std::size_t srq_buffer_size = 16 * 1024;  // max datagram payload
+  std::size_t srq_depth = 4096;  // pre-posted receive buffers per NIC
+  std::size_t tx_window = 4096;  // max in-flight packets per NIC
+  bool zero_time = false;        // tests: disable latency/bandwidth gating
+  // Chaos testing: adds a seeded-random extra delay in [0, jitter_us] to
+  // every packet. Within a rail FIFO order is preserved (delays only defer
+  // the head), but cross-rail interleavings become highly irregular.
+  double jitter_us = 0.0;
+  std::uint64_t jitter_seed = 0x7b9f1d3a5c8e2461ULL;
+
+  double bytes_per_ns() const { return bandwidth_gbps / 8.0; }
+};
+
+/// Named platform profiles mirroring the paper's Table 2 and Table 3.
+struct Profile {
+  /// SDSC Expanse: ConnectX-6, HDR InfiniBand (2x50 Gbps).
+  static Config expanse(Rank num_ranks);
+  /// Rostam: ConnectX-3, FDR InfiniBand (4x14 Gbps).
+  static Config rostam(Rank num_ranks);
+  /// Zero-latency loopback for unit tests.
+  static Config loopback(Rank num_ranks);
+
+  static std::string describe(const Config& config, const std::string& name);
+};
+
+/// Counters exposed for tests and benchmark sanity checks. All monotonic.
+struct NicStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t sends_rejected_tx_window = 0;  // post returned kRetry
+  std::uint64_t rnr_stalls = 0;  // delivery deferred: SRQ empty
+};
+
+}  // namespace fabric

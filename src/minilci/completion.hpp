@@ -1,0 +1,134 @@
+// Completion mechanisms: completion queue, synchronizer, handler — plus the
+// Comp handle that lets any primitive signal any mechanism (paper §2.1
+// "versatile communication interface").
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/spinlock.hpp"
+#include "minilci/types.hpp"
+#include "queues/mpsc_queue.hpp"
+
+namespace minilci {
+
+/// Multi-producer completion queue. Pollable from many threads; concurrent
+/// pollers use a consumer try-lock, so contended polls return nullopt
+/// quickly rather than blocking (the paper's "polling one completion queue
+/// leads to fewer CPU cycles and less thread contention").
+class CompQueue {
+ public:
+  void push(CqEntry&& entry) { queue_.push(std::move(entry)); }
+
+  std::optional<CqEntry> poll() { return queue_.try_pop(nullptr); }
+
+  /// Drains up to `max_items` entries in one lock acquisition.
+  template <typename Fn>
+  std::size_t poll_batch(std::size_t max_items, Fn&& fn) {
+    return queue_.try_drain(max_items, std::forward<Fn>(fn));
+  }
+
+  bool looks_empty() const { return queue_.looks_empty(); }
+
+ private:
+  queues::TryMpmcQueue<CqEntry> queue_;
+};
+
+/// Synchronizer: MPI_Request-like object, with the LCI twist of allowing
+/// multiple producers (threshold > 1). test() succeeds once `threshold`
+/// signals have arrived and hands back the accumulated entries.
+class Synchronizer {
+ public:
+  explicit Synchronizer(int threshold = 1) : threshold_(threshold) {
+    entries_.reserve(static_cast<std::size_t>(threshold));
+  }
+
+  /// Producer side; called by the progress engine or injection path.
+  void signal(CqEntry&& entry) {
+    {
+      std::lock_guard<common::SpinMutex> guard(mutex_);
+      entries_.push_back(std::move(entry));
+    }
+    count_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Nonblocking test; on success moves the entries into `out` (if non-null)
+  /// and resets the synchronizer for reuse.
+  bool test(std::vector<CqEntry>* out = nullptr) {
+    if (count_.load(std::memory_order_acquire) < threshold_) return false;
+    std::lock_guard<common::SpinMutex> guard(mutex_);
+    if (count_.load(std::memory_order_relaxed) < threshold_) return false;
+    if (out != nullptr) {
+      *out = std::move(entries_);
+    }
+    entries_.clear();
+    count_.fetch_sub(threshold_, std::memory_order_relaxed);
+    return true;
+  }
+
+  int threshold() const { return threshold_; }
+
+ private:
+  const int threshold_;
+  std::atomic<int> count_{0};
+  common::SpinMutex mutex_;
+  std::vector<CqEntry> entries_;
+};
+
+using HandlerFn = void (*)(CqEntry&&, void* user_arg);
+
+/// Handle naming where a completion should be signalled. Cheap to copy.
+struct Comp {
+  enum class Type : std::uint8_t { kNone, kQueue, kSync, kHandler };
+
+  Type type = Type::kNone;
+  CompQueue* cq = nullptr;
+  Synchronizer* sync_obj = nullptr;
+  HandlerFn handler_fn = nullptr;
+  void* handler_arg = nullptr;
+
+  static Comp none() { return Comp{}; }
+  static Comp queue(CompQueue* cq) {
+    Comp comp;
+    comp.type = Type::kQueue;
+    comp.cq = cq;
+    return comp;
+  }
+  static Comp sync(Synchronizer* sync) {
+    Comp comp;
+    comp.type = Type::kSync;
+    comp.sync_obj = sync;
+    return comp;
+  }
+  static Comp handler(HandlerFn fn, void* arg) {
+    Comp comp;
+    comp.type = Type::kHandler;
+    comp.handler_fn = fn;
+    comp.handler_arg = arg;
+    return comp;
+  }
+};
+
+inline void signal_completion(const Comp& comp, CqEntry&& entry) {
+  switch (comp.type) {
+    case Comp::Type::kNone:
+      break;
+    case Comp::Type::kQueue:
+      assert(comp.cq != nullptr);
+      comp.cq->push(std::move(entry));
+      break;
+    case Comp::Type::kSync:
+      assert(comp.sync_obj != nullptr);
+      comp.sync_obj->signal(std::move(entry));
+      break;
+    case Comp::Type::kHandler:
+      assert(comp.handler_fn != nullptr);
+      comp.handler_fn(std::move(entry), comp.handler_arg);
+      break;
+  }
+}
+
+}  // namespace minilci

@@ -1,0 +1,630 @@
+#include "minilci/device.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.hpp"
+
+namespace minilci {
+
+namespace {
+
+// Wire immediate layout: [63:56] kind | [31:0] tag or rendezvous id.
+enum class MsgKind : std::uint8_t {
+  kMedium = 1,    // payload = user data
+  kPutEager = 2,  // payload = user data -> remote CQ
+  kRts = 3,       // payload = RdvHello
+  kCts = 4,       // payload = CtsPayload
+  kFin = 5,       // RDMA write-with-immediate; arg = receiver rdv id
+  kPutRts = 6,    // payload = RdvHello
+  kPutCts = 7,    // payload = PutCtsPayload
+  kPutFin = 8,    // RDMA write-with-immediate; arg = receiver rdv id
+  kGetDone = 9,   // RDMA read completion; arg = local get id
+};
+
+struct RdvHello {
+  std::uint64_t size;
+  std::uint32_t sender_id;
+};
+
+struct CtsPayload {
+  std::uint64_t mr_id;
+  std::uint64_t max_len;
+  std::uint32_t sender_id;
+  std::uint32_t recv_id;
+};
+
+struct PutCtsPayload {
+  std::uint64_t mr_id;
+  std::uint32_t sender_id;
+  std::uint32_t recv_id;
+};
+
+std::uint64_t make_imm(MsgKind kind, std::uint32_t arg) {
+  return (static_cast<std::uint64_t>(kind) << 56) | arg;
+}
+MsgKind imm_kind(std::uint64_t imm) { return static_cast<MsgKind>(imm >> 56); }
+std::uint32_t imm_arg(std::uint64_t imm) {
+  return static_cast<std::uint32_t>(imm);
+}
+
+template <typename T>
+std::vector<std::byte> to_bytes(const T& value) {
+  std::vector<std::byte> bytes(sizeof(T));
+  std::memcpy(bytes.data(), &value, sizeof(T));
+  return bytes;
+}
+
+template <typename T>
+T from_bytes(const std::byte* data, std::size_t len) {
+  T value{};
+  assert(len >= sizeof(T));
+  (void)len;
+  std::memcpy(&value, data, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+Device::Device(fabric::Fabric& fabric, Rank rank, Config config,
+               CompQueue* remote_put_cq)
+    : fabric_(fabric),
+      nic_(fabric.nic(rank)),
+      rank_(rank),
+      config_(config),
+      remote_put_cq_(remote_put_cq),
+      packet_pool_(config.packet_pool_size, config.eager_threshold) {
+  assert(config_.eager_threshold <= nic_.srq_buffer_size());
+}
+
+// ---- two-sided: medium ----------------------------------------------------
+
+common::Status Device::sendm(Rank dst, Tag tag, const void* data,
+                             std::size_t len, const Comp& local_comp,
+                             std::uint64_t user_context) {
+  if (len > config_.eager_threshold) return common::Status::kError;
+  const common::Status status =
+      nic_.post_send(dst, data, len, make_imm(MsgKind::kMedium, tag));
+  if (status != common::Status::kOk) return status;
+  CqEntry entry;
+  entry.op = OpKind::kSendMedium;
+  entry.rank = dst;
+  entry.tag = tag;
+  entry.size = len;
+  entry.user_context = user_context;
+  signal_completion(local_comp, std::move(entry));
+  return common::Status::kOk;
+}
+
+common::Status Device::sendm_packet(Rank dst, Tag tag, PacketBuffer& packet,
+                                    const Comp& local_comp,
+                                    std::uint64_t user_context) {
+  assert(packet.valid() && packet.size() <= config_.eager_threshold);
+  const common::Status status = nic_.post_send(
+      dst, packet.data(), packet.size(), make_imm(MsgKind::kMedium, tag));
+  if (status != common::Status::kOk) return status;
+  CqEntry entry;
+  entry.op = OpKind::kSendMedium;
+  entry.rank = dst;
+  entry.tag = tag;
+  entry.size = packet.size();
+  entry.user_context = user_context;
+  packet.release();  // fabric copied; recycle the pool buffer
+  signal_completion(local_comp, std::move(entry));
+  return common::Status::kOk;
+}
+
+common::Status Device::recvm(Rank src, Tag tag, const Comp& comp,
+                             std::uint64_t user_context) {
+  PostedRecv recv;
+  recv.is_long = false;
+  recv.comp = comp;
+  recv.user_context = user_context;
+  auto arrival = matching_.insert_recv(src, tag, std::move(recv));
+  if (!arrival) return common::Status::kOk;  // recv stored in the table
+  if (arrival->is_rts) {
+    AMTNET_LOG_ERROR("minilci: recvm matched a long-protocol RTS (src=", src,
+                     " tag=", tag, ")");
+    return common::Status::kError;
+  }
+  CqEntry entry;
+  entry.op = OpKind::kRecvMedium;
+  entry.rank = src;
+  entry.tag = tag;
+  entry.size = arrival->payload.size();
+  entry.data = std::move(arrival->payload);
+  entry.user_context = user_context;
+  signal_completion(comp, std::move(entry));
+  return common::Status::kOk;
+}
+
+// ---- two-sided: long (rendezvous) -----------------------------------------
+
+common::Status Device::sendl(Rank dst, Tag tag, const void* data,
+                             std::size_t len, const Comp& local_comp,
+                             std::uint64_t user_context) {
+  std::uint32_t id;
+  {
+    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
+    id = next_rdv_id_++;
+    RdvSend& rdv = rdv_sends_[id];
+    rdv.data = static_cast<const std::byte*>(data);
+    rdv.len = len;
+    rdv.comp = local_comp;
+    rdv.user_context = user_context;
+    rdv.tag = tag;
+    rdv.dst = dst;
+  }
+  const auto hello = to_bytes(RdvHello{len, id});
+  const common::Status status = nic_.post_send(
+      dst, hello.data(), hello.size(), make_imm(MsgKind::kRts, tag));
+  if (status != common::Status::kOk) {
+    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
+    rdv_sends_.erase(id);
+    return status;
+  }
+  return common::Status::kOk;
+}
+
+common::Status Device::recvl(Rank src, Tag tag, void* buf, std::size_t maxlen,
+                             const Comp& comp, std::uint64_t user_context) {
+  PostedRecv recv;
+  recv.is_long = true;
+  recv.comp = comp;
+  recv.buf = buf;
+  recv.maxlen = maxlen;
+  recv.user_context = user_context;
+  auto arrival = matching_.insert_recv(src, tag, std::move(recv));
+  if (!arrival) return common::Status::kOk;  // recv stored in the table
+  if (!arrival->is_rts) {
+    AMTNET_LOG_ERROR("minilci: recvl matched a medium arrival (src=", src,
+                     " tag=", tag, ")");
+    return common::Status::kError;
+  }
+  start_long_recv(src, tag, arrival->rdv_size, arrival->rdv_sender_id,
+                  std::move(recv));
+  return common::Status::kOk;
+}
+
+void Device::start_long_recv(Rank src, Tag tag, std::size_t size,
+                             std::uint32_t sender_id, PostedRecv&& recv) {
+  (void)size;
+  const fabric::MrKey mr = nic_.register_memory(recv.buf, recv.maxlen);
+  std::uint32_t recv_id;
+  {
+    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
+    recv_id = next_rdv_id_++;
+    RdvRecv& rdv = rdv_recvs_[recv_id];
+    rdv.comp = recv.comp;
+    rdv.buf = recv.buf;
+    rdv.mr = mr;
+    rdv.user_context = recv.user_context;
+    rdv.tag = tag;
+    rdv.src = src;
+  }
+  send_ctrl(src, make_imm(MsgKind::kCts, 0),
+            to_bytes(CtsPayload{mr.id, recv.maxlen, sender_id, recv_id}));
+}
+
+void Device::handle_cts(Rank src, const std::byte* payload, std::size_t len) {
+  const auto cts = from_bytes<CtsPayload>(payload, len);
+  RdvSend rdv;
+  {
+    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
+    auto it = rdv_sends_.find(cts.sender_id);
+    if (it == rdv_sends_.end()) {
+      AMTNET_LOG_ERROR("minilci: CTS for unknown rendezvous id ",
+                       cts.sender_id);
+      return;
+    }
+    rdv = std::move(it->second);
+    rdv_sends_.erase(it);
+  }
+  const std::size_t to_write =
+      std::min<std::size_t>(rdv.len, cts.max_len);
+  CqEntry entry;
+  entry.op = OpKind::kSendLong;
+  entry.rank = rdv.dst;
+  entry.tag = rdv.tag;
+  entry.size = to_write;
+  entry.user_context = rdv.user_context;
+  if (nic_.post_write_imm(src, fabric::MrKey{src, cts.mr_id}, 0, rdv.data,
+                          to_write, make_imm(MsgKind::kFin, cts.recv_id)) ==
+      common::Status::kOk) {
+    signal_completion(rdv.comp, std::move(entry));
+    return;
+  }
+  // TX window full: buffer the write and retry from progress. The fabric
+  // copies at post time, so once the deferred post succeeds the semantics
+  // are identical.
+  DeferredSend deferred;
+  deferred.dst = src;
+  deferred.imm = make_imm(MsgKind::kFin, cts.recv_id);
+  deferred.payload.assign(rdv.data, rdv.data + to_write);
+  deferred.is_write = true;
+  deferred.write_mr_id = cts.mr_id;
+  deferred.comp = rdv.comp;
+  deferred.entry = std::move(entry);
+  std::lock_guard<common::SpinMutex> guard(deferred_mutex_);
+  deferred_.push_back(std::move(deferred));
+}
+
+void Device::handle_fin(std::uint32_t recv_id, std::size_t written) {
+  RdvRecv rdv;
+  {
+    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
+    auto it = rdv_recvs_.find(recv_id);
+    if (it == rdv_recvs_.end()) {
+      AMTNET_LOG_ERROR("minilci: FIN for unknown rendezvous id ", recv_id);
+      return;
+    }
+    rdv = std::move(it->second);
+    rdv_recvs_.erase(it);
+  }
+  nic_.deregister_memory(rdv.mr);
+  CqEntry entry;
+  entry.op = OpKind::kRecvLong;
+  entry.rank = rdv.src;
+  entry.tag = rdv.tag;
+  entry.user_buf = rdv.buf;
+  entry.size = written;
+  entry.user_context = rdv.user_context;
+  signal_completion(rdv.comp, std::move(entry));
+}
+
+// ---- one-sided get -----------------------------------------------------------
+
+common::Status Device::get(const RemoteBuffer& src, std::size_t offset,
+                           void* dst, std::size_t len, const Comp& comp,
+                           std::uint64_t user_context) {
+  if (offset + len > src.len) return common::Status::kError;
+  std::uint32_t id;
+  {
+    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
+    id = next_rdv_id_++;
+    PendingGet& pending = pending_gets_[id];
+    pending.comp = comp;
+    pending.user_context = user_context;
+    pending.src = src.mr.rank;
+    pending.len = len;
+  }
+  const common::Status status =
+      nic_.post_read(src.mr.rank, src.mr, offset, dst, len,
+                     make_imm(MsgKind::kGetDone, id));
+  if (status != common::Status::kOk) {
+    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
+    pending_gets_.erase(id);
+    return status;
+  }
+  return common::Status::kOk;
+}
+
+void Device::handle_get_done(std::uint32_t get_id) {
+  PendingGet pending;
+  {
+    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
+    auto it = pending_gets_.find(get_id);
+    if (it == pending_gets_.end()) {
+      AMTNET_LOG_ERROR("minilci: completion for unknown get id ", get_id);
+      return;
+    }
+    pending = std::move(it->second);
+    pending_gets_.erase(it);
+  }
+  CqEntry entry;
+  entry.op = OpKind::kGet;
+  entry.rank = pending.src;
+  entry.size = pending.len;
+  entry.user_context = pending.user_context;
+  signal_completion(pending.comp, std::move(entry));
+}
+
+// ---- one-sided dynamic put --------------------------------------------------
+
+common::Status Device::put_dyn(Rank dst, Tag tag, const void* data,
+                               std::size_t len, const Comp& local_comp,
+                               std::uint64_t user_context) {
+  if (len <= config_.eager_threshold) {
+    const common::Status status =
+        nic_.post_send(dst, data, len, make_imm(MsgKind::kPutEager, tag));
+    if (status != common::Status::kOk) return status;
+    CqEntry entry;
+    entry.op = OpKind::kPutDyn;
+    entry.rank = dst;
+    entry.tag = tag;
+    entry.size = len;
+    entry.user_context = user_context;
+    signal_completion(local_comp, std::move(entry));
+    return common::Status::kOk;
+  }
+  // Large put: rendezvous with target-side allocation. The payload is copied
+  // so the caller's buffer is reusable on return (buffered-put semantics).
+  std::uint32_t id;
+  {
+    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
+    id = next_rdv_id_++;
+    PutSend& put = put_sends_[id];
+    put.data.assign(static_cast<const std::byte*>(data),
+                    static_cast<const std::byte*>(data) + len);
+    put.comp = local_comp;
+    put.tag = tag;
+    put.dst = dst;
+    put.user_context = user_context;
+  }
+  const auto hello = to_bytes(RdvHello{len, id});
+  const common::Status status = nic_.post_send(
+      dst, hello.data(), hello.size(), make_imm(MsgKind::kPutRts, tag));
+  if (status != common::Status::kOk) {
+    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
+    put_sends_.erase(id);
+    return status;
+  }
+  return common::Status::kOk;
+}
+
+common::Status Device::put_dyn_packet(Rank dst, Tag tag, PacketBuffer& packet,
+                                      const Comp& local_comp,
+                                      std::uint64_t user_context) {
+  assert(packet.valid() && packet.size() <= config_.eager_threshold);
+  const common::Status status = nic_.post_send(
+      dst, packet.data(), packet.size(), make_imm(MsgKind::kPutEager, tag));
+  if (status != common::Status::kOk) return status;
+  CqEntry entry;
+  entry.op = OpKind::kPutDyn;
+  entry.rank = dst;
+  entry.tag = tag;
+  entry.size = packet.size();
+  entry.user_context = user_context;
+  packet.release();
+  signal_completion(local_comp, std::move(entry));
+  return common::Status::kOk;
+}
+
+void Device::handle_put_eager(Rank src, Tag tag,
+                              std::vector<std::byte>&& data) {
+  assert(remote_put_cq_ != nullptr);
+  CqEntry entry;
+  entry.op = OpKind::kRemotePut;
+  entry.rank = src;
+  entry.tag = tag;
+  entry.size = data.size();
+  entry.data = std::move(data);
+  remote_put_cq_->push(std::move(entry));
+}
+
+void Device::handle_put_rts(Rank src, Tag tag, std::size_t size,
+                            std::uint32_t sender_id) {
+  std::uint32_t recv_id;
+  std::uint64_t mr_id;
+  {
+    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
+    recv_id = next_rdv_id_++;
+    PutRecv& put = put_recvs_[recv_id];
+    put.data.resize(size);
+    put.mr = nic_.register_memory(put.data.data(), size);
+    put.tag = tag;
+    put.src = src;
+    mr_id = put.mr.id;
+  }
+  send_ctrl(src, make_imm(MsgKind::kPutCts, 0),
+            to_bytes(PutCtsPayload{mr_id, sender_id, recv_id}));
+}
+
+void Device::handle_put_cts(Rank src, const std::byte* payload,
+                            std::size_t len) {
+  const auto cts = from_bytes<PutCtsPayload>(payload, len);
+  PutSend put;
+  {
+    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
+    auto it = put_sends_.find(cts.sender_id);
+    if (it == put_sends_.end()) {
+      AMTNET_LOG_ERROR("minilci: put-CTS for unknown id ", cts.sender_id);
+      return;
+    }
+    put = std::move(it->second);
+    put_sends_.erase(it);
+  }
+  CqEntry entry;
+  entry.op = OpKind::kPutDyn;
+  entry.rank = put.dst;
+  entry.tag = put.tag;
+  entry.size = put.data.size();
+  entry.user_context = put.user_context;
+  if (nic_.post_write_imm(src, fabric::MrKey{src, cts.mr_id}, 0,
+                          put.data.data(), put.data.size(),
+                          make_imm(MsgKind::kPutFin, cts.recv_id)) ==
+      common::Status::kOk) {
+    signal_completion(put.comp, std::move(entry));
+    return;
+  }
+  DeferredSend deferred;
+  deferred.dst = src;
+  deferred.imm = make_imm(MsgKind::kPutFin, cts.recv_id);
+  deferred.payload = std::move(put.data);
+  deferred.is_write = true;
+  deferred.write_mr_id = cts.mr_id;
+  deferred.comp = put.comp;
+  deferred.entry = std::move(entry);
+  std::lock_guard<common::SpinMutex> guard(deferred_mutex_);
+  deferred_.push_back(std::move(deferred));
+}
+
+void Device::handle_put_fin(std::uint32_t recv_id) {
+  PutRecv put;
+  {
+    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
+    auto it = put_recvs_.find(recv_id);
+    if (it == put_recvs_.end()) {
+      AMTNET_LOG_ERROR("minilci: put-FIN for unknown id ", recv_id);
+      return;
+    }
+    put = std::move(it->second);
+    put_recvs_.erase(it);
+  }
+  nic_.deregister_memory(put.mr);
+  assert(remote_put_cq_ != nullptr);
+  CqEntry entry;
+  entry.op = OpKind::kRemotePut;
+  entry.rank = put.src;
+  entry.tag = put.tag;
+  entry.size = put.data.size();
+  entry.data = std::move(put.data);
+  remote_put_cq_->push(std::move(entry));
+}
+
+// ---- progress engine ---------------------------------------------------------
+
+void Device::send_ctrl(Rank dst, std::uint64_t imm,
+                       std::vector<std::byte> payload) {
+  if (nic_.post_send(dst, payload.data(), payload.size(), imm) ==
+      common::Status::kOk) {
+    return;
+  }
+  DeferredSend deferred;
+  deferred.dst = dst;
+  deferred.imm = imm;
+  deferred.payload = std::move(payload);
+  std::lock_guard<common::SpinMutex> guard(deferred_mutex_);
+  deferred_.push_back(std::move(deferred));
+}
+
+void Device::retry_deferred() {
+  for (;;) {
+    DeferredSend msg;
+    {
+      std::lock_guard<common::SpinMutex> guard(deferred_mutex_);
+      if (deferred_.empty()) return;
+      msg = std::move(deferred_.front());
+      deferred_.pop_front();
+    }
+    common::Status status;
+    if (msg.is_write) {
+      status = nic_.post_write_imm(msg.dst,
+                                   fabric::MrKey{msg.dst, msg.write_mr_id}, 0,
+                                   msg.payload.data(), msg.payload.size(),
+                                   msg.imm);
+    } else {
+      status = nic_.post_send(msg.dst, msg.payload.data(), msg.payload.size(),
+                              msg.imm);
+    }
+    if (status != common::Status::kOk) {
+      std::lock_guard<common::SpinMutex> guard(deferred_mutex_);
+      deferred_.push_front(std::move(msg));
+      return;
+    }
+    signal_completion(msg.comp, std::move(msg.entry));
+  }
+}
+
+std::size_t Device::progress() {
+  stat_progress_calls_.fetch_add(1, std::memory_order_relaxed);
+  retry_deferred();
+  return nic_.poll_rx(config_.progress_batch, [this](fabric::RxEvent&& event) {
+    handle_event(std::move(event));
+  });
+}
+
+void Device::handle_medium_arrival(Rank src, Tag tag,
+                                   std::vector<std::byte>&& data) {
+  const std::size_t len = data.size();
+  Arrival arrival;
+  arrival.is_rts = false;
+  arrival.src = src;
+  arrival.tag = tag;
+  arrival.payload = std::move(data);
+  auto posted = matching_.insert_arrival(src, tag, std::move(arrival));
+  if (!posted) return;  // stored as unexpected (payload moved into table)
+  if (posted->is_long) {
+    AMTNET_LOG_ERROR("minilci: medium arrival matched recvl (src=", src,
+                     " tag=", tag, ")");
+    return;
+  }
+  // Matched: insert_arrival left `arrival` intact, so the payload moves
+  // straight into the completion entry — no copy on the fast path.
+  CqEntry entry;
+  entry.op = OpKind::kRecvMedium;
+  entry.rank = src;
+  entry.tag = tag;
+  entry.size = len;
+  entry.data = std::move(arrival.payload);
+  entry.user_context = posted->user_context;
+  signal_completion(posted->comp, std::move(entry));
+}
+
+void Device::handle_rts(Rank src, Tag tag, std::size_t size,
+                        std::uint32_t sender_id) {
+  Arrival arrival;
+  arrival.is_rts = true;
+  arrival.src = src;
+  arrival.tag = tag;
+  arrival.rdv_size = size;
+  arrival.rdv_sender_id = sender_id;
+  auto posted = matching_.insert_arrival(src, tag, std::move(arrival));
+  if (!posted) return;
+  if (!posted->is_long) {
+    AMTNET_LOG_ERROR("minilci: RTS matched recvm (src=", src, " tag=", tag,
+                     ")");
+    return;
+  }
+  start_long_recv(src, tag, size, sender_id, std::move(*posted));
+}
+
+void Device::handle_event(fabric::RxEvent&& event) {
+  const MsgKind kind = imm_kind(event.imm);
+  if (event.kind == fabric::RxEvent::Kind::kReadDone) {
+    if (kind == MsgKind::kGetDone) {
+      handle_get_done(imm_arg(event.imm));
+    } else {
+      AMTNET_LOG_ERROR("minilci: unexpected read-done kind ",
+                       static_cast<int>(kind));
+    }
+    return;
+  }
+  if (event.kind == fabric::RxEvent::Kind::kWriteImm) {
+    if (kind == MsgKind::kFin) {
+      handle_fin(imm_arg(event.imm), event.size);
+    } else if (kind == MsgKind::kPutFin) {
+      handle_put_fin(imm_arg(event.imm));
+    } else {
+      AMTNET_LOG_ERROR("minilci: unexpected write-imm kind ",
+                       static_cast<int>(kind));
+    }
+    return;
+  }
+
+  const std::byte* data = event.payload.data();
+  switch (kind) {
+    case MsgKind::kMedium:
+      handle_medium_arrival(event.src, imm_arg(event.imm),
+                            std::move(event.payload));
+      break;
+    case MsgKind::kPutEager:
+      handle_put_eager(event.src, imm_arg(event.imm),
+                       std::move(event.payload));
+      break;
+    case MsgKind::kRts: {
+      const auto hello = from_bytes<RdvHello>(data, event.size);
+      handle_rts(event.src, imm_arg(event.imm), hello.size, hello.sender_id);
+      break;
+    }
+    case MsgKind::kPutRts: {
+      const auto hello = from_bytes<RdvHello>(data, event.size);
+      handle_put_rts(event.src, imm_arg(event.imm), hello.size,
+                     hello.sender_id);
+      break;
+    }
+    case MsgKind::kCts:
+      handle_cts(event.src, data, event.size);
+      break;
+    case MsgKind::kPutCts:
+      handle_put_cts(event.src, data, event.size);
+      break;
+    default:
+      AMTNET_LOG_ERROR("minilci: unexpected message kind ",
+                       static_cast<int>(kind));
+  }
+}
+
+}  // namespace minilci

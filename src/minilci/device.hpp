@@ -1,0 +1,212 @@
+// minilci::Device — one communication device per locality (the paper notes
+// the current LCI parcelport uses exactly one device per process; replicating
+// devices is its future work). Owns the fabric NIC binding, the packet pool,
+// the matching table, and the rendezvous state; exposes the communication
+// primitives and the explicit, thread-safe progress() function.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/spinlock.hpp"
+#include "common/status.hpp"
+#include "fabric/nic.hpp"
+#include "minilci/completion.hpp"
+#include "minilci/matching_table.hpp"
+#include "minilci/packet_pool.hpp"
+#include "minilci/types.hpp"
+
+namespace minilci {
+
+class Device {
+ public:
+  /// `remote_put_cq` is the pre-configured completion queue that receives
+  /// the remote side of dynamic puts (the only remote completion mechanism
+  /// the current LCI put supports — paper §3.2.2).
+  Device(fabric::Fabric& fabric, Rank rank, Config config,
+         CompQueue* remote_put_cq);
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  Rank rank() const { return rank_; }
+  Rank world_size() const { return fabric_.num_ranks(); }
+  const Config& config() const { return config_; }
+  CompQueue* remote_put_cq() const { return remote_put_cq_; }
+
+  // ---- buffer management -------------------------------------------------
+
+  /// Grabs a send packet for in-place assembly; nullopt == pool exhausted.
+  std::optional<PacketBuffer> try_alloc_packet() {
+    return packet_pool_.try_alloc();
+  }
+
+  std::size_t max_medium_size() const { return config_.eager_threshold; }
+
+  // ---- two-sided ----------------------------------------------------------
+
+  /// Medium (eager) send; len <= eager_threshold. Copies before returning.
+  common::Status sendm(Rank dst, Tag tag, const void* data, std::size_t len,
+                       const Comp& local_comp, std::uint64_t user_context = 0);
+
+  /// Medium send from a pool packet assembled in place (no user-side copy).
+  /// On kOk the packet is consumed; on kRetry it stays with the caller.
+  common::Status sendm_packet(Rank dst, Tag tag, PacketBuffer& packet,
+                              const Comp& local_comp,
+                              std::uint64_t user_context = 0);
+
+  /// Posts a matching receive for a medium message; the payload is delivered
+  /// as an owned buffer in the CqEntry.
+  common::Status recvm(Rank src, Tag tag, const Comp& comp,
+                       std::uint64_t user_context = 0);
+
+  /// Long (rendezvous) send; `data` must stay valid until local completion.
+  common::Status sendl(Rank dst, Tag tag, const void* data, std::size_t len,
+                       const Comp& local_comp, std::uint64_t user_context = 0);
+
+  /// Posts a long receive into `buf` (capacity maxlen).
+  common::Status recvl(Rank src, Tag tag, void* buf, std::size_t maxlen,
+                       const Comp& comp, std::uint64_t user_context = 0);
+
+  // ---- one-sided get --------------------------------------------------------
+
+  /// Exposes [ptr, ptr+len) for one-sided gets by peers. The descriptor is
+  /// plain data; ship it to peers inside any message.
+  RemoteBuffer register_remote_buffer(void* ptr, std::size_t len) {
+    return RemoteBuffer{nic_.register_memory(ptr, len), len};
+  }
+  void deregister_remote_buffer(const RemoteBuffer& buffer) {
+    nic_.deregister_memory(buffer.mr);
+  }
+
+  /// One-sided get: reads `len` bytes at `offset` inside the peer's
+  /// registered buffer into `dst`, without peer software involvement.
+  /// Completion (kGet) signals the chosen local mechanism.
+  common::Status get(const RemoteBuffer& src, std::size_t offset, void* dst,
+                     std::size_t len, const Comp& comp,
+                     std::uint64_t user_context = 0);
+
+  // ---- one-sided dynamic put ----------------------------------------------
+
+  /// Dynamic put: the target buffer is allocated on arrival and a kRemotePut
+  /// entry lands in the *target's* remote_put_cq. Any size.
+  common::Status put_dyn(Rank dst, Tag tag, const void* data, std::size_t len,
+                         const Comp& local_comp, std::uint64_t user_context = 0);
+
+  /// Dynamic put from a pool packet assembled in place (the parcelport's
+  /// header-message fast path). Consumes the packet on kOk.
+  common::Status put_dyn_packet(Rank dst, Tag tag, PacketBuffer& packet,
+                                const Comp& local_comp,
+                                std::uint64_t user_context = 0);
+
+  // ---- progress -----------------------------------------------------------
+
+  /// Drives the communication engine: drains the NIC, matches messages, and
+  /// fires completions. Thread-safe; concurrent callers cooperate through
+  /// try-locks (they never block each other). Returns packets processed.
+  std::size_t progress();
+
+  /// Racy idle hint for schedulers.
+  bool looks_idle() const { return !nic_.rx_looks_nonempty(); }
+
+  fabric::Nic& nic() { return nic_; }
+
+ private:
+  struct RdvSend {  // two-sided long send awaiting CTS
+    const std::byte* data = nullptr;
+    std::size_t len = 0;
+    Comp comp;
+    std::uint64_t user_context = 0;
+    Tag tag = 0;
+    Rank dst = 0;
+  };
+
+  struct RdvRecv {  // two-sided long recv awaiting the RDMA write
+    Comp comp;
+    void* buf = nullptr;
+    fabric::MrKey mr;
+    std::uint64_t user_context = 0;
+    Tag tag = 0;
+    Rank src = 0;
+  };
+
+  struct PutSend {  // large dynamic put awaiting CTS
+    std::vector<std::byte> data;  // owned: put_dyn copies (any-size payload)
+    Comp comp;
+    Tag tag = 0;
+    Rank dst = 0;
+    std::uint64_t user_context = 0;
+  };
+
+  struct PutRecv {  // large dynamic put: target-side allocated buffer
+    std::vector<std::byte> data;
+    fabric::MrKey mr;
+    Tag tag = 0;
+    Rank src = 0;
+  };
+
+  struct DeferredSend {  // control message that hit TX back-pressure
+    Rank dst = 0;
+    std::uint64_t imm = 0;
+    std::vector<std::byte> payload;
+    bool is_write = false;
+    std::uint64_t write_mr_id = 0;
+    // Completion to signal once actually injected (writes = local long-send
+    // completion), or none.
+    Comp comp;
+    CqEntry entry;
+  };
+
+  void handle_event(fabric::RxEvent&& event);
+  void handle_medium_arrival(Rank src, Tag tag,
+                             std::vector<std::byte>&& data);
+  void handle_rts(Rank src, Tag tag, std::size_t size,
+                  std::uint32_t sender_id);
+  void start_long_recv(Rank src, Tag tag, std::size_t size,
+                       std::uint32_t sender_id, PostedRecv&& recv);
+  void handle_cts(Rank src, const std::byte* payload, std::size_t len);
+  void handle_fin(std::uint32_t recv_id, std::size_t written);
+  void handle_put_eager(Rank src, Tag tag, std::vector<std::byte>&& data);
+  void handle_put_rts(Rank src, Tag tag, std::size_t size,
+                      std::uint32_t sender_id);
+  void handle_put_cts(Rank src, const std::byte* payload, std::size_t len);
+  void handle_put_fin(std::uint32_t recv_id);
+  void handle_get_done(std::uint32_t get_id);
+  void send_ctrl(Rank dst, std::uint64_t imm, std::vector<std::byte> payload);
+  void retry_deferred();
+
+  fabric::Fabric& fabric_;
+  fabric::Nic& nic_;
+  const Rank rank_;
+  const Config config_;
+  CompQueue* const remote_put_cq_;
+
+  PacketPool packet_pool_;
+  MatchingTable matching_;
+
+  struct PendingGet {  // one-sided get awaiting the read completion
+    Comp comp;
+    std::uint64_t user_context = 0;
+    Rank src = 0;
+    std::size_t len = 0;
+  };
+
+  common::SpinMutex rdv_mutex_;
+  std::uint32_t next_rdv_id_ = 1;
+  std::map<std::uint32_t, RdvSend> rdv_sends_;
+  std::map<std::uint32_t, RdvRecv> rdv_recvs_;
+  std::map<std::uint32_t, PutSend> put_sends_;
+  std::map<std::uint32_t, PutRecv> put_recvs_;
+  std::map<std::uint32_t, PendingGet> pending_gets_;
+
+  common::SpinMutex deferred_mutex_;
+  std::deque<DeferredSend> deferred_;
+
+  std::atomic<std::uint64_t> stat_progress_calls_{0};
+};
+
+}  // namespace minilci

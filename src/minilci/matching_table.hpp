@@ -1,0 +1,138 @@
+// Two-sided matching table with fine-grained bucket locks. Keys are exact
+// (rank, tag) pairs — minilci does not support wildcard receives, matching
+// real LCI, whose parcelport gives every message its own tag anyway.
+//
+// Each key holds FIFO queues of posted receives and of arrivals; insert_recv
+// and insert_arrival atomically pair the newcomer with a waiting counterpart
+// when one exists. Bucket-level spin locks keep concurrent posters and the
+// progress engine from serialising on one global lock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "common/cache.hpp"
+#include "common/spinlock.hpp"
+#include "minilci/completion.hpp"
+#include "minilci/types.hpp"
+
+namespace minilci {
+
+struct PostedRecv {
+  bool is_long = false;
+  Comp comp;
+  void* buf = nullptr;       // long receives only
+  std::size_t maxlen = 0;    // long receives only
+  std::uint64_t user_context = 0;
+};
+
+struct Arrival {
+  bool is_rts = false;                // true: long-protocol RTS
+  std::vector<std::byte> payload;     // medium payload copy
+  std::size_t rdv_size = 0;           // RTS only
+  std::uint32_t rdv_sender_id = 0;    // RTS only
+  Rank src = 0;
+  Tag tag = 0;
+};
+
+class MatchingTable {
+ public:
+  explicit MatchingTable(std::size_t num_buckets = 256)
+      : buckets_(round_up_pow2(num_buckets)), mask_(buckets_.size() - 1) {}
+
+  /// Posts a receive; returns the matching arrival if one was waiting.
+  /// `recv` is consumed (moved into the table) only when no match is
+  /// returned; on a match the caller's object is left intact.
+  std::optional<Arrival> insert_recv(Rank src, Tag tag, PostedRecv&& recv) {
+    Bucket& bucket = bucket_for(src, tag);
+    std::lock_guard<common::SpinMutex> guard(bucket.mutex);
+    Entry& entry = bucket.map[key_of(src, tag)];
+    if (!entry.arrivals.empty()) {
+      Arrival arrival = std::move(entry.arrivals.front());
+      entry.arrivals.pop_front();
+      maybe_erase(bucket, src, tag, entry);
+      return arrival;
+    }
+    entry.recvs.push_back(std::move(recv));
+    return std::nullopt;
+  }
+
+  /// Records an arrival; returns the matching posted receive if one was
+  /// waiting. `arrival` is consumed only when no match is returned; on a
+  /// match the caller keeps its payload (the zero-copy delivery path).
+  std::optional<PostedRecv> insert_arrival(Rank src, Tag tag,
+                                           Arrival&& arrival) {
+    Bucket& bucket = bucket_for(src, tag);
+    std::lock_guard<common::SpinMutex> guard(bucket.mutex);
+    Entry& entry = bucket.map[key_of(src, tag)];
+    if (!entry.recvs.empty()) {
+      PostedRecv recv = std::move(entry.recvs.front());
+      entry.recvs.pop_front();
+      maybe_erase(bucket, src, tag, entry);
+      return recv;
+    }
+    entry.arrivals.push_back(std::move(arrival));
+    return std::nullopt;
+  }
+
+  /// Diagnostic: total posted receives still waiting (racy snapshot).
+  std::size_t pending_recvs() const {
+    std::size_t n = 0;
+    for (const auto& bucket : buckets_) {
+      std::lock_guard<common::SpinMutex> guard(bucket.mutex);
+      for (const auto& [key, entry] : bucket.map) n += entry.recvs.size();
+    }
+    return n;
+  }
+
+  /// Diagnostic: total unmatched arrivals (racy snapshot).
+  std::size_t pending_arrivals() const {
+    std::size_t n = 0;
+    for (const auto& bucket : buckets_) {
+      std::lock_guard<common::SpinMutex> guard(bucket.mutex);
+      for (const auto& [key, entry] : bucket.map) n += entry.arrivals.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Entry {
+    std::deque<PostedRecv> recvs;
+    std::deque<Arrival> arrivals;
+  };
+
+  struct Bucket {
+    mutable common::SpinMutex mutex;
+    std::unordered_map<std::uint64_t, Entry> map;
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  static std::uint64_t key_of(Rank src, Tag tag) {
+    return (static_cast<std::uint64_t>(src) << 32) | tag;
+  }
+
+  Bucket& bucket_for(Rank src, Tag tag) {
+    // Tags are sequential counter values; mix them so neighbours spread
+    // across buckets.
+    std::uint64_t h = key_of(src, tag) * 0x9e3779b97f4a7c15ULL;
+    return buckets_[(h >> 32) & mask_];
+  }
+
+  void maybe_erase(Bucket& bucket, Rank src, Tag tag, Entry& entry) {
+    if (entry.recvs.empty() && entry.arrivals.empty()) {
+      bucket.map.erase(key_of(src, tag));
+    }
+  }
+
+  std::vector<Bucket> buckets_;
+  std::size_t mask_;
+};
+
+}  // namespace minilci

@@ -1,0 +1,110 @@
+// Send-side packet pool: a fixed arena of eager-sized, conceptually
+// registered buffers handed to users for in-place message assembly ("we
+// directly assemble the header message in an LCI-allocated buffer so that,
+// for eager messages, we save one memory copy" — paper §3.2.1).
+//
+// Exhaustion is a transient condition surfaced to the caller as
+// Status::kRetry, per LCI's explicit-retry contract.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "queues/mpmc_queue.hpp"
+
+namespace minilci {
+
+class PacketPool;
+
+/// Owning handle to one pool packet. Movable; returns the buffer to the pool
+/// on destruction unless it has been handed off to the device.
+class PacketBuffer {
+ public:
+  PacketBuffer() = default;
+  PacketBuffer(PacketPool* pool, std::byte* data) : pool_(pool), data_(data) {}
+
+  PacketBuffer(PacketBuffer&& other) noexcept { move_from(other); }
+  PacketBuffer& operator=(PacketBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      move_from(other);
+    }
+    return *this;
+  }
+  PacketBuffer(const PacketBuffer&) = delete;
+  PacketBuffer& operator=(const PacketBuffer&) = delete;
+  ~PacketBuffer() { release(); }
+
+  std::byte* data() const { return data_; }
+  std::size_t capacity() const;
+  bool valid() const { return data_ != nullptr; }
+
+  /// Number of valid bytes the user assembled; set before sending.
+  void set_size(std::size_t size) { size_ = size; }
+  std::size_t size() const { return size_; }
+
+  void release();
+
+ private:
+  void move_from(PacketBuffer& other) {
+    pool_ = other.pool_;
+    data_ = other.data_;
+    size_ = other.size_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+
+  PacketPool* pool_ = nullptr;
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+class PacketPool {
+ public:
+  PacketPool(std::size_t num_packets, std::size_t packet_size)
+      : packet_size_(packet_size),
+        storage_(num_packets * packet_size),
+        free_list_(num_packets) {
+    for (std::size_t i = 0; i < num_packets; ++i) {
+      const bool ok = free_list_.try_push(storage_.data() + i * packet_size);
+      assert(ok);
+      (void)ok;
+    }
+  }
+
+  /// Empty optional == pool exhausted (caller should retry later).
+  std::optional<PacketBuffer> try_alloc() {
+    auto data = free_list_.try_pop();
+    if (!data) return std::nullopt;
+    return PacketBuffer(this, *data);
+  }
+
+  void release(std::byte* data) {
+    const bool ok = free_list_.try_push(data);
+    assert(ok);  // we only ever recycle our own packets
+    (void)ok;
+  }
+
+  std::size_t packet_size() const { return packet_size_; }
+
+ private:
+  std::size_t packet_size_;
+  std::vector<std::byte> storage_;
+  queues::MpmcQueue<std::byte*> free_list_;
+};
+
+inline std::size_t PacketBuffer::capacity() const {
+  return pool_ != nullptr ? pool_->packet_size() : 0;
+}
+
+inline void PacketBuffer::release() {
+  if (pool_ != nullptr && data_ != nullptr) pool_->release(data_);
+  pool_ = nullptr;
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace minilci

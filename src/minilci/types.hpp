@@ -1,0 +1,67 @@
+// minilci — a miniature Lightweight Communication Interface over the
+// simulated fabric, standing in for LCI v1.7 in the paper.
+//
+// Feature set reproduced (paper §2.1):
+//   * two-sided medium (eager) and long (rendezvous) send/receive,
+//   * one-sided *dynamic put*: the target buffer is allocated by the runtime
+//     on arrival and an entry is pushed to a pre-configured completion queue
+//     on the remote side,
+//   * three completion mechanisms — completion queues, synchronizers, and
+//     function handlers — combinable with any primitive,
+//   * explicit progress() and explicit retry: every injection returns
+//     Status::kRetry under transient resource exhaustion,
+//   * no ordering guarantee between messages (the fabric stripes rails).
+//
+// Concurrency discipline (the paper's point (a)): no global lock anywhere —
+// per-bucket spin locks in the matching table, consumer try-locks on
+// completion queues and fabric channels, atomics for ids and counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fabric/types.hpp"
+
+namespace minilci {
+
+using Rank = fabric::Rank;
+using Tag = std::uint32_t;
+
+struct Config {
+  std::size_t eager_threshold = 8192;   // max medium-message payload
+  std::size_t packet_pool_size = 4096;  // send-side packet buffers
+  std::size_t progress_batch = 64;      // fabric packets per progress call
+};
+
+/// What completed. Mirrors LCI's request status fields.
+enum class OpKind : std::uint8_t {
+  kSendMedium,
+  kRecvMedium,
+  kSendLong,
+  kRecvLong,
+  kPutDyn,     // local completion of a dynamic put
+  kRemotePut,  // remote side of a dynamic put (pushed to the device's RCQ)
+  kGet,        // local completion of a one-sided get
+};
+
+/// Descriptor of a remotely readable buffer, obtained from
+/// Device::register_remote_buffer and shipped to peers out of band (it is
+/// trivially copyable, so it serializes as a scalar).
+struct RemoteBuffer {
+  fabric::MrKey mr;
+  std::uint64_t len = 0;
+};
+
+/// Completion record delivered through a queue, synchronizer, or handler.
+struct CqEntry {
+  OpKind op = OpKind::kSendMedium;
+  Rank rank = 0;   // peer
+  Tag tag = 0;
+  std::vector<std::byte> data;  // received medium / remote-put payload
+  void* user_buf = nullptr;     // long-recv destination buffer
+  std::size_t size = 0;         // payload byte count
+  std::uint64_t user_context = 0;
+};
+
+}  // namespace minilci

@@ -1,0 +1,139 @@
+#include "ministream/stream_mux.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.hpp"
+
+namespace ministream {
+
+namespace {
+// Wire immediate: [63:56] kind (always 1) | [31:0] per-stream sequence.
+constexpr std::uint64_t kSegmentKind = 1ull << 56;
+std::uint64_t make_imm(std::uint32_t seq) { return kSegmentKind | seq; }
+std::uint32_t imm_seq(std::uint64_t imm) {
+  return static_cast<std::uint32_t>(imm);
+}
+}  // namespace
+
+StreamMux::StreamMux(fabric::Fabric& fabric, Rank rank, Config config)
+    : fabric_(fabric),
+      nic_(fabric.nic(rank)),
+      rank_(rank),
+      config_(config) {
+  assert(config_.max_segment <= nic_.srq_buffer_size());
+  tx_.reserve(fabric.num_ranks());
+  rx_.reserve(fabric.num_ranks());
+  for (Rank r = 0; r < fabric.num_ranks(); ++r) {
+    tx_.push_back(std::make_unique<TxStream>());
+    rx_.push_back(std::make_unique<RxStream>());
+  }
+}
+
+std::size_t StreamMux::send_some(Rank dst, const void* data,
+                                 std::size_t len) {
+  TxStream& tx = *tx_[dst];
+  std::size_t accepted;
+  {
+    std::lock_guard<common::SpinMutex> guard(tx.mutex);
+    const std::size_t room =
+        config_.send_buffer > tx.buffer.size()
+            ? config_.send_buffer - tx.buffer.size()
+            : 0;
+    accepted = std::min(len, room);
+    const auto* bytes = static_cast<const std::byte*>(data);
+    tx.buffer.insert(tx.buffer.end(), bytes, bytes + accepted);
+  }
+  if (accepted > 0) flush_tx(dst);
+  return accepted;
+}
+
+bool StreamMux::flush_tx(Rank dst) {
+  TxStream& tx = *tx_[dst];
+  std::lock_guard<common::SpinMutex> guard(tx.mutex);
+  bool moved = false;
+  while (!tx.buffer.empty()) {
+    const std::size_t seg_len =
+        std::min(config_.max_segment, tx.buffer.size());
+    // Deques are not contiguous: stage the segment in a scratch buffer.
+    std::vector<std::byte> segment(tx.buffer.begin(),
+                                   tx.buffer.begin() +
+                                       static_cast<std::ptrdiff_t>(seg_len));
+    if (nic_.post_send(dst, segment.data(), segment.size(),
+                       make_imm(tx.next_seq)) != common::Status::kOk) {
+      break;  // TX back-pressure: leave the bytes queued
+    }
+    tx.buffer.erase(tx.buffer.begin(),
+                    tx.buffer.begin() + static_cast<std::ptrdiff_t>(seg_len));
+    ++tx.next_seq;
+    stat_bytes_sent_.fetch_add(seg_len, std::memory_order_relaxed);
+    moved = true;
+  }
+  return moved;
+}
+
+void StreamMux::handle_segment(Rank src, std::uint32_t seq,
+                               std::vector<std::byte>&& payload) {
+  RxStream& rx = *rx_[src];
+  std::lock_guard<common::SpinMutex> guard(rx.mutex);
+  if (seq == rx.next_seq) {
+    stat_bytes_received_.fetch_add(payload.size(), std::memory_order_relaxed);
+    rx.buffer.insert(rx.buffer.end(), payload.begin(), payload.end());
+    ++rx.next_seq;
+    auto it = rx.out_of_order.begin();
+    while (it != rx.out_of_order.end() && it->first == rx.next_seq) {
+      stat_bytes_received_.fetch_add(it->second.size(),
+                                     std::memory_order_relaxed);
+      rx.buffer.insert(rx.buffer.end(), it->second.begin(),
+                       it->second.end());
+      it = rx.out_of_order.erase(it);
+      ++rx.next_seq;
+    }
+  } else {
+    rx.out_of_order.emplace(seq, std::move(payload));
+  }
+}
+
+std::size_t StreamMux::available(Rank src) {
+  RxStream& rx = *rx_[src];
+  std::lock_guard<common::SpinMutex> guard(rx.mutex);
+  return rx.buffer.size();
+}
+
+std::size_t StreamMux::recv_some(Rank src, void* buf, std::size_t maxlen) {
+  RxStream& rx = *rx_[src];
+  std::lock_guard<common::SpinMutex> guard(rx.mutex);
+  const std::size_t n = std::min(maxlen, rx.buffer.size());
+  auto* out = static_cast<std::byte*>(buf);
+  std::copy(rx.buffer.begin(),
+            rx.buffer.begin() + static_cast<std::ptrdiff_t>(n), out);
+  rx.buffer.erase(rx.buffer.begin(),
+                  rx.buffer.begin() + static_cast<std::ptrdiff_t>(n));
+  return n;
+}
+
+bool StreamMux::progress() {
+  bool moved = false;
+  for (Rank dst = 0; dst < tx_.size(); ++dst) {
+    bool nonempty;
+    {
+      TxStream& tx = *tx_[dst];
+      std::lock_guard<common::SpinMutex> guard(tx.mutex);
+      nonempty = !tx.buffer.empty();
+    }
+    if (nonempty) moved |= flush_tx(dst);
+  }
+  moved |= nic_.poll_rx(64, [this](fabric::RxEvent&& event) {
+             if (event.kind != fabric::RxEvent::Kind::kRecv) {
+               AMTNET_LOG_ERROR("ministream: unexpected event kind");
+               return;
+             }
+             handle_segment(event.src, imm_seq(event.imm),
+                            std::move(event.payload));
+           }) > 0;
+  return moved;
+}
+
+}  // namespace ministream

@@ -1,0 +1,104 @@
+// ministream — a TCP-like reliable byte-stream layer over the simulated
+// fabric, standing in for the socket transport beneath HPX's original TCP
+// parcelport (the second pre-LCI backend the paper mentions in §1).
+//
+// Model:
+//   * one full-duplex stream per ordered pair of ranks, auto-established,
+//   * nonblocking socket semantics: send() accepts as many bytes as fit in
+//     the send buffer (possibly zero — the caller retries later, as with
+//     EWOULDBLOCK), recv() drains whatever has arrived,
+//   * segments travel as fabric datagrams with per-stream sequence numbers
+//     and are reassembled in order (the fabric stripes rails, so ministream
+//     provides its own ordering, like TCP over ECMP),
+//   * back-pressure comes from the send buffer bound plus the fabric's TX
+//     window and SRQ credits; an explicit receive window is not modelled
+//     (the parcelport above consumes frames promptly).
+//
+// Threading: all calls are thread-safe; each direction of each stream is
+// guarded by its own mutex (the lock-per-socket structure of a classic
+// sockets stack — coarser than minilci, finer than the minimpi big lock).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/spinlock.hpp"
+#include "common/status.hpp"
+#include "fabric/nic.hpp"
+
+namespace ministream {
+
+using Rank = fabric::Rank;
+
+struct Config {
+  std::size_t max_segment = 8192;       // bytes per fabric datagram
+  std::size_t send_buffer = 256 * 1024; // SO_SNDBUF analogue
+  std::size_t recv_buffer = 256 * 1024; // SO_RCVBUF analogue
+};
+
+class StreamMux {
+ public:
+  StreamMux(fabric::Fabric& fabric, Rank rank, Config config = {});
+  StreamMux(const StreamMux&) = delete;
+  StreamMux& operator=(const StreamMux&) = delete;
+
+  Rank rank() const { return rank_; }
+  Rank world_size() const { return fabric_.num_ranks(); }
+
+  /// Appends up to `len` bytes to the outbound stream toward `dst`.
+  /// Returns the number of bytes accepted (0 when the send buffer is full).
+  std::size_t send_some(Rank dst, const void* data, std::size_t len);
+
+  /// Bytes currently readable from `src`.
+  std::size_t available(Rank src);
+
+  /// Reads up to `maxlen` in-order bytes from `src`; returns bytes read.
+  std::size_t recv_some(Rank src, void* buf, std::size_t maxlen);
+
+  /// Drives segmentation, transmission, reception, and reassembly.
+  /// Thread-safe; returns whether any bytes moved.
+  bool progress();
+
+  std::uint64_t bytes_sent() const {
+    return stat_bytes_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_received() const {
+    return stat_bytes_received_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct TxStream {
+    common::SpinMutex mutex;
+    std::deque<std::byte> buffer;       // bytes not yet on the wire
+    std::uint32_t next_seq = 0;
+  };
+
+  struct RxStream {
+    common::SpinMutex mutex;
+    std::deque<std::byte> buffer;       // in-order bytes awaiting recv()
+    std::uint32_t next_seq = 0;
+    std::map<std::uint32_t, std::vector<std::byte>> out_of_order;
+  };
+
+  bool flush_tx(Rank dst);
+  void handle_segment(Rank src, std::uint32_t seq,
+                      std::vector<std::byte>&& payload);
+
+  fabric::Fabric& fabric_;
+  fabric::Nic& nic_;
+  const Rank rank_;
+  const Config config_;
+
+  std::vector<std::unique_ptr<TxStream>> tx_;  // indexed by destination
+  std::vector<std::unique_ptr<RxStream>> rx_;  // indexed by source
+
+  std::atomic<std::uint64_t> stat_bytes_sent_{0};
+  std::atomic<std::uint64_t> stat_bytes_received_{0};
+};
+
+}  // namespace ministream

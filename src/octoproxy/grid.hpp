@@ -1,0 +1,163 @@
+// Per-leaf subgrid state and kernels for the octree proxy: an nx^3 density
+// grid per leaf (Octo-Tiger uses 8^3 subgrids), face-plane extraction for
+// ghost exchange, a conservative flux-form diffusion update, and
+// multipole-moment computation (P2M).
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "octoproxy/morton.hpp"
+
+namespace octo {
+
+/// Number of multipole moments we track per node: total mass, three
+/// first-order moments, three diagonal second-order moments, and a cell
+/// count (handy as a structural checksum).
+inline constexpr int kMoments = 8;
+using Moments = std::array<double, kMoments>;
+
+inline void add_moments(Moments& into, const Moments& from) {
+  for (int m = 0; m < kMoments; ++m) into[m] += from[m];
+}
+
+struct LeafGrid {
+  int nx = 8;
+  std::vector<double> rho;   // nx^3, x-fastest layout
+  double potential = 0.0;    // far-field contribution, one value per leaf
+  // Ghost planes received from the 6 face neighbours for the current step;
+  // empty vector = domain boundary (zero-flux).
+  std::array<std::vector<double>, kNumFaces> ghosts;
+
+  int idx(int i, int j, int k) const { return i + nx * (j + nx * k); }
+
+  void init(LeafId leaf, int nx_cells, std::uint64_t seed) {
+    nx = nx_cells;
+    rho.assign(static_cast<std::size_t>(nx) * nx * nx, 0.0);
+    // Deterministic, leaf-dependent smooth blob plus hashed noise.
+    const auto [lx, ly, lz] = morton_decode(leaf);
+    common::Xoshiro256 rng(seed ^ (0x9e3779b97f4a7c15ULL * (leaf + 1)));
+    for (int k = 0; k < nx; ++k) {
+      for (int j = 0; j < nx; ++j) {
+        for (int i = 0; i < nx; ++i) {
+          const double gx = lx * nx + i, gy = ly * nx + j, gz = lz * nx + k;
+          const double base =
+              1.0 + 0.25 * ((gx + 2 * gy + 3 * gz) * 1e-3);
+          rho[static_cast<std::size_t>(idx(i, j, k))] =
+              base + 0.05 * rng.next_double();
+        }
+      }
+    }
+  }
+
+  /// Extracts the plane of cells adjacent to `face` (the data a neighbour
+  /// needs as its ghost layer). Size nx*nx; layout (u, v) = the two
+  /// non-face axes in ascending order, u fastest.
+  std::vector<double> extract_face(int face) const {
+    std::vector<double> plane(static_cast<std::size_t>(nx) * nx);
+    const int axis = face_axis(face);
+    const int slab = face_sign(face) > 0 ? nx - 1 : 0;
+    std::size_t out = 0;
+    for (int v = 0; v < nx; ++v) {
+      for (int u = 0; u < nx; ++u) {
+        int c[3];
+        c[axis] = slab;
+        c[(axis + 1) % 3] = u;
+        c[(axis + 2) % 3] = v;
+        plane[out++] = rho[static_cast<std::size_t>(idx(c[0], c[1], c[2]))];
+      }
+    }
+    return plane;
+  }
+
+  /// Flux-form diffusion step using the current ghost planes. Conservative:
+  /// every interior flux appears with opposite signs in the two cells it
+  /// couples; fluxes across partition faces are antisymmetric by
+  /// construction (both sides compute kappa*(theirs - ours)). Missing ghost
+  /// planes (domain boundary) contribute zero flux.
+  void diffuse(double kappa) {
+    const std::vector<double> old = rho;
+    auto at = [&](int i, int j, int k) {
+      return old[static_cast<std::size_t>(idx(i, j, k))];
+    };
+    for (int k = 0; k < nx; ++k) {
+      for (int j = 0; j < nx; ++j) {
+        for (int i = 0; i < nx; ++i) {
+          const double own = at(i, j, k);
+          double delta = 0.0;
+          const int c[3] = {i, j, k};
+          for (int face = 0; face < kNumFaces; ++face) {
+            const int axis = face_axis(face);
+            const int n = c[axis] + face_sign(face);
+            double nbr;
+            if (n >= 0 && n < nx) {
+              int cc[3] = {i, j, k};
+              cc[axis] = n;
+              nbr = at(cc[0], cc[1], cc[2]);
+            } else if (!ghosts[face].empty()) {
+              const int u = c[(axis + 1) % 3], v = c[(axis + 2) % 3];
+              nbr = ghosts[face][static_cast<std::size_t>(u + nx * v)];
+            } else {
+              continue;  // domain boundary: zero flux
+            }
+            delta += kappa * (nbr - own);
+          }
+          rho[static_cast<std::size_t>(idx(i, j, k))] = own + delta;
+        }
+      }
+    }
+  }
+
+  /// P2M: multipole moments about the global origin (unit cell volume).
+  Moments multipole(LeafId leaf) const {
+    Moments m{};
+    const auto [lx, ly, lz] = morton_decode(leaf);
+    for (int k = 0; k < nx; ++k) {
+      for (int j = 0; j < nx; ++j) {
+        for (int i = 0; i < nx; ++i) {
+          const double q = rho[static_cast<std::size_t>(idx(i, j, k))];
+          const double x = lx * nx + i + 0.5;
+          const double y = ly * nx + j + 0.5;
+          const double z = lz * nx + k + 0.5;
+          m[0] += q;
+          m[1] += q * x;
+          m[2] += q * y;
+          m[3] += q * z;
+          m[4] += q * x * x;
+          m[5] += q * y * y;
+          m[6] += q * z * z;
+          m[7] += 1.0;
+        }
+      }
+    }
+    return m;
+  }
+
+  double mass() const {
+    double sum = 0;
+    for (double q : rho) sum += q;
+    return sum;
+  }
+};
+
+/// Order-independent, bit-exact state fingerprint: XOR of per-leaf FNV-1a
+/// hashes, so distributed and serial runs can compare checksums regardless
+/// of summation or arrival order.
+inline std::uint64_t leaf_fingerprint(LeafId leaf, const LeafGrid& grid) {
+  std::uint64_t h = 14695981039346656037ull ^ (leaf * 0x9e3779b97f4a7c15ULL);
+  auto mix = [&h](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ull;
+    }
+  };
+  mix(grid.rho.data(), grid.rho.size() * sizeof(double));
+  mix(&grid.potential, sizeof(double));
+  return h;
+}
+
+}  // namespace octo

@@ -1,0 +1,81 @@
+// Morton (Z-order) indexing for the octree proxy. Octo-Tiger partitions its
+// adaptive octree across processes with a space-filling curve; we reproduce
+// that with Morton order over a complete octree of configurable depth.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace octo {
+
+using LeafId = std::uint32_t;
+
+/// Interleaves the low 10 bits of x, y, z: bit i of x lands at bit 3i.
+inline LeafId morton_encode(std::uint32_t x, std::uint32_t y,
+                            std::uint32_t z) {
+  auto spread = [](std::uint32_t v) {
+    std::uint64_t r = v & 0x3ff;
+    r = (r | (r << 16)) & 0x030000ff;
+    r = (r | (r << 8)) & 0x0300f00f;
+    r = (r | (r << 4)) & 0x030c30c3;
+    r = (r | (r << 2)) & 0x09249249;
+    return r;
+  };
+  return static_cast<LeafId>(spread(x) | (spread(y) << 1) |
+                             (spread(z) << 2));
+}
+
+inline std::array<std::uint32_t, 3> morton_decode(LeafId code) {
+  auto compact = [](std::uint64_t r) {
+    r &= 0x09249249;
+    r = (r | (r >> 2)) & 0x030c30c3;
+    r = (r | (r >> 4)) & 0x0300f00f;
+    r = (r | (r >> 8)) & 0x030000ff;
+    r = (r | (r >> 16)) & 0x3ff;
+    return static_cast<std::uint32_t>(r);
+  };
+  return {compact(code), compact(code >> 1), compact(code >> 2)};
+}
+
+/// Face directions: -x, +x, -y, +y, -z, +z.
+inline constexpr int kNumFaces = 6;
+inline constexpr int face_axis(int face) { return face / 2; }
+inline constexpr int face_sign(int face) { return (face % 2) ? +1 : -1; }
+inline constexpr int opposite_face(int face) { return face ^ 1; }
+
+/// Neighbouring leaf across `face` at tree depth `level`, or nullopt at the
+/// domain boundary.
+inline std::optional<LeafId> face_neighbor(LeafId leaf, int face,
+                                           int level) {
+  auto [x, y, z] = morton_decode(leaf);
+  const std::uint32_t side = 1u << level;
+  std::int64_t coords[3] = {x, y, z};
+  coords[face_axis(face)] += face_sign(face);
+  if (coords[face_axis(face)] < 0 ||
+      coords[face_axis(face)] >= static_cast<std::int64_t>(side)) {
+    return std::nullopt;
+  }
+  return morton_encode(static_cast<std::uint32_t>(coords[0]),
+                       static_cast<std::uint32_t>(coords[1]),
+                       static_cast<std::uint32_t>(coords[2]));
+}
+
+/// Contiguous-Morton-range partition of `n_leaves` over `n_parts`
+/// (Octo-Tiger's SFC partitioning).
+inline std::uint32_t owner_of_leaf(LeafId leaf, std::uint64_t n_leaves,
+                                   std::uint32_t n_parts) {
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(leaf) * n_parts) / n_leaves);
+}
+
+/// First (inclusive) leaf owned by `part`.
+inline LeafId partition_begin(std::uint32_t part, std::uint64_t n_leaves,
+                              std::uint32_t n_parts) {
+  // Smallest leaf with leaf * n_parts / n_leaves == part:
+  // ceil(part * n_leaves / n_parts).
+  return static_cast<LeafId>(
+      (static_cast<std::uint64_t>(part) * n_leaves + n_parts - 1) / n_parts);
+}
+
+}  // namespace octo

@@ -1,0 +1,424 @@
+#include "octoproxy/simulation.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "common/logging.hpp"
+
+namespace octo {
+
+namespace {
+
+// ---- action entry points (free functions; the typed action layer derives
+// serialization from these signatures) ----
+
+void act_ghost_batch(std::uint32_t step, std::vector<std::uint64_t> keys,
+                     std::vector<double> planes) {
+  Simulation::slot(amt::here().rank())
+      ->on_ghost_batch(step, std::move(keys), std::move(planes));
+}
+
+void act_m2m_batch(std::uint32_t step, std::uint32_t level,
+                   std::vector<std::uint64_t> slots,
+                   std::vector<double> moments) {
+  Simulation::slot(amt::here().rank())
+      ->on_m2m_batch(step, level, std::move(slots), std::move(moments));
+}
+
+void act_total(std::uint32_t step, double mass) {
+  Simulation::slot(amt::here().rank())->on_total(step, mass);
+}
+
+double leaf_distance_to_center(LeafId leaf, int level, int nx) {
+  const auto [lx, ly, lz] = morton_decode(leaf);
+  const double side = static_cast<double>(1u << level) * nx;
+  const double cx = (lx + 0.5) * nx - side / 2;
+  const double cy = (ly + 0.5) * nx - side / 2;
+  const double cz = (lz + 0.5) * nx - side / 2;
+  return std::sqrt(cx * cx + cy * cy + cz * cz);
+}
+
+}  // namespace
+
+Simulation*& Simulation::slot(amt::Rank rank) {
+  static std::array<Simulation*, 64> slots{};
+  assert(rank < slots.size());
+  return slots[rank];
+}
+
+Simulation::Simulation(amt::Locality& locality, const Params& params)
+    : locality_(locality),
+      params_(params),
+      nloc_(locality.num_localities()),
+      level_(params.level),
+      n_leaves_(1ull << (3 * params.level)) {
+  assert(level_ >= 1 && level_ <= 5);
+  leaf_lo_ = partition_begin(locality_.rank(), n_leaves_, nloc_);
+  leaf_hi_ = partition_begin(locality_.rank() + 1, n_leaves_, nloc_);
+
+  leaves_.resize(leaf_hi_ - leaf_lo_);
+  for (LeafId leaf = leaf_lo_; leaf < leaf_hi_; ++leaf) {
+    leaves_[leaf - leaf_lo_].init(leaf, params_.nx, params_.seed);
+    initial_mass_ += leaves_[leaf - leaf_lo_].mass();
+  }
+
+  // Static communication expectations.
+  for (LeafId leaf = leaf_lo_; leaf < leaf_hi_; ++leaf) {
+    for (int face = 0; face < kNumFaces; ++face) {
+      const auto nbr = face_neighbor(leaf, face, level_);
+      if (nbr && owner_of_leaf(*nbr, n_leaves_, nloc_) != locality_.rank()) {
+        ++expected_ghost_planes_;
+      }
+    }
+  }
+  for (int k = 0; k <= level_; ++k) {
+    const std::uint64_t stride = 1ull << (3 * (level_ - k));
+    // My nodes at level k: those whose first leaf (node * stride) is mine.
+    const std::uint64_t lo = (leaf_lo_ + stride - 1) / stride;
+    const std::uint64_t hi =
+        leaf_hi_ > 0 ? (leaf_hi_ - 1) / stride + 1 : 0;
+    my_nodes_[k] = {lo, std::max<std::uint64_t>(lo, hi)};
+  }
+  for (int k = 0; k < level_; ++k) {
+    for (std::uint64_t node = my_nodes_[k].first;
+         node < my_nodes_[k].second; ++node) {
+      for (int j = 0; j < 8; ++j) {
+        if (owner_of_node(k + 1, node * 8 + j) != locality_.rank()) {
+          ++expected_m2m_[k];
+        }
+      }
+    }
+  }
+}
+
+amt::Rank Simulation::owner_of_node(int level, std::uint64_t node) const {
+  const std::uint64_t stride = 1ull << (3 * (level_ - level));
+  return owner_of_leaf(static_cast<LeafId>(node * stride), n_leaves_, nloc_);
+}
+
+Simulation::StepState& Simulation::step_state(std::uint32_t step) {
+  std::lock_guard<common::SpinMutex> guard(steps_mutex_);
+  auto& state = steps_[step];
+  if (!state) state = std::make_unique<StepState>();
+  return *state;
+}
+
+void Simulation::drop_step_state(std::uint32_t step) {
+  std::lock_guard<common::SpinMutex> guard(steps_mutex_);
+  steps_.erase(step);
+}
+
+void Simulation::on_ghost_batch(std::uint32_t step,
+                                std::vector<std::uint64_t> keys,
+                                std::vector<double> planes) {
+  StepState& state = step_state(step);
+  const auto count = static_cast<std::int64_t>(keys.size());
+  {
+    std::lock_guard<common::SpinMutex> guard(state.mutex);
+    state.ghost_batches.push_back(
+        GhostBatch{std::move(keys), std::move(planes)});
+  }
+  state.ghost_planes.fetch_add(count, std::memory_order_release);
+}
+
+void Simulation::on_m2m_batch(std::uint32_t step, std::uint32_t level,
+                              std::vector<std::uint64_t> slots,
+                              std::vector<double> moments) {
+  StepState& state = step_state(step);
+  const auto count = static_cast<std::int64_t>(slots.size());
+  {
+    std::lock_guard<common::SpinMutex> guard(state.mutex);
+    state.m2m_batches[level].push_back(
+        M2mBatch{std::move(slots), std::move(moments)});
+  }
+  state.m2m_contribs[level].fetch_add(count, std::memory_order_release);
+}
+
+void Simulation::on_total(std::uint32_t step, double mass) {
+  StepState& state = step_state(step);
+  state.total_mass = mass;
+  state.total_seen.fetch_add(1, std::memory_order_release);
+}
+
+void Simulation::phase_ghosts(std::uint32_t step) {
+  StepState& state = step_state(step);
+  const std::size_t plane_size =
+      static_cast<std::size_t>(params_.nx) * params_.nx;
+
+  // Local neighbours: copy planes directly (all extraction happens before
+  // any diffusion, on both sides — Jacobi semantics). Remote neighbours:
+  // batch planes per destination locality.
+  std::unordered_map<amt::Rank, GhostBatch> outgoing;
+  for (LeafId leaf = leaf_lo_; leaf < leaf_hi_; ++leaf) {
+    LeafGrid& grid = leaves_[leaf - leaf_lo_];
+    for (int face = 0; face < kNumFaces; ++face) {
+      const auto nbr = face_neighbor(leaf, face, level_);
+      if (!nbr) {
+        grid.ghosts[face].clear();  // domain boundary: zero flux
+        continue;
+      }
+      const amt::Rank owner = owner_of_leaf(*nbr, n_leaves_, nloc_);
+      if (owner == locality_.rank()) {
+        grid.ghosts[face] =
+            leaves_[*nbr - leaf_lo_].extract_face(opposite_face(face));
+      } else {
+        // The neighbour's owner needs *our* plane: for its leaf *nbr, its
+        // face opposite(face)... but extraction is symmetric: we extract
+        // leaf's `face` plane and address it to (nbr, opposite(face)).
+        GhostBatch& batch = outgoing[owner];
+        batch.keys.push_back((static_cast<std::uint64_t>(*nbr) << 3) |
+                             static_cast<std::uint64_t>(opposite_face(face)));
+        const auto plane = grid.extract_face(face);
+        batch.planes.insert(batch.planes.end(), plane.begin(), plane.end());
+      }
+    }
+  }
+  for (auto& [dst, batch] : outgoing) {
+    locality_.apply<&act_ghost_batch>(dst, step, std::move(batch.keys),
+                                      std::move(batch.planes));
+  }
+
+  locality_.scheduler().wait_until([&] {
+    return state.ghost_planes.load(std::memory_order_acquire) >=
+           expected_ghost_planes_;
+  });
+
+  // Apply queued remote planes (unique (leaf, face) slots: order-free).
+  std::vector<GhostBatch> batches;
+  {
+    std::lock_guard<common::SpinMutex> guard(state.mutex);
+    batches.swap(state.ghost_batches);
+  }
+  for (const GhostBatch& batch : batches) {
+    for (std::size_t i = 0; i < batch.keys.size(); ++i) {
+      const LeafId leaf = static_cast<LeafId>(batch.keys[i] >> 3);
+      const int face = static_cast<int>(batch.keys[i] & 7);
+      assert(leaf >= leaf_lo_ && leaf < leaf_hi_);
+      auto& ghost = leaves_[leaf - leaf_lo_].ghosts[face];
+      ghost.assign(batch.planes.begin() +
+                       static_cast<std::ptrdiff_t>(i * plane_size),
+                   batch.planes.begin() +
+                       static_cast<std::ptrdiff_t>((i + 1) * plane_size));
+    }
+  }
+
+  for (LeafGrid& grid : leaves_) grid.diffuse(params_.kappa);
+}
+
+void Simulation::phase_multipoles(std::uint32_t step) {
+  StepState& state = step_state(step);
+
+  // P2M at the leaves.
+  node_moments_[level_].clear();
+  for (LeafId leaf = leaf_lo_; leaf < leaf_hi_; ++leaf) {
+    node_moments_[level_][leaf] = leaves_[leaf - leaf_lo_].multipole(leaf);
+  }
+
+  // M2M up-sweep, one level at a time.
+  for (int k = level_ - 1; k >= 0; --k) {
+    std::unordered_map<std::uint64_t, std::array<Moments, 8>> accum;
+    std::unordered_map<amt::Rank, M2mBatch> outgoing;
+    for (std::uint64_t child = my_nodes_[k + 1].first;
+         child < my_nodes_[k + 1].second; ++child) {
+      const Moments& moments = node_moments_[k + 1][child];
+      const std::uint64_t parent = child >> 3;
+      const int j = static_cast<int>(child & 7);
+      const amt::Rank owner = owner_of_node(k, parent);
+      if (owner == locality_.rank()) {
+        accum[parent][static_cast<std::size_t>(j)] = moments;
+      } else {
+        M2mBatch& batch = outgoing[owner];
+        batch.slots.push_back((parent << 3) | static_cast<std::uint64_t>(j));
+        batch.moments.insert(batch.moments.end(), moments.begin(),
+                             moments.end());
+      }
+    }
+    for (auto& [dst, batch] : outgoing) {
+      locality_.apply<&act_m2m_batch>(dst, step,
+                                      static_cast<std::uint32_t>(k),
+                                      std::move(batch.slots),
+                                      std::move(batch.moments));
+    }
+
+    locality_.scheduler().wait_until([&] {
+      return state.m2m_contribs[k].load(std::memory_order_acquire) >=
+             expected_m2m_[k];
+    });
+
+    std::vector<M2mBatch> batches;
+    {
+      std::lock_guard<common::SpinMutex> guard(state.mutex);
+      batches.swap(state.m2m_batches[k]);
+    }
+    for (const M2mBatch& batch : batches) {
+      for (std::size_t i = 0; i < batch.slots.size(); ++i) {
+        const std::uint64_t parent = batch.slots[i] >> 3;
+        const std::size_t j = batch.slots[i] & 7;
+        Moments moments;
+        std::copy(batch.moments.begin() +
+                      static_cast<std::ptrdiff_t>(i * kMoments),
+                  batch.moments.begin() +
+                      static_cast<std::ptrdiff_t>((i + 1) * kMoments),
+                  moments.begin());
+        accum[parent][j] = moments;
+      }
+    }
+
+    // Combine children in child-index order: bit-exact determinism.
+    node_moments_[k].clear();
+    for (std::uint64_t node = my_nodes_[k].first; node < my_nodes_[k].second;
+         ++node) {
+      Moments sum{};
+      const auto& slots = accum[node];
+      for (int j = 0; j < 8; ++j) add_moments(sum, slots[static_cast<std::size_t>(j)]);
+      node_moments_[k][node] = sum;
+    }
+  }
+
+  // Root broadcast (L2L stand-in): the owner of the root node tells
+  // everyone the global mass.
+  if (owner_of_node(0, 0) == locality_.rank()) {
+    const double total = node_moments_[0][0][0];
+    for (amt::Rank r = 0; r < nloc_; ++r) {
+      locality_.apply<&act_total>(r, step, total);
+    }
+  }
+}
+
+void Simulation::phase_potential(std::uint32_t step) {
+  StepState& state = step_state(step);
+  locality_.scheduler().wait_until([&] {
+    return state.total_seen.load(std::memory_order_acquire) >= 1;
+  });
+  const double total = state.total_mass;
+  for (LeafId leaf = leaf_lo_; leaf < leaf_hi_; ++leaf) {
+    leaves_[leaf - leaf_lo_].potential +=
+        total / (1.0 + leaf_distance_to_center(leaf, level_, params_.nx));
+  }
+}
+
+void Simulation::run_driver() {
+  for (std::uint32_t step = 0;
+       step < static_cast<std::uint32_t>(params_.steps); ++step) {
+    phase_ghosts(step);
+    phase_multipoles(step);
+    phase_potential(step);
+    drop_step_state(step);
+  }
+}
+
+double Simulation::local_mass() const {
+  double sum = 0;
+  for (const LeafGrid& grid : leaves_) sum += grid.mass();
+  return sum;
+}
+
+std::uint64_t Simulation::local_checksum() const {
+  std::uint64_t h = 0;
+  for (LeafId leaf = leaf_lo_; leaf < leaf_hi_; ++leaf) {
+    h ^= leaf_fingerprint(leaf, leaves_[leaf - leaf_lo_]);
+  }
+  return h;
+}
+
+Report run_simulation(amt::Runtime& runtime, const Params& params) {
+  const amt::Rank nloc = runtime.num_localities();
+  std::vector<std::unique_ptr<Simulation>> sims;
+  sims.reserve(nloc);
+  for (amt::Rank r = 0; r < nloc; ++r) {
+    sims.push_back(
+        std::make_unique<Simulation>(runtime.locality(r), params));
+    Simulation::slot(r) = sims.back().get();
+  }
+
+  Report report;
+  report.steps = params.steps;
+  for (amt::Rank r = 0; r < nloc; ++r) {
+    report.initial_mass += sims[r]->initial_mass();
+  }
+
+  amt::Latch done(nloc);
+  common::Timer timer;
+  for (amt::Rank r = 0; r < nloc; ++r) {
+    Simulation* sim = sims[r].get();
+    runtime.locality(r).spawn([sim, &done] {
+      sim->run_driver();
+      done.count_down();
+    });
+  }
+  done.wait(runtime.locality(0).scheduler());
+  report.seconds = timer.elapsed_s();
+  report.steps_per_second = params.steps / report.seconds;
+
+  for (amt::Rank r = 0; r < nloc; ++r) {
+    report.final_mass += sims[r]->local_mass();
+    report.checksum ^= sims[r]->local_checksum();
+    Simulation::slot(r) = nullptr;
+  }
+  return report;
+}
+
+Report run_reference(const Params& params) {
+  const int level = params.level;
+  const std::uint64_t n_leaves = 1ull << (3 * level);
+  std::vector<LeafGrid> leaves(n_leaves);
+  Report report;
+  report.steps = params.steps;
+  for (LeafId leaf = 0; leaf < n_leaves; ++leaf) {
+    leaves[leaf].init(leaf, params.nx, params.seed);
+    report.initial_mass += leaves[leaf].mass();
+  }
+
+  common::Timer timer;
+  for (int step = 0; step < params.steps; ++step) {
+    // Ghost exchange (all planes extracted before any update).
+    for (LeafId leaf = 0; leaf < n_leaves; ++leaf) {
+      for (int face = 0; face < kNumFaces; ++face) {
+        const auto nbr = face_neighbor(leaf, face, level);
+        if (nbr) {
+          leaves[leaf].ghosts[face] =
+              leaves[*nbr].extract_face(opposite_face(face));
+        } else {
+          leaves[leaf].ghosts[face].clear();
+        }
+      }
+    }
+    for (LeafGrid& grid : leaves) grid.diffuse(params.kappa);
+
+    // Multipole up-sweep, identical hierarchical combine order.
+    std::vector<std::unordered_map<std::uint64_t, Moments>> levels(
+        static_cast<std::size_t>(level) + 1);
+    for (LeafId leaf = 0; leaf < n_leaves; ++leaf) {
+      levels[static_cast<std::size_t>(level)][leaf] =
+          leaves[leaf].multipole(leaf);
+    }
+    for (int k = level - 1; k >= 0; --k) {
+      const std::uint64_t n_nodes = 1ull << (3 * k);
+      for (std::uint64_t node = 0; node < n_nodes; ++node) {
+        Moments sum{};
+        for (int j = 0; j < 8; ++j) {
+          add_moments(sum, levels[static_cast<std::size_t>(k) + 1]
+                               [node * 8 + static_cast<std::uint64_t>(j)]);
+        }
+        levels[static_cast<std::size_t>(k)][node] = sum;
+      }
+    }
+    const double total = levels[0][0][0];
+    for (LeafId leaf = 0; leaf < n_leaves; ++leaf) {
+      leaves[leaf].potential +=
+          total / (1.0 + leaf_distance_to_center(leaf, level, params.nx));
+    }
+  }
+  report.seconds = timer.elapsed_s();
+  report.steps_per_second = params.steps / report.seconds;
+
+  for (LeafId leaf = 0; leaf < n_leaves; ++leaf) {
+    report.final_mass += leaves[leaf].mass();
+    report.checksum ^= leaf_fingerprint(leaf, leaves[leaf]);
+  }
+  return report;
+}
+
+}  // namespace octo

@@ -1,0 +1,131 @@
+// The Octo-Tiger proxy: a complete octree of depth `level` with nx^3-cell
+// leaf subgrids, partitioned over localities by Morton space-filling curve.
+// Each step performs, like the real application's communication skeleton:
+//   1. face ghost-zone exchange between the 26->6 neighbouring subgrids
+//      (many small messages, batched per destination locality),
+//   2. an FMM-style multipole up-sweep (P2M at the leaves, per-level M2M
+//      with cross-locality contributions batched per destination — message
+//      sizes grow with the subtree, mixing small and large arguments),
+//   3. a root->all broadcast of the global multipole and a far-field
+//      potential update (L2L/L2P stand-in),
+// then a conservative flux-form diffusion update of the densities.
+//
+// Correctness oracles: total mass is conserved across steps, and the final
+// state fingerprint is BIT-EXACT equal to the serial reference and across
+// parcelports/locality counts (the proxy's update order is arrival-order
+// independent by construction).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "amt/runtime.hpp"
+#include "octoproxy/grid.hpp"
+#include "octoproxy/morton.hpp"
+
+namespace octo {
+
+struct Params {
+  int level = 3;        // octree depth; 8^level leaves
+  int nx = 8;           // leaf subgrid side (Octo-Tiger uses 8)
+  int steps = 5;        // paper's "stop step"
+  double kappa = 0.1;   // diffusion coefficient (stable for kappa <= 1/6)
+  std::uint64_t seed = 42;
+};
+
+struct Report {
+  double initial_mass = 0.0;
+  double final_mass = 0.0;
+  std::uint64_t checksum = 0;  // order-independent state fingerprint
+  double seconds = 0.0;
+  int steps = 0;
+  double steps_per_second = 0.0;
+};
+
+class Simulation {
+ public:
+  Simulation(amt::Locality& locality, const Params& params);
+
+  /// Per-locality instance registry used by the action entry points.
+  static Simulation*& slot(amt::Rank rank);
+
+  /// Runs all steps; call as a task on the owning locality.
+  void run_driver();
+
+  // ---- action entry points (invoked by remote localities) ----
+  void on_ghost_batch(std::uint32_t step, std::vector<std::uint64_t> keys,
+                      std::vector<double> planes);
+  void on_m2m_batch(std::uint32_t step, std::uint32_t level,
+                    std::vector<std::uint64_t> slots,
+                    std::vector<double> moments);
+  void on_total(std::uint32_t step, double mass);
+
+  // ---- results ----
+  double local_mass() const;
+  std::uint64_t local_checksum() const;
+  double initial_mass() const { return initial_mass_; }
+  std::size_t num_local_leaves() const { return leaves_.size(); }
+
+ private:
+  struct GhostBatch {
+    std::vector<std::uint64_t> keys;  // (target leaf << 3) | face
+    std::vector<double> planes;       // keys.size() * nx*nx doubles
+  };
+  struct M2mBatch {
+    std::vector<std::uint64_t> slots;  // (parent node << 3) | child index
+    std::vector<double> moments;       // slots.size() * kMoments doubles
+  };
+  struct StepState {
+    std::atomic<std::int64_t> ghost_planes{0};
+    std::atomic<std::int64_t> m2m_contribs[16] = {};
+    std::atomic<int> total_seen{0};
+    double total_mass = 0.0;
+    common::SpinMutex mutex;  // guards the batch vectors below
+    std::vector<GhostBatch> ghost_batches;
+    std::vector<M2mBatch> m2m_batches[16];
+  };
+
+  StepState& step_state(std::uint32_t step);
+  void drop_step_state(std::uint32_t step);
+  amt::Rank owner_of_node(int level, std::uint64_t node) const;
+  void phase_ghosts(std::uint32_t step);
+  void phase_multipoles(std::uint32_t step);
+  void phase_potential(std::uint32_t step);
+
+  amt::Locality& locality_;
+  const Params params_;
+  const amt::Rank nloc_;
+  const int level_;
+  const std::uint64_t n_leaves_;
+  LeafId leaf_lo_ = 0, leaf_hi_ = 0;  // my contiguous Morton range
+
+  // Local leaf state, indexed leaf - leaf_lo_.
+  std::vector<LeafGrid> leaves_;
+  double initial_mass_ = 0.0;
+
+  // Static comm expectations, precomputed at construction.
+  std::int64_t expected_ghost_planes_ = 0;
+  std::array<std::int64_t, 16> expected_m2m_{};
+  // My node id ranges per level (contiguous in Morton order).
+  std::array<std::pair<std::uint64_t, std::uint64_t>, 16> my_nodes_{};
+
+  // Per-level multipoles of nodes I own (rebuilt every step).
+  std::array<std::unordered_map<std::uint64_t, Moments>, 17> node_moments_;
+
+  common::SpinMutex steps_mutex_;
+  std::map<std::uint32_t, std::unique_ptr<StepState>> steps_;
+};
+
+/// Orchestrates a full proxy run over an already started runtime.
+Report run_simulation(amt::Runtime& runtime, const Params& params);
+
+/// Serial reference implementation (no runtime, no messages). Produces a
+/// bit-identical Report (mass + checksum) to run_simulation.
+Report run_reference(const Params& params);
+
+}  // namespace octo

@@ -1,0 +1,370 @@
+#include "parcelport_lci/parcelport_lci.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+
+#include "common/affinity.hpp"
+#include "common/logging.hpp"
+
+namespace pplci {
+
+namespace {
+minilci::Config make_device_config(const amt::ParcelportContext& context) {
+  minilci::Config config;
+  // The LCI eager threshold stays at its default; the header message must
+  // fit in one medium message, so the header cap below accounts for both.
+  (void)context;
+  return config;
+}
+}  // namespace
+
+LciParcelport::LciParcelport(const amt::ParcelportContext& context)
+    : context_(context),
+      protocol_(context.config.protocol),
+      progress_type_(context.config.progress),
+      completion_type_(context.config.completion),
+      max_header_size_(std::min(
+          std::max(context.zero_copy_threshold, sizeof(amt::WireHeader)),
+          make_device_config(context).eager_threshold)),
+      device_(*context.fabric, context.rank, make_device_config(context),
+              &remote_put_cq_) {}
+
+LciParcelport::~LciParcelport() { stop(); }
+
+void LciParcelport::start() {
+  started_.store(true);
+  if (protocol_ == amt::ParcelportConfig::Protocol::kSendRecv) {
+    // One always-posted header receive per peer, the MPI-parcelport style.
+    for (amt::Rank r = 0; r < device_.world_size(); ++r) {
+      if (r == context_.rank) continue;
+      device_.recvm(r, kHeaderTag, make_comp(), kHeaderRecvCtx);
+    }
+  }
+  if (progress_type_ == amt::ParcelportConfig::ProgressType::kPinned) {
+    progress_stop_.store(false);
+    progress_thread_ = std::thread([this] { progress_thread_loop(); });
+  }
+}
+
+void LciParcelport::stop() {
+  if (progress_thread_.joinable()) {
+    progress_stop_.store(true);
+    progress_thread_.join();
+  }
+  started_.store(false);
+}
+
+void LciParcelport::progress_thread_loop() {
+  // The HPX resource partitioner pins the progress thread at core 0.
+  common::pin_current_thread(0);
+  common::set_current_thread_name("lci-progress");
+  while (!progress_stop_.load(std::memory_order_relaxed)) {
+    if (device_.progress() == 0) std::this_thread::yield();
+  }
+}
+
+minilci::Comp LciParcelport::make_comp() {
+  if (completion_type_ == amt::ParcelportConfig::CompType::kQueue) {
+    return minilci::Comp::queue(&comp_cq_);
+  }
+  auto sync = std::make_unique<minilci::Synchronizer>(1);
+  const minilci::Comp comp = minilci::Comp::sync(sync.get());
+  std::lock_guard<common::SpinMutex> guard(sync_mutex_);
+  pending_syncs_.push_back(std::move(sync));
+  return comp;
+}
+
+std::uint32_t LciParcelport::alloc_tags(std::size_t count) {
+  // Distinct tag per follow-up message (no in-order delivery in LCI). Wraps
+  // after 2^32 messages; same reuse assumption as the paper's §3.2.1.
+  return static_cast<std::uint32_t>(
+      next_tag_.fetch_add(count, std::memory_order_relaxed));
+}
+
+void LciParcelport::send(amt::Rank dst, amt::OutMessage msg,
+                         common::UniqueFunction<void()> done) {
+  const amt::HeaderPlan plan = amt::HeaderPlan::decide(msg, max_header_size_);
+
+  auto connection = std::make_unique<SenderConnection>();
+  connection->dst = dst;
+  connection->done = std::move(done);
+  if (!plan.piggy_main) {
+    connection->pieces.emplace_back(msg.main_chunk.data(),
+                                    msg.main_chunk.size());
+  }
+  if (msg.has_zchunks() && !plan.piggy_tchunk) {
+    connection->tchunk_buf = msg.make_tchunk();
+    connection->pieces.emplace_back(connection->tchunk_buf.data(),
+                                    connection->tchunk_buf.size());
+  }
+  for (const amt::ZChunk& chunk : msg.zchunks) {
+    connection->pieces.emplace_back(chunk.data, chunk.size);
+  }
+  connection->tag_base =
+      connection->pieces.empty() ? 0 : alloc_tags(connection->pieces.size());
+
+  // Assemble the header directly in an LCI packet buffer (saves a copy on
+  // the eager path — paper §3.2.1), then inject it, retrying on transient
+  // resource exhaustion per LCI's explicit-retry contract.
+  std::optional<minilci::PacketBuffer> packet;
+  for (;;) {
+    packet = device_.try_alloc_packet();
+    if (packet) break;
+    if (progress_type_ == amt::ParcelportConfig::ProgressType::kWorker) {
+      device_.progress();
+    }
+    std::this_thread::yield();
+  }
+  const std::size_t header_size = amt::encode_header_to(
+      msg, plan, connection->tag_base, packet->data(), packet->capacity());
+  packet->set_size(header_size);
+  connection->msg = std::move(msg);
+
+  const minilci::Comp comp = make_comp();
+  const auto ctx = reinterpret_cast<std::uint64_t>(connection.get());
+  for (;;) {
+    const common::Status status =
+        protocol_ == amt::ParcelportConfig::Protocol::kPutSendRecv
+            ? device_.put_dyn_packet(dst, 0, *packet, comp, ctx)
+            : device_.sendm_packet(dst, kHeaderTag, *packet, comp, ctx);
+    if (status == common::Status::kOk) break;
+    if (progress_type_ == amt::ParcelportConfig::ProgressType::kWorker) {
+      device_.progress();
+    }
+    std::this_thread::yield();
+  }
+  // Ownership passes to the completion path (dispatch_entry deletes it).
+  connection.release();
+}
+
+common::Status LciParcelport::SenderConnection::post_current(
+    LciParcelport& port) {
+  const auto [data, size] = pieces[next_piece];
+  const std::uint32_t tag =
+      tag_base + static_cast<std::uint32_t>(next_piece);
+  const minilci::Comp comp = port.make_comp();
+  const auto ctx = reinterpret_cast<std::uint64_t>(this);
+  const common::Status status =
+      size <= port.device_.max_medium_size()
+          ? port.device_.sendm(dst, tag, data, size, comp, ctx)
+          : port.device_.sendl(dst, tag, data, size, comp, ctx);
+  if (status == common::Status::kOk) ++next_piece;
+  return status;
+}
+
+bool LciParcelport::SenderConnection::on_completion(
+    LciParcelport& port, minilci::CqEntry&& /*entry*/) {
+  // The previous operation (header or piece next_piece-1) completed; post
+  // the next piece, or finish when everything has completed.
+  if (next_piece < pieces.size()) {
+    if (post_current(port) == common::Status::kRetry) {
+      std::lock_guard<common::SpinMutex> guard(port.retry_mutex_);
+      port.retry_.push_back(this);
+    }
+    return false;
+  }
+  done();
+  return true;
+}
+
+bool LciParcelport::retry_senders() {
+  bool did_work = false;
+  for (int i = 0; i < 8; ++i) {
+    SenderConnection* connection = nullptr;
+    {
+      std::lock_guard<common::SpinMutex> guard(retry_mutex_);
+      if (retry_.empty()) break;
+      connection = retry_.front();
+      retry_.pop_front();
+    }
+    if (connection->post_current(*this) == common::Status::kRetry) {
+      std::lock_guard<common::SpinMutex> guard(retry_mutex_);
+      retry_.push_front(connection);
+      break;
+    }
+    did_work = true;
+  }
+  return did_work;
+}
+
+void LciParcelport::ReceiverConnection::post_next(LciParcelport& port) {
+  const auto post_piece = [&](std::size_t size, std::vector<std::byte>& buf,
+                              bool is_zchunk) {
+    const std::uint32_t tag =
+        tag_base + static_cast<std::uint32_t>(piece_index);
+    ++piece_index;
+    const minilci::Comp comp = port.make_comp();
+    const auto ctx = reinterpret_cast<std::uint64_t>(this);
+    if (size <= port.device_.max_medium_size()) {
+      // Medium: the payload arrives as an owned buffer in the entry and is
+      // moved into place by store_completed.
+      port.device_.recvm(src, tag, comp, ctx);
+    } else {
+      buf.resize(size);
+      port.device_.recvl(src, tag, buf.data(), size, comp, ctx);
+    }
+    (void)is_zchunk;
+  };
+
+  for (;;) {
+    switch (stage) {
+      case Stage::kMain:
+        stage = Stage::kTchunk;
+        if (!fields.piggy_main && fields.main_size > 0) {
+          post_piece(fields.main_size, main, false);
+          return;
+        }
+        break;
+      case Stage::kTchunk:
+        stage = Stage::kZchunks;
+        if (fields.num_zchunks > 0 && !fields.piggy_tchunk) {
+          post_piece(fields.num_zchunks * sizeof(std::uint64_t), tchunk,
+                     false);
+          return;
+        }
+        break;
+      case Stage::kZchunks:
+        if (zsizes.empty() && fields.num_zchunks > 0) {
+          zsizes = amt::parse_tchunk(tchunk.data(), tchunk.size());
+          assert(zsizes.size() == fields.num_zchunks);
+        }
+        if (zindex < fields.num_zchunks) {
+          zchunks.emplace_back();
+          post_piece(zsizes[zindex], zchunks.back(), true);
+          ++zindex;
+          return;
+        }
+        stage = Stage::kDone;
+        return;
+      case Stage::kDone:
+        return;
+    }
+  }
+}
+
+void LciParcelport::ReceiverConnection::store_completed(
+    minilci::CqEntry&& entry) {
+  if (entry.op != minilci::OpKind::kRecvMedium) return;  // long: in place
+  // The entry completed the most recently posted piece; figure out which
+  // buffer it belongs to from the walk state.
+  if (stage == Stage::kTchunk) {
+    main = std::move(entry.data);
+  } else if (stage == Stage::kZchunks && zindex == 0) {
+    tchunk = std::move(entry.data);
+  } else {
+    assert(zindex > 0);
+    zchunks[zindex - 1] = std::move(entry.data);
+  }
+}
+
+bool LciParcelport::ReceiverConnection::on_completion(
+    LciParcelport& port, minilci::CqEntry&& entry) {
+  store_completed(std::move(entry));
+  post_next(port);
+  if (stage == Stage::kDone) {
+    finish(port);
+    return true;
+  }
+  return false;
+}
+
+void LciParcelport::ReceiverConnection::finish(LciParcelport& port) {
+  amt::InMessage in;
+  in.source = src;
+  in.main_chunk = std::move(main);
+  in.zchunks = std::move(zchunks);
+  port.stat_delivered_.fetch_add(1, std::memory_order_relaxed);
+  port.context_.deliver(std::move(in));
+}
+
+void LciParcelport::handle_header(amt::Rank src, const std::byte* data,
+                                  std::size_t size) {
+  amt::DecodedHeader decoded = amt::decode_header(data, size);
+
+  auto connection = std::make_unique<ReceiverConnection>();
+  connection->src = src;
+  connection->tag_base = decoded.fields.tag;
+  connection->fields = decoded.fields;
+  connection->main = std::move(decoded.piggy_main);
+  connection->tchunk = std::move(decoded.piggy_tchunk);
+
+  connection->post_next(*this);
+  if (connection->stage == ReceiverConnection::Stage::kDone) {
+    connection->finish(*this);  // fully piggybacked message
+    return;
+  }
+  connection.release();  // owned by its completion chain now
+}
+
+void LciParcelport::dispatch_entry(minilci::CqEntry&& entry) {
+  if (entry.user_context == kHeaderRecvCtx) {
+    // sr protocol: a header message arrived on the always-posted receive.
+    const amt::Rank src = entry.rank;
+    handle_header(src, entry.data.data(), entry.data.size());
+    device_.recvm(src, kHeaderTag, make_comp(), kHeaderRecvCtx);  // repost
+    return;
+  }
+  auto* connection = reinterpret_cast<Connection*>(entry.user_context);
+  assert(connection != nullptr);
+  if (connection->on_completion(*this, std::move(entry))) {
+    delete connection;
+  }
+}
+
+bool LciParcelport::poll_completions() {
+  return comp_cq_.poll_batch(16, [this](minilci::CqEntry&& entry) {
+           dispatch_entry(std::move(entry));
+         }) > 0;
+}
+
+bool LciParcelport::poll_remote_puts() {
+  return remote_put_cq_.poll_batch(16, [this](minilci::CqEntry&& entry) {
+           assert(entry.op == minilci::OpKind::kRemotePut);
+           handle_header(entry.rank, entry.data.data(), entry.data.size());
+         }) > 0;
+}
+
+bool LciParcelport::poll_synchronizers() {
+  // Round-robin over the pending-synchronizer list, the sy-variant analogue
+  // of the MPI parcelport's pending-connection polling.
+  bool did_work = false;
+  for (int i = 0; i < 8; ++i) {
+    std::unique_ptr<minilci::Synchronizer> sync;
+    {
+      std::lock_guard<common::SpinMutex> guard(sync_mutex_);
+      if (pending_syncs_.empty()) break;
+      sync = std::move(pending_syncs_.front());
+      pending_syncs_.pop_front();
+    }
+    std::vector<minilci::CqEntry> entries;
+    if (sync->test(&entries)) {
+      for (auto& entry : entries) dispatch_entry(std::move(entry));
+      did_work = true;  // synchronizer consumed and destroyed
+    } else {
+      std::lock_guard<common::SpinMutex> guard(sync_mutex_);
+      pending_syncs_.push_back(std::move(sync));
+    }
+  }
+  return did_work;
+}
+
+bool LciParcelport::background_work(unsigned /*worker_index*/) {
+  if (!started_.load(std::memory_order_relaxed)) return false;
+  bool did_work = false;
+  if (progress_type_ == amt::ParcelportConfig::ProgressType::kWorker) {
+    did_work |= device_.progress() > 0;
+  }
+  if (protocol_ == amt::ParcelportConfig::Protocol::kPutSendRecv) {
+    did_work |= poll_remote_puts();
+  }
+  if (completion_type_ == amt::ParcelportConfig::CompType::kQueue) {
+    did_work |= poll_completions();
+  } else {
+    did_work |= poll_synchronizers();
+  }
+  did_work |= retry_senders();
+  return did_work;
+}
+
+}  // namespace pplci

@@ -1,0 +1,153 @@
+// The LCI parcelport (paper §3.2), implemented over minilci.
+//
+// Baseline (lci_psr_cq_pin, HPX's default): the header message is assembled
+// directly in an LCI-allocated packet buffer and sent with the one-sided
+// *dynamic put*, whose target buffer is allocated by the LCI runtime on
+// arrival and signalled through a pre-configured remote completion queue.
+// Follow-up messages use medium (eager) or long (rendezvous) send/receive,
+// each with a *distinct* tag from an atomic counter (LCI gives no in-order
+// delivery, so one tag per connection would mis-match). One send/receive is
+// outstanding per connection at a time. Completions land in one completion
+// queue; worker background work polls that queue plus the remote-put queue.
+// A dedicated progress thread, created through the resource-partitioner shim
+// and pinned at core 0, is the only caller of LCI_progress.
+//
+// Variants (paper §3.2.2), all runtime-selectable via ParcelportConfig:
+//   * protocol   psr | sr   — dynamic-put header vs send/recv header (one
+//                             always-posted header receive per peer rank),
+//   * progress   pin | mt   — dedicated pinned progress thread vs all worker
+//                             threads calling progress when idle,
+//   * completion cq | sy    — one completion queue vs per-operation
+//                             synchronizers on a round-robin pending list
+//                             (the dynamic put's remote completion stays a
+//                             CQ — the only mechanism LCI's put supports),
+//   * send-immediate `_i`   — handled above this layer (parcel queue and
+//                             connection cache bypass in amt::Locality).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "amt/parcelport.hpp"
+#include "amt/wire_header.hpp"
+#include "common/spinlock.hpp"
+#include "minilci/device.hpp"
+
+namespace pplci {
+
+class LciParcelport final : public amt::Parcelport {
+ public:
+  explicit LciParcelport(const amt::ParcelportContext& context);
+  ~LciParcelport() override;
+
+  void start() override;
+  void stop() override;
+  void send(amt::Rank dst, amt::OutMessage msg,
+            common::UniqueFunction<void()> done) override;
+  bool background_work(unsigned worker_index) override;
+
+  static constexpr minilci::Tag kHeaderTag = 0;  // sr-protocol headers
+
+  std::uint64_t messages_delivered() const {
+    return stat_delivered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // user_context values in completion entries: either a Connection* or this
+  // sentinel marking an sr-protocol header receive.
+  static constexpr std::uint64_t kHeaderRecvCtx = 1;
+
+  struct Connection {
+    virtual ~Connection() = default;
+    /// Reacts to the completion of this connection's outstanding operation.
+    /// Returns true when the connection has finished (caller deletes it).
+    virtual bool on_completion(LciParcelport& port,
+                               minilci::CqEntry&& entry) = 0;
+  };
+
+  struct SenderConnection final : Connection {
+    amt::Rank dst = 0;
+    amt::OutMessage msg;
+    common::UniqueFunction<void()> done;
+    std::vector<std::byte> tchunk_buf;
+    std::vector<std::pair<const std::byte*, std::size_t>> pieces;
+    std::size_t next_piece = 0;  // piece i travels on tag_base + i
+    std::uint32_t tag_base = 0;
+
+    /// Posts the current piece; kRetry leaves state unchanged.
+    common::Status post_current(LciParcelport& port);
+    bool on_completion(LciParcelport& port,
+                       minilci::CqEntry&& entry) override;
+  };
+
+  struct ReceiverConnection final : Connection {
+    amt::Rank src = 0;
+    std::uint32_t tag_base = 0;
+    amt::WireHeader fields;
+    std::vector<std::byte> main;
+    std::vector<std::byte> tchunk;
+    std::vector<std::uint64_t> zsizes;
+    std::vector<std::vector<std::byte>> zchunks;
+    enum class Stage : std::uint8_t { kMain, kTchunk, kZchunks, kDone };
+    Stage stage = Stage::kMain;
+    std::size_t zindex = 0;
+    std::size_t piece_index = 0;  // next follow-up tag offset
+
+    /// Posts receives until one is outstanding or the message is complete.
+    void post_next(LciParcelport& port);
+    bool on_completion(LciParcelport& port,
+                       minilci::CqEntry&& entry) override;
+    void store_completed(minilci::CqEntry&& entry);
+    void finish(LciParcelport& port);
+  };
+
+  /// Builds the completion object for one operation: the shared CQ in cq
+  /// mode, or a fresh synchronizer added to the pending list in sy mode.
+  minilci::Comp make_comp();
+
+  std::uint32_t alloc_tags(std::size_t count);
+  void handle_header(amt::Rank src, const std::byte* data, std::size_t size);
+  void dispatch_entry(minilci::CqEntry&& entry);
+  bool poll_completions();
+  bool poll_remote_puts();
+  bool poll_synchronizers();
+  bool retry_senders();
+  void post_recv_piece(ReceiverConnection* connection, std::uint32_t tag,
+                       void* buf, std::size_t size);
+  void progress_thread_loop();
+
+  const amt::ParcelportContext context_;
+  const amt::ParcelportConfig::Protocol protocol_;
+  const amt::ParcelportConfig::ProgressType progress_type_;
+  const amt::ParcelportConfig::CompType completion_type_;
+  const std::size_t max_header_size_;
+
+  minilci::CompQueue remote_put_cq_;  // pre-configured remote CQ for puts
+  minilci::Device device_;
+  minilci::CompQueue comp_cq_;        // cq mode: all op completions
+
+  // sy mode: per-operation synchronizers, round-robin polled.
+  common::SpinMutex sync_mutex_;
+  std::deque<std::unique_ptr<minilci::Synchronizer>> pending_syncs_;
+
+  // sr mode: one always-posted header receive per peer (reposted by the
+  // completion handler; no state needed beyond the sentinel context).
+
+  // Senders whose current piece hit resource back-pressure.
+  common::SpinMutex retry_mutex_;
+  std::deque<SenderConnection*> retry_;
+
+  std::atomic<std::uint64_t> next_tag_{1};  // 0 is the sr header tag
+
+  std::thread progress_thread_;  // pin mode ("rp" resource partitioner)
+  std::atomic<bool> progress_stop_{false};
+
+  std::atomic<std::uint64_t> stat_delivered_{0};
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace pplci

@@ -1,0 +1,192 @@
+#include "parcelport_tcp/parcelport_tcp.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.hpp"
+
+namespace pptcp {
+
+namespace {
+constexpr std::size_t kPrefixSize =
+    sizeof(std::uint64_t) + sizeof(std::uint32_t);
+}  // namespace
+
+TcpParcelport::TcpParcelport(const amt::ParcelportContext& context)
+    : context_(context), mux_(*context.fabric, context.rank) {
+  const amt::Rank n = context.fabric->num_ranks();
+  for (amt::Rank r = 0; r < n; ++r) {
+    tx_queues_.push_back(std::make_unique<TxQueue>());
+    rx_states_.push_back(std::make_unique<RxState>());
+    rx_mutexes_.push_back(std::make_unique<common::SpinMutex>());
+  }
+}
+
+void TcpParcelport::start() { started_.store(true); }
+void TcpParcelport::stop() { started_.store(false); }
+
+void TcpParcelport::send(amt::Rank dst, amt::OutMessage msg,
+                         common::UniqueFunction<void()> done) {
+  OutFrame frame;
+  frame.done = std::move(done);
+
+  // Frame prefix: main size, zchunk count, zchunk sizes.
+  frame.header.resize(kPrefixSize +
+                      msg.zchunks.size() * sizeof(std::uint64_t));
+  const std::uint64_t main_size = msg.main_chunk.size();
+  const std::uint32_t num_z = static_cast<std::uint32_t>(msg.zchunks.size());
+  std::memcpy(frame.header.data(), &main_size, sizeof(main_size));
+  std::memcpy(frame.header.data() + sizeof(main_size), &num_z,
+              sizeof(num_z));
+  for (std::size_t i = 0; i < msg.zchunks.size(); ++i) {
+    const std::uint64_t zsize = msg.zchunks[i].size;
+    std::memcpy(frame.header.data() + kPrefixSize +
+                    i * sizeof(std::uint64_t),
+                &zsize, sizeof(zsize));
+  }
+
+  frame.pieces.emplace_back(frame.header.data(), frame.header.size());
+  frame.pieces.emplace_back(msg.main_chunk.data(), msg.main_chunk.size());
+  for (const amt::ZChunk& chunk : msg.zchunks) {
+    frame.pieces.emplace_back(chunk.data, chunk.size);
+  }
+  frame.msg = std::move(msg);
+
+  {
+    TxQueue& queue = *tx_queues_[dst];
+    std::lock_guard<common::SpinMutex> guard(queue.mutex);
+    queue.frames.push_back(std::move(frame));
+  }
+  pump_tx(dst);
+}
+
+bool TcpParcelport::pump_tx(amt::Rank dst) {
+  TxQueue& queue = *tx_queues_[dst];
+  std::lock_guard<common::SpinMutex> guard(queue.mutex);
+  bool moved = false;
+  while (!queue.frames.empty()) {
+    OutFrame& frame = queue.frames.front();
+    while (!frame.finished()) {
+      auto [data, size] = frame.pieces[frame.piece_index];
+      const std::size_t accepted = mux_.send_some(
+          dst, data + frame.piece_offset, size - frame.piece_offset);
+      if (accepted == 0) return moved;  // stream send buffer full
+      moved = true;
+      frame.piece_offset += accepted;
+      if (frame.piece_offset == size) {
+        ++frame.piece_index;
+        frame.piece_offset = 0;
+      }
+    }
+    frame.done();
+    queue.frames.pop_front();
+  }
+  return moved;
+}
+
+void TcpParcelport::finish_frame(amt::Rank src, RxState& rx) {
+  amt::InMessage in;
+  in.source = src;
+  in.main_chunk = std::move(rx.main);
+  in.zchunks = std::move(rx.zchunks);
+  stat_delivered_.fetch_add(1, std::memory_order_relaxed);
+  rx = RxState{};  // reset for the next frame
+  context_.deliver(std::move(in));
+}
+
+bool TcpParcelport::pump_rx(amt::Rank src) {
+  // One worker at a time parses a given source stream.
+  if (!rx_mutexes_[src]->try_lock()) return false;
+  std::lock_guard<common::SpinMutex> guard(*rx_mutexes_[src],
+                                           std::adopt_lock);
+  RxState& rx = *rx_states_[src];
+  bool moved = false;
+  for (;;) {
+    switch (rx.stage) {
+      case RxState::Stage::kPrefix: {
+        if (rx.scratch.size() < kPrefixSize) rx.scratch.resize(kPrefixSize);
+        const std::size_t got =
+            mux_.recv_some(src, rx.scratch.data() + rx.filled,
+                           kPrefixSize - rx.filled);
+        rx.filled += got;
+        moved |= got > 0;
+        if (rx.filled < kPrefixSize) return moved;
+        std::memcpy(&rx.main_size, rx.scratch.data(), sizeof(rx.main_size));
+        std::memcpy(&rx.num_zchunks,
+                    rx.scratch.data() + sizeof(rx.main_size),
+                    sizeof(rx.num_zchunks));
+        rx.filled = 0;
+        rx.stage = rx.num_zchunks > 0 ? RxState::Stage::kZSizes
+                                      : RxState::Stage::kMain;
+        break;
+      }
+      case RxState::Stage::kZSizes: {
+        const std::size_t want = rx.num_zchunks * sizeof(std::uint64_t);
+        if (rx.scratch.size() < want) rx.scratch.resize(want);
+        const std::size_t got = mux_.recv_some(
+            src, rx.scratch.data() + rx.filled, want - rx.filled);
+        rx.filled += got;
+        moved |= got > 0;
+        if (rx.filled < want) return moved;
+        rx.zsizes.resize(rx.num_zchunks);
+        std::memcpy(rx.zsizes.data(), rx.scratch.data(), want);
+        rx.filled = 0;
+        rx.stage = RxState::Stage::kMain;
+        break;
+      }
+      case RxState::Stage::kMain: {
+        rx.main.resize(rx.main_size);
+        const std::size_t got = mux_.recv_some(
+            src, rx.main.data() + rx.filled, rx.main_size - rx.filled);
+        rx.filled += got;
+        moved |= got > 0;
+        if (rx.filled < rx.main_size) return moved;
+        rx.filled = 0;
+        if (rx.num_zchunks == 0) {
+          finish_frame(src, rx);
+          break;
+        }
+        rx.stage = RxState::Stage::kZChunks;
+        rx.zchunks.clear();
+        rx.zindex = 0;
+        break;
+      }
+      case RxState::Stage::kZChunks: {
+        if (rx.zchunks.size() <= rx.zindex) {
+          rx.zchunks.emplace_back(rx.zsizes[rx.zindex]);
+        }
+        auto& chunk = rx.zchunks[rx.zindex];
+        const std::size_t got = mux_.recv_some(
+            src, chunk.data() + rx.filled, chunk.size() - rx.filled);
+        rx.filled += got;
+        moved |= got > 0;
+        if (rx.filled < chunk.size()) return moved;
+        rx.filled = 0;
+        ++rx.zindex;
+        if (rx.zindex == rx.num_zchunks) finish_frame(src, rx);
+        break;
+      }
+    }
+  }
+}
+
+bool TcpParcelport::background_work(unsigned /*worker_index*/) {
+  if (!started_.load(std::memory_order_relaxed)) return false;
+  bool moved = mux_.progress();
+  for (amt::Rank dst = 0; dst < tx_queues_.size(); ++dst) {
+    bool nonempty;
+    {
+      TxQueue& queue = *tx_queues_[dst];
+      std::lock_guard<common::SpinMutex> guard(queue.mutex);
+      nonempty = !queue.frames.empty();
+    }
+    if (nonempty) moved |= pump_tx(dst);
+  }
+  for (amt::Rank src = 0; src < rx_states_.size(); ++src) {
+    if (mux_.available(src) > 0) moved |= pump_rx(src);
+  }
+  return moved;
+}
+
+}  // namespace pptcp

@@ -1,0 +1,96 @@
+// Bounded multi-producer / multi-consumer queue (Dmitry Vyukov's sequenced
+// ring). Both push and pop are lock-free; each slot carries a sequence
+// number that tickets producers and consumers without a shared lock.
+//
+// Used for free-lists (packet pools) and anywhere both sides are
+// multi-threaded and a capacity bound doubles as back-pressure.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/cache.hpp"
+
+namespace queues {
+
+template <typename T>
+class MpmcQueue {
+  struct Slot {
+    std::atomic<std::size_t> sequence;
+    T value;
+  };
+
+ public:
+  explicit MpmcQueue(std::size_t capacity)
+      : mask_(round_up_pow2(capacity) - 1), slots_(mask_ + 1) {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  bool try_push(T value) {
+    std::size_t pos = enqueue_pos_.value.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.sequence.load(std::memory_order_acquire);
+      const std::intptr_t diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.value.compare_exchange_weak(
+                pos, pos + 1, std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.value.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::optional<T> try_pop() {
+    std::size_t pos = dequeue_pos_.value.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.sequence.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.value.compare_exchange_weak(
+                pos, pos + 1, std::memory_order_relaxed)) {
+          T value = std::move(slot.value);
+          slot.sequence.store(pos + mask_ + 1, std::memory_order_release);
+          return value;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = dequeue_pos_.value.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const std::size_t mask_;
+  std::vector<Slot> slots_;
+  common::CachePadded<std::atomic<std::size_t>> enqueue_pos_{0};
+  common::CachePadded<std::atomic<std::size_t>> dequeue_pos_{0};
+};
+
+}  // namespace queues

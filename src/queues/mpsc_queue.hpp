@@ -1,0 +1,166 @@
+// Unbounded multi-producer / single-consumer queue (Vyukov's intrusive MPSC
+// adapted to owned nodes). Producers are wait-free except for one atomic
+// exchange; the consumer is lock-free with the usual MPSC caveat that a
+// producer suspended between exchange and link makes the queue *appear*
+// momentarily empty — consumers handle this by re-polling, which all our
+// progress loops do anyway.
+//
+// Multi-consumer use: wrap pops in the owner's try-lock (see TryMpmcQueue).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "common/cache.hpp"
+#include "common/spinlock.hpp"
+
+namespace queues {
+
+template <typename T>
+class MpscQueue {
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T value{};
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+  };
+
+ public:
+  MpscQueue() {
+    Node* stub = new Node();
+    head_.value.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    Node* node = tail_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  /// Thread-safe for any number of producers.
+  void push(T value) {
+    Node* node = new Node(std::move(value));
+    Node* prev = head_.value.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Single consumer only.
+  std::optional<T> try_pop() {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return std::nullopt;
+    T value = std::move(next->value);
+    tail_ = next;
+    delete tail;
+    return value;
+  }
+
+  /// Pops the head element only when `pred(head)` holds. Used by the fabric
+  /// to gate delivery on a packet's arrival time without losing FIFO order.
+  /// Single consumer only.
+  template <typename Pred>
+  std::optional<T> try_pop_if(Pred&& pred) {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return std::nullopt;
+    if (!pred(static_cast<const T&>(next->value))) return std::nullopt;
+    T value = std::move(next->value);
+    tail_ = next;
+    delete tail;
+    return value;
+  }
+
+  /// May transiently report empty while a push is mid-flight; fine for
+  /// polling loops.
+  bool looks_empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  common::CachePadded<std::atomic<Node*>> head_;  // producers push here
+  alignas(common::kCacheLineSize) Node* tail_;    // consumer pops here
+};
+
+/// MPSC queue plus a consumer-side try-lock, making it safe for multiple
+/// concurrent consumers. A failed try_pop() with `contended == true` means
+/// another thread is draining the queue right now — exactly the semantics the
+/// LCI completion queue and the fabric receive channels need: progress
+/// callers skip contended queues instead of blocking on them.
+template <typename T>
+class TryMpmcQueue {
+ public:
+  void push(T value) { queue_.push(std::move(value)); }
+
+  std::optional<T> try_pop(bool* contended = nullptr) {
+    if (!consumer_lock_.try_lock()) {
+      if (contended != nullptr) *contended = true;
+      return std::nullopt;
+    }
+    if (contended != nullptr) *contended = false;
+    auto value = queue_.try_pop();
+    consumer_lock_.unlock();
+    return value;
+  }
+
+  /// Drains up to `max_items` under one lock acquisition; returns the number
+  /// popped. Cheaper than repeated try_pop when bursts arrive.
+  template <typename Fn>
+  std::size_t try_drain(std::size_t max_items, Fn&& fn) {
+    if (!consumer_lock_.try_lock()) return 0;
+    std::size_t n = 0;
+    while (n < max_items) {
+      auto value = queue_.try_pop();
+      if (!value) break;
+      fn(std::move(*value));
+      ++n;
+    }
+    consumer_lock_.unlock();
+    return n;
+  }
+
+  /// Drains elements while `pred(head)` holds, up to `max_items`, under one
+  /// try-lock acquisition. Stops at the first head element failing `pred`,
+  /// preserving FIFO order. `pred` must do any resource reservation the sink
+  /// needs (an element, once popped, is always handed to `fn`). Returns the
+  /// number delivered.
+  template <typename Pred, typename Fn>
+  std::size_t try_drain_while(std::size_t max_items, Pred&& pred, Fn&& fn) {
+    if (!consumer_lock_.try_lock()) return 0;
+    std::size_t n = 0;
+    while (n < max_items) {
+      auto value = queue_.try_pop_if(pred);
+      if (!value) break;
+      fn(std::move(*value));
+      ++n;
+    }
+    consumer_lock_.unlock();
+    return n;
+  }
+
+  /// Peek-and-pop under the consumer lock: pops only if `pred` accepts the
+  /// head element.
+  template <typename Pred>
+  std::optional<T> try_pop_if(Pred&& pred) {
+    if (!consumer_lock_.try_lock()) return std::nullopt;
+    auto value = queue_.try_pop_if(pred);
+    consumer_lock_.unlock();
+    return value;
+  }
+
+  bool looks_empty() const { return queue_.looks_empty(); }
+
+ private:
+  MpscQueue<T> queue_;
+  common::SpinMutex consumer_lock_;
+};
+
+}  // namespace queues

@@ -1,0 +1,75 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// Classic Lamport ring with cached indices: the producer and consumer each
+// keep a local copy of the other side's index and only re-read the shared
+// atomic when the cached value says the ring looks full/empty. Push and pop
+// are wait-free.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/cache.hpp"
+
+namespace queues {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; usable slots = capacity.
+  explicit SpscRing(std::size_t capacity)
+      : mask_(round_up_pow2(capacity + 1) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  bool try_push(T value) {
+    const std::size_t head = head_.value.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == cached_tail_) {
+      cached_tail_ = tail_.value.load(std::memory_order_acquire);
+      if (next == cached_tail_) return false;  // full
+    }
+    slots_[head] = std::move(value);
+    head_.value.store(next, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.value.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.value.load(std::memory_order_acquire);
+      if (tail == cached_head_) return std::nullopt;  // empty
+    }
+    T value = std::move(slots_[tail]);
+    tail_.value.store((tail + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  bool empty() const {
+    return head_.value.load(std::memory_order_acquire) ==
+           tail_.value.load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  common::CachePadded<std::atomic<std::size_t>> head_{0};  // producer side
+  common::CachePadded<std::atomic<std::size_t>> tail_{0};  // consumer side
+  // Locals live next to the index they belong to conceptually; they are only
+  // touched by one side each, so plain members suffice.
+  std::size_t cached_tail_ = 0;  // producer's view of tail
+  std::size_t cached_head_ = 0;  // consumer's view of head
+};
+
+}  // namespace queues

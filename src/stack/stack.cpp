@@ -1,0 +1,53 @@
+#include "stack/stack.hpp"
+
+#include <stdexcept>
+
+#include "parcelport_lci/parcelport_lci.hpp"
+#include "parcelport_mpi/parcelport_mpi.hpp"
+#include "parcelport_tcp/parcelport_tcp.hpp"
+
+namespace amtnet {
+
+amt::Runtime::ParcelportFactory default_parcelport_factory() {
+  return [](amt::Runtime&, const amt::ParcelportContext& context)
+             -> std::unique_ptr<amt::Parcelport> {
+    switch (context.config.kind) {
+      case amt::ParcelportConfig::Kind::kMpi:
+        return std::make_unique<ppmpi::MpiParcelport>(context);
+      case amt::ParcelportConfig::Kind::kLci:
+        return std::make_unique<pplci::LciParcelport>(context);
+      case amt::ParcelportConfig::Kind::kTcp:
+        return std::make_unique<pptcp::TcpParcelport>(context);
+    }
+    throw std::invalid_argument("unknown parcelport kind");
+  };
+}
+
+fabric::Config platform_config(const std::string& platform,
+                               amt::Rank num_localities) {
+  if (platform == "loopback") return fabric::Profile::loopback(num_localities);
+  if (platform == "expanse") return fabric::Profile::expanse(num_localities);
+  if (platform == "rostam") return fabric::Profile::rostam(num_localities);
+  throw std::invalid_argument("unknown platform: " + platform);
+}
+
+amt::RuntimeConfig make_runtime_config(const StackOptions& options) {
+  amt::RuntimeConfig config;
+  config.num_localities = options.num_localities;
+  config.threads_per_locality = options.threads_per_locality;
+  config.zero_copy_threshold = options.zero_copy_threshold;
+  config.max_connections = options.max_connections;
+  config.parcelport = amt::ParcelportConfig::parse(options.parcelport);
+  config.fabric = platform_config(options.platform, options.num_localities);
+  if (options.fabric_rails != 0) config.fabric.num_rails = options.fabric_rails;
+  return config;
+}
+
+std::unique_ptr<amt::Runtime> make_runtime(const StackOptions& options) {
+  auto runtime = std::make_unique<amt::Runtime>(make_runtime_config(options),
+                                                default_parcelport_factory());
+  runtime->start();
+  return runtime;
+}
+
+}  // namespace amtnet

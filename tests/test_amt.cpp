@@ -1,0 +1,623 @@
+// Tests for the AMT runtime: serialization (incl. zero-copy thresholds and
+// the transmission chunk), scheduler, futures/continuations/latches, the
+// typed action layer over the loopback parcelport, parcel aggregation, the
+// connection cache, and the send-immediate path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "amt/loopback_parcelport.hpp"
+#include "amt/runtime.hpp"
+#include "amt/serialization.hpp"
+#include "test_util.hpp"
+
+using amt::ConnectionCache;
+using amt::Future;
+using amt::InMessage;
+using amt::InputArchive;
+using amt::Latch;
+using amt::Locality;
+using amt::OutMessage;
+using amt::OutputArchive;
+using amt::Promise;
+using amt::Runtime;
+using amt::RuntimeConfig;
+using amt::Scheduler;
+
+// ---------------- serialization ----------------
+
+namespace {
+
+InMessage to_inmessage(OutMessage&& out, amt::Rank source = 0) {
+  InMessage in;
+  in.source = source;
+  in.main_chunk = std::move(out.main_chunk);
+  for (const auto& chunk : out.zchunks) {
+    in.zchunks.emplace_back(chunk.data, chunk.data + chunk.size);
+  }
+  return in;
+}
+
+}  // namespace
+
+TEST(Serialization, ScalarsRoundTrip) {
+  OutputArchive out;
+  out << 42 << 3.5 << std::uint8_t{7} << std::int64_t{-9};
+  const auto msg = to_inmessage(out.finish());
+  InputArchive in(msg);
+  int a = 0;
+  double b = 0;
+  std::uint8_t c = 0;
+  std::int64_t d = 0;
+  in >> a >> b >> c >> d;
+  EXPECT_EQ(a, 42);
+  EXPECT_DOUBLE_EQ(b, 3.5);
+  EXPECT_EQ(c, 7);
+  EXPECT_EQ(d, -9);
+  EXPECT_TRUE(in.exhausted());
+}
+
+TEST(Serialization, StringsRoundTrip) {
+  OutputArchive out;
+  out << std::string("hello") << std::string("") << std::string("worlds");
+  const auto msg = to_inmessage(out.finish());
+  InputArchive in(msg);
+  std::string a, b, c;
+  in >> a >> b >> c;
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, "worlds");
+}
+
+TEST(Serialization, SmallVectorStaysInline) {
+  OutputArchive out(/*zero_copy_threshold=*/64);
+  std::vector<std::uint32_t> v(8);
+  std::iota(v.begin(), v.end(), 0u);  // 32 bytes < 64
+  out << v;
+  EXPECT_EQ(out.num_zchunks(), 0u);
+  const auto msg = to_inmessage(out.finish());
+  InputArchive in(msg);
+  std::vector<std::uint32_t> got;
+  in >> got;
+  EXPECT_EQ(got, v);
+}
+
+TEST(Serialization, LargeVectorBecomesZeroCopyChunk) {
+  OutputArchive out(/*zero_copy_threshold=*/64);
+  std::vector<std::uint32_t> v(100);
+  std::iota(v.begin(), v.end(), 5u);  // 400 bytes > 64
+  out << v;
+  EXPECT_EQ(out.num_zchunks(), 1u);
+  const auto msg = to_inmessage(out.finish());
+  ASSERT_EQ(msg.zchunks.size(), 1u);
+  EXPECT_EQ(msg.zchunks[0].size(), 400u);
+  InputArchive in(msg);
+  std::vector<std::uint32_t> got;
+  in >> got;
+  EXPECT_EQ(got, v);
+}
+
+TEST(Serialization, ThresholdBoundaryIsExclusive) {
+  // Exactly threshold bytes stays inline; threshold+1 goes zero-copy.
+  OutputArchive out(/*zero_copy_threshold=*/16);
+  std::vector<std::uint8_t> at(16), over(17);
+  out << at << over;
+  EXPECT_EQ(out.num_zchunks(), 1u);
+}
+
+TEST(Serialization, RvalueVectorMovesIntoKeepalive) {
+  OutputArchive out(/*zero_copy_threshold=*/8);
+  std::vector<double> v(100, 1.5);
+  const double* storage = v.data();
+  out << std::move(v);
+  auto msg = out.finish();
+  ASSERT_EQ(msg.zchunks.size(), 1u);
+  // Zero-copy: the chunk points at the original storage.
+  EXPECT_EQ(static_cast<const void*>(msg.zchunks[0].data),
+            static_cast<const void*>(storage));
+}
+
+TEST(Serialization, MixedPayloadWithMultipleChunks) {
+  OutputArchive out(/*zero_copy_threshold=*/32);
+  std::vector<float> big1(64, 2.0f);
+  std::vector<float> big2(64, 3.0f);
+  std::vector<float> small(2, 4.0f);
+  out << 7 << big1 << std::string("mid") << small << big2;
+  EXPECT_EQ(out.num_zchunks(), 2u);
+  const auto msg = to_inmessage(out.finish());
+  InputArchive in(msg);
+  int x;
+  std::vector<float> a, b, c;
+  std::string s;
+  in >> x >> a >> s >> b >> c;
+  EXPECT_EQ(x, 7);
+  EXPECT_EQ(a, big1);
+  EXPECT_EQ(s, "mid");
+  EXPECT_EQ(b, small);
+  EXPECT_EQ(c, big2);
+}
+
+TEST(Serialization, NestedContainers) {
+  OutputArchive out;
+  std::vector<std::string> names{"a", "bb", "ccc"};
+  std::vector<std::vector<int>> nested{{1, 2}, {}, {3}};
+  out << names << nested;
+  const auto msg = to_inmessage(out.finish());
+  InputArchive in(msg);
+  std::vector<std::string> got_names;
+  std::vector<std::vector<int>> got_nested;
+  in >> got_names >> got_nested;
+  EXPECT_EQ(got_names, names);
+  EXPECT_EQ(got_nested, nested);
+}
+
+TEST(Serialization, TransmissionChunkEncodesSizes) {
+  OutputArchive out(/*zero_copy_threshold=*/8);
+  out << std::vector<std::uint8_t>(100) << std::vector<std::uint8_t>(200);
+  const auto msg = out.finish();
+  const auto tchunk = msg.make_tchunk();
+  const auto sizes = amt::parse_tchunk(tchunk.data(), tchunk.size());
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], 100u);
+  EXPECT_EQ(sizes[1], 200u);
+}
+
+TEST(Serialization, OptionalRoundTrip) {
+  OutputArchive out;
+  std::optional<std::string> some("abc"), none;
+  out << some << none;
+  const auto msg = to_inmessage(out.finish());
+  InputArchive in(msg);
+  std::optional<std::string> a, b("junk");
+  in >> a >> b;
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, "abc");
+  EXPECT_FALSE(b.has_value());
+}
+
+TEST(Serialization, MapsRoundTrip) {
+  OutputArchive out;
+  std::map<std::string, int> ordered{{"a", 1}, {"b", 2}};
+  std::unordered_map<int, std::vector<int>> unordered{{1, {2, 3}}, {4, {}}};
+  out << ordered << unordered;
+  const auto msg = to_inmessage(out.finish());
+  InputArchive in(msg);
+  std::map<std::string, int> got_ordered;
+  std::unordered_map<int, std::vector<int>> got_unordered;
+  in >> got_ordered >> got_unordered;
+  EXPECT_EQ(got_ordered, ordered);
+  EXPECT_EQ(got_unordered, unordered);
+  EXPECT_TRUE(in.exhausted());
+}
+
+// ---------------- scheduler ----------------
+
+TEST(SchedulerTest, ExecutesSpawnedTasks) {
+  Scheduler scheduler(2, "t");
+  scheduler.start();
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    scheduler.spawn([&] { count.fetch_add(1); });
+  }
+  ASSERT_TRUE(testutil::spin_until([&] { return count.load() == 100; }));
+  scheduler.stop();
+}
+
+TEST(SchedulerTest, TasksSpawnTasks) {
+  Scheduler scheduler(2, "t");
+  scheduler.start();
+  std::atomic<int> count{0};
+  scheduler.spawn([&] {
+    for (int i = 0; i < 50; ++i) {
+      scheduler.spawn([&] { count.fetch_add(1); });
+    }
+  });
+  ASSERT_TRUE(testutil::spin_until([&] { return count.load() == 50; }));
+  scheduler.stop();
+}
+
+TEST(SchedulerTest, BackgroundHookRunsWhenIdle) {
+  Scheduler scheduler(1, "t");
+  std::atomic<int> background_calls{0};
+  scheduler.set_background([&](unsigned) {
+    background_calls.fetch_add(1);
+    return false;
+  });
+  scheduler.start();
+  ASSERT_TRUE(
+      testutil::spin_until([&] { return background_calls.load() > 10; }));
+  scheduler.stop();
+}
+
+TEST(SchedulerTest, WaitUntilHelpsExecuteTasks) {
+  Scheduler scheduler(1, "t");
+  scheduler.start();
+  std::atomic<bool> flag{false};
+  Latch done(1);
+  scheduler.spawn([&] {
+    // This task waits for a later task: wait_until must run it nested.
+    scheduler.spawn([&] { flag.store(true); });
+    scheduler.wait_until([&] { return flag.load(); });
+    done.count_down();
+  });
+  done.wait(scheduler);
+  EXPECT_TRUE(flag.load());
+  scheduler.stop();
+}
+
+TEST(SchedulerTest, StealingBalancesAcrossWorkers) {
+  Scheduler scheduler(4, "t");
+  scheduler.start();
+  std::atomic<int> count{0};
+  Latch latch(1);
+  // One task fans out 200 subtasks from a single worker queue; the others
+  // must steal to finish quickly.
+  scheduler.spawn([&] {
+    for (int i = 0; i < 200; ++i) {
+      scheduler.spawn([&] { count.fetch_add(1); });
+    }
+    latch.count_down();
+  });
+  latch.wait(scheduler);
+  ASSERT_TRUE(testutil::spin_until([&] { return count.load() == 200; }));
+  EXPECT_GE(scheduler.tasks_executed(), 201u);
+  scheduler.stop();
+}
+
+// ---------------- futures ----------------
+
+TEST(FutureTest, SetThenGet) {
+  Promise<int> promise;
+  auto future = promise.get_future();
+  EXPECT_FALSE(future.ready());
+  promise.set_value(5);
+  EXPECT_TRUE(future.ready());
+  EXPECT_EQ(future.get(), 5);
+  EXPECT_EQ(future.value(), 5);
+}
+
+TEST(FutureTest, VoidFuture) {
+  Promise<void> promise;
+  auto future = promise.get_future();
+  EXPECT_FALSE(future.ready());
+  promise.set_value();
+  future.get();
+  EXPECT_TRUE(future.ready());
+}
+
+TEST(FutureTest, ContinuationAfterAndBeforeReady) {
+  Promise<int> promise;
+  auto future = promise.get_future();
+  std::atomic<int> fired{0};
+  future.then([&] { fired.fetch_add(1); });
+  promise.set_value(1);
+  future.then([&] { fired.fetch_add(1); });  // already ready: runs inline
+  EXPECT_EQ(fired.load(), 2);
+}
+
+TEST(FutureTest, GetBlocksUntilOtherThreadSets) {
+  Promise<std::string> promise;
+  auto future = promise.get_future();
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    promise.set_value("done");
+  });
+  EXPECT_EQ(future.get(), "done");
+  setter.join();
+}
+
+TEST(FutureTest, ContinuationRunsOnScheduler) {
+  Scheduler scheduler(1, "t");
+  scheduler.start();
+  Promise<int> promise(&scheduler);
+  auto future = promise.get_future();
+  std::atomic<bool> ran_on_worker{false};
+  future.then([&] { ran_on_worker.store(scheduler.on_worker()); });
+  promise.set_value(3);
+  ASSERT_TRUE(testutil::spin_until([&] { return future.ready(); }));
+  ASSERT_TRUE(testutil::spin_until([&] { return ran_on_worker.load(); }));
+  scheduler.stop();
+}
+
+TEST(FutureTest, WhenAllWaitsForEveryInput) {
+  std::vector<Promise<int>> promises;
+  std::vector<Future<int>> futures;
+  for (int i = 0; i < 5; ++i) {
+    promises.emplace_back();
+    futures.push_back(promises.back().get_future());
+  }
+  auto all = amt::when_all(futures);
+  for (int i = 0; i < 4; ++i) {
+    promises[static_cast<size_t>(i)].set_value(i);
+    EXPECT_FALSE(all.ready());
+  }
+  promises[4].set_value(4);
+  EXPECT_TRUE(all.ready());
+  // Inputs stay readable after when_all fires.
+  EXPECT_EQ(futures[2].value(), 2);
+}
+
+TEST(FutureTest, WhenAllOfNothingIsReady) {
+  std::vector<Future<int>> futures;
+  EXPECT_TRUE(amt::when_all(futures).ready());
+}
+
+// ---------------- connection cache ----------------
+
+TEST(ConnectionCacheTest, CapsConcurrentConnections) {
+  ConnectionCache cache(2);
+  EXPECT_TRUE(cache.try_acquire());
+  EXPECT_TRUE(cache.try_acquire());
+  EXPECT_FALSE(cache.try_acquire());
+  EXPECT_EQ(cache.acquire_failures(), 1u);
+  cache.release();
+  EXPECT_TRUE(cache.try_acquire());
+  EXPECT_EQ(cache.in_use(), 2u);
+  cache.release();
+  cache.release();
+  EXPECT_EQ(cache.in_use(), 0u);
+}
+
+// ---------------- actions over the loopback parcelport ----------------
+
+namespace actions {
+
+std::atomic<int> ping_count{0};
+std::atomic<std::uint64_t> sum_received{0};
+
+void ping() { ping_count.fetch_add(1); }
+
+int add(int a, int b) { return a + b; }
+
+double vector_sum(std::vector<double> values) {
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum;
+}
+
+std::string greet(std::string name, int times) {
+  std::string out;
+  for (int i = 0; i < times; ++i) out += name;
+  return out;
+}
+
+void consume_large(std::vector<std::uint64_t> values) {
+  std::uint64_t sum = 0;
+  for (auto v : values) sum += v;
+  sum_received.fetch_add(sum);
+}
+
+amt::Rank where_am_i() { return amt::here().rank(); }
+
+}  // namespace actions
+
+namespace {
+
+RuntimeConfig loopback_config(amt::Rank localities = 2,
+                              bool send_immediate = false) {
+  RuntimeConfig config;
+  config.num_localities = localities;
+  config.threads_per_locality = 2;
+  config.fabric = fabric::Profile::loopback(localities);
+  config.parcelport.send_immediate = send_immediate;
+  return config;
+}
+
+}  // namespace
+
+class RuntimeActions : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RuntimeActions, FireAndForgetAction) {
+  Runtime runtime(loopback_config(2, GetParam()),
+                  amt::loopback_parcelport_factory());
+  runtime.start();
+  actions::ping_count.store(0);
+  runtime.locality(0).spawn(
+      [&] { amt::here().apply<&actions::ping>(1); });
+  ASSERT_TRUE(
+      testutil::spin_until([&] { return actions::ping_count.load() == 1; }));
+  runtime.stop();
+}
+
+TEST_P(RuntimeActions, AsyncActionReturnsValue) {
+  Runtime runtime(loopback_config(2, GetParam()),
+                  amt::loopback_parcelport_factory());
+  runtime.start();
+  std::atomic<int> result{0};
+  Latch done(1);
+  runtime.locality(0).spawn([&] {
+    auto future = amt::here().async<&actions::add>(1, 20, 22);
+    result.store(future.get());
+    done.count_down();
+  });
+  done.wait(runtime.locality(0).scheduler());
+  EXPECT_EQ(result.load(), 42);
+  runtime.stop();
+}
+
+TEST_P(RuntimeActions, StringsAndMultipleArgs) {
+  Runtime runtime(loopback_config(2, GetParam()),
+                  amt::loopback_parcelport_factory());
+  runtime.start();
+  std::string result;
+  Latch done(1);
+  runtime.locality(0).spawn([&] {
+    result = amt::here().async<&actions::greet>(1, std::string("ab"), 3).get();
+    done.count_down();
+  });
+  done.wait(runtime.locality(0).scheduler());
+  EXPECT_EQ(result, "ababab");
+  runtime.stop();
+}
+
+TEST_P(RuntimeActions, LargeVectorArgumentGoesZeroCopy) {
+  Runtime runtime(loopback_config(2, GetParam()),
+                  amt::loopback_parcelport_factory());
+  runtime.start();
+  std::vector<double> values(4096, 0.5);  // 32 KiB > 8 KiB threshold
+  double result = 0;
+  Latch done(1);
+  runtime.locality(0).spawn([&] {
+    result = amt::here().async<&actions::vector_sum>(1, values).get();
+    done.count_down();
+  });
+  done.wait(runtime.locality(0).scheduler());
+  EXPECT_DOUBLE_EQ(result, 2048.0);
+  runtime.stop();
+}
+
+TEST_P(RuntimeActions, SelfSendWorks) {
+  Runtime runtime(loopback_config(2, GetParam()),
+                  amt::loopback_parcelport_factory());
+  runtime.start();
+  int result = 0;
+  Latch done(1);
+  runtime.locality(1).spawn([&] {
+    result = amt::here().async<&actions::add>(1, 1, 2).get();
+    done.count_down();
+  });
+  done.wait(runtime.locality(1).scheduler());
+  EXPECT_EQ(result, 3);
+  runtime.stop();
+}
+
+TEST_P(RuntimeActions, HereReportsDestination) {
+  Runtime runtime(loopback_config(3, GetParam()),
+                  amt::loopback_parcelport_factory());
+  runtime.start();
+  amt::Rank result = 99;
+  Latch done(1);
+  runtime.locality(0).spawn([&] {
+    result = amt::here().async<&actions::where_am_i>(2).get();
+    done.count_down();
+  });
+  done.wait(runtime.locality(0).scheduler());
+  EXPECT_EQ(result, 2u);
+  runtime.stop();
+}
+
+TEST_P(RuntimeActions, ManyConcurrentAsyncs) {
+  Runtime runtime(loopback_config(2, GetParam()),
+                  amt::loopback_parcelport_factory());
+  runtime.start();
+  constexpr int kCount = 500;
+  std::atomic<std::int64_t> total{0};
+  Latch done(kCount);
+  runtime.locality(0).spawn([&] {
+    for (int i = 0; i < kCount; ++i) {
+      auto future = amt::here().async<&actions::add>(1, i, 1);
+      future.then([&, future] {
+        total.fetch_add(future.value());
+        done.count_down();
+      });
+    }
+  });
+  done.wait(runtime.locality(0).scheduler());
+  // sum of (i + 1) for i in [0, kCount)
+  EXPECT_EQ(total.load(), static_cast<std::int64_t>(kCount) * (kCount + 1) / 2);
+  runtime.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(SendModes, RuntimeActions,
+                         ::testing::Values(false, true));
+
+TEST(RuntimeAggregation, QueuedParcelsAggregateUnderConnectionPressure) {
+  // With one connection allowed, every flush after the first must aggregate
+  // multiple parcels into a single HPX message.
+  RuntimeConfig config = loopback_config(2, /*send_immediate=*/false);
+  config.max_connections = 1;
+  Runtime runtime(config, amt::loopback_parcelport_factory());
+  runtime.start();
+  actions::ping_count.store(0);
+  constexpr int kParcels = 200;
+  runtime.locality(0).spawn([&] {
+    for (int i = 0; i < kParcels; ++i) amt::here().apply<&actions::ping>(1);
+  });
+  ASSERT_TRUE(testutil::spin_until(
+      [&] { return actions::ping_count.load() == kParcels; }));
+  const auto stats = runtime.locality(0).stats();
+  EXPECT_EQ(stats.parcels_sent, static_cast<std::uint64_t>(kParcels));
+  // Aggregation must have batched at least some messages (loopback delivery
+  // is synchronous, so this is conservative).
+  EXPECT_LE(stats.messages_sent, stats.parcels_sent);
+  runtime.stop();
+}
+
+TEST(RuntimeSendImmediate, OneMessagePerParcel) {
+  Runtime runtime(loopback_config(2, /*send_immediate=*/true),
+                  amt::loopback_parcelport_factory());
+  runtime.start();
+  actions::ping_count.store(0);
+  constexpr int kParcels = 50;
+  runtime.locality(0).spawn([&] {
+    for (int i = 0; i < kParcels; ++i) amt::here().apply<&actions::ping>(1);
+  });
+  ASSERT_TRUE(testutil::spin_until(
+      [&] { return actions::ping_count.load() == kParcels; }));
+  const auto stats = runtime.locality(0).stats();
+  EXPECT_EQ(stats.messages_sent, stats.parcels_sent);
+  runtime.stop();
+}
+
+TEST(RuntimeLargeArgs, SumArrivesIntact) {
+  Runtime runtime(loopback_config(2), amt::loopback_parcelport_factory());
+  runtime.start();
+  actions::sum_received.store(0);
+  std::vector<std::uint64_t> values(10000);
+  std::iota(values.begin(), values.end(), 1ull);
+  const std::uint64_t expected =
+      std::accumulate(values.begin(), values.end(), 0ull);
+  runtime.locality(0).spawn(
+      [&] { amt::here().apply<&actions::consume_large>(1, values); });
+  ASSERT_TRUE(testutil::spin_until(
+      [&] { return actions::sum_received.load() == expected; }));
+  runtime.stop();
+}
+
+// ---------------- parcelport config names (Table 1) ----------------
+
+TEST(ParcelportConfigTest, ParsesPaperNames) {
+  using amt::ParcelportConfig;
+  const auto baseline = ParcelportConfig::parse("lci_psr_cq_pin_i");
+  EXPECT_EQ(baseline.kind, ParcelportConfig::Kind::kLci);
+  EXPECT_EQ(baseline.protocol, ParcelportConfig::Protocol::kPutSendRecv);
+  EXPECT_EQ(baseline.completion, ParcelportConfig::CompType::kQueue);
+  EXPECT_EQ(baseline.progress, ParcelportConfig::ProgressType::kPinned);
+  EXPECT_TRUE(baseline.send_immediate);
+  EXPECT_EQ(baseline.name(), "lci_psr_cq_pin_i");
+
+  const auto mpi = ParcelportConfig::parse("mpi");
+  EXPECT_EQ(mpi.kind, ParcelportConfig::Kind::kMpi);
+  EXPECT_FALSE(mpi.send_immediate);
+  EXPECT_EQ(mpi.name(), "mpi");
+
+  const auto variant = ParcelportConfig::parse("lci_sr_sy_mt");
+  EXPECT_EQ(variant.protocol, ParcelportConfig::Protocol::kSendRecv);
+  EXPECT_EQ(variant.completion, ParcelportConfig::CompType::kSync);
+  EXPECT_EQ(variant.progress, ParcelportConfig::ProgressType::kWorker);
+  EXPECT_EQ(variant.name(), "lci_sr_sy_mt");
+
+  // rp is the paper's alias for the pinned progress thread.
+  EXPECT_EQ(ParcelportConfig::parse("lci_psr_cq_rp_i").name(),
+            "lci_psr_cq_pin_i");
+}
+
+TEST(ParcelportConfigTest, AblationNames) {
+  using amt::ParcelportConfig;
+  const auto fine = ParcelportConfig::parse("mpi_fine_i");
+  EXPECT_FALSE(fine.mpi_coarse_lock);
+  EXPECT_TRUE(fine.send_immediate);
+  const auto orig = ParcelportConfig::parse("mpi_orig");
+  EXPECT_TRUE(orig.mpi_original);
+}
+
+TEST(ParcelportConfigTest, RejectsUnknownTokens) {
+  EXPECT_THROW(amt::ParcelportConfig::parse("lci_bogus"),
+               std::invalid_argument);
+  EXPECT_THROW(amt::ParcelportConfig::parse("psr_cq"),
+               std::invalid_argument);
+}

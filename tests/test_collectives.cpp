@@ -1,0 +1,112 @@
+// Tests for the action-based collectives: barrier ordering, allreduce
+// correctness, broadcast, repeated rounds, and operation over every
+// parcelport kind.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "amt/collectives.hpp"
+#include "stack/stack.hpp"
+#include "test_util.hpp"
+
+using amt::CollectiveGroup;
+using amt::Latch;
+
+namespace {
+
+/// Runs `fn` as a task on every locality and waits for all to finish.
+template <typename Fn>
+void on_all(amt::Runtime& runtime, Fn&& fn) {
+  const amt::Rank n = runtime.num_localities();
+  Latch done(n);
+  for (amt::Rank r = 0; r < n; ++r) {
+    runtime.locality(r).spawn([&fn, &done] {
+      fn();
+      done.count_down();
+    });
+  }
+  done.wait(runtime.locality(0).scheduler());
+}
+
+}  // namespace
+
+class Collectives : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Collectives, AllreduceSumsContributions) {
+  amtnet::StackOptions options;
+  options.parcelport = GetParam();
+  options.num_localities = 4;
+  auto runtime = amtnet::make_runtime(options);
+  CollectiveGroup group(*runtime);
+
+  std::atomic<int> wrong{0};
+  on_all(*runtime, [&] {
+    const double mine = static_cast<double>(amt::here().rank() + 1);
+    const double sum = group.allreduce_sum(mine);
+    if (sum != 1.0 + 2.0 + 3.0 + 4.0) wrong.fetch_add(1);
+  });
+  EXPECT_EQ(wrong.load(), 0);
+  runtime->stop();
+}
+
+TEST_P(Collectives, BarrierSeparatesPhases) {
+  amtnet::StackOptions options;
+  options.parcelport = GetParam();
+  options.num_localities = 3;
+  auto runtime = amtnet::make_runtime(options);
+  CollectiveGroup group(*runtime);
+
+  std::atomic<int> phase1{0};
+  std::atomic<int> violations{0};
+  on_all(*runtime, [&] {
+    phase1.fetch_add(1);
+    group.barrier();
+    // After the barrier, every rank must observe all phase-1 increments.
+    if (phase1.load() != 3) violations.fetch_add(1);
+  });
+  EXPECT_EQ(violations.load(), 0);
+  runtime->stop();
+}
+
+TEST_P(Collectives, BroadcastDistributesRootValue) {
+  amtnet::StackOptions options;
+  options.parcelport = GetParam();
+  options.num_localities = 4;
+  auto runtime = amtnet::make_runtime(options);
+  CollectiveGroup group(*runtime);
+
+  std::atomic<int> wrong{0};
+  on_all(*runtime, [&] {
+    const double got = group.broadcast_from_root(
+        amt::here().rank() == 0 ? 12.5 : -1.0);
+    if (got != 12.5) wrong.fetch_add(1);
+  });
+  EXPECT_EQ(wrong.load(), 0);
+  runtime->stop();
+}
+
+TEST_P(Collectives, ManyBackToBackRounds) {
+  amtnet::StackOptions options;
+  options.parcelport = GetParam();
+  options.num_localities = 3;
+  auto runtime = amtnet::make_runtime(options);
+  CollectiveGroup group(*runtime);
+
+  std::atomic<int> wrong{0};
+  on_all(*runtime, [&] {
+    for (int round = 1; round <= 30; ++round) {
+      const double sum = group.allreduce_sum(static_cast<double>(round));
+      if (sum != 3.0 * round) wrong.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(wrong.load(), 0);
+  runtime->stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, Collectives,
+                         ::testing::Values("lci_psr_cq_pin_i", "mpi_i",
+                                           "tcp_i", "lci_sr_sy_mt"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });

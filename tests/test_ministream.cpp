@@ -1,0 +1,209 @@
+// Tests for the ministream byte-stream layer and the TCP parcelport built on
+// it: ordered delivery across a reordering fabric, partial sends
+// (EWOULDBLOCK semantics), incremental frame parsing, interleaved frames,
+// and end-to-end actions over the "tcp" configuration.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "ministream/stream_mux.hpp"
+#include "stack/stack.hpp"
+#include "test_util.hpp"
+
+using ministream::StreamMux;
+
+namespace {
+
+fabric::Config reordering_loopback(fabric::Rank ranks = 2) {
+  fabric::Config config = fabric::Profile::loopback(ranks);
+  config.num_rails = 4;  // force segment reordering pressure
+  return config;
+}
+
+}  // namespace
+
+TEST(StreamMux, BytesArriveInOrder) {
+  fabric::Fabric fabric(reordering_loopback());
+  StreamMux a(fabric, 0), b(fabric, 1);
+
+  const auto data = testutil::make_pattern(1, 100000);  // many segments
+  std::size_t sent = 0;
+  std::vector<std::byte> received;
+  while (received.size() < data.size()) {
+    if (sent < data.size()) {
+      sent += a.send_some(1, data.data() + sent, data.size() - sent);
+    }
+    a.progress();
+    b.progress();
+    std::byte chunk[4096];
+    const std::size_t got = b.recv_some(0, chunk, sizeof(chunk));
+    received.insert(received.end(), chunk, chunk + got);
+  }
+  EXPECT_EQ(received, data);
+  EXPECT_EQ(b.bytes_received(), data.size());
+}
+
+TEST(StreamMux, SendBufferBoundsAcceptance) {
+  ministream::Config config;
+  config.send_buffer = 1024;
+  fabric::Config fab = fabric::Profile::loopback(2);
+  fab.tx_window = 1;  // nothing drains without progress on the peer
+  fabric::Fabric fabric(fab);
+  StreamMux a(fabric, 0, config), b(fabric, 1, config);
+
+  std::vector<std::byte> data(4096);
+  std::size_t accepted = a.send_some(1, data.data(), data.size());
+  EXPECT_LE(accepted, 1024u + 8192u);  // buffer + at most one wire segment
+  // Saturated: now acceptance must hit zero until the peer drains.
+  std::size_t more = a.send_some(1, data.data(), data.size());
+  while (more > 0) more = a.send_some(1, data.data(), data.size());
+  SUCCEED();
+}
+
+TEST(StreamMux, DuplexAndMultiplePeers) {
+  fabric::Fabric fabric(reordering_loopback(3));
+  StreamMux m0(fabric, 0), m1(fabric, 1), m2(fabric, 2);
+
+  const auto to1 = testutil::make_pattern(1, 5000);
+  const auto to2 = testutil::make_pattern(2, 7000);
+  const auto back = testutil::make_pattern(3, 3000);
+  std::size_t s1 = 0, s2 = 0, s3 = 0;
+  std::vector<std::byte> r1, r2, r3;
+  auto pump = [&] {
+    m0.progress();
+    m1.progress();
+    m2.progress();
+  };
+  while (r1.size() < to1.size() || r2.size() < to2.size() ||
+         r3.size() < back.size()) {
+    if (s1 < to1.size()) s1 += m0.send_some(1, to1.data() + s1, to1.size() - s1);
+    if (s2 < to2.size()) s2 += m0.send_some(2, to2.data() + s2, to2.size() - s2);
+    if (s3 < back.size()) s3 += m1.send_some(0, back.data() + s3, back.size() - s3);
+    pump();
+    std::byte chunk[2048];
+    std::size_t got = m1.recv_some(0, chunk, sizeof(chunk));
+    r1.insert(r1.end(), chunk, chunk + got);
+    got = m2.recv_some(0, chunk, sizeof(chunk));
+    r2.insert(r2.end(), chunk, chunk + got);
+    got = m0.recv_some(1, chunk, sizeof(chunk));
+    r3.insert(r3.end(), chunk, chunk + got);
+  }
+  EXPECT_EQ(r1, to1);
+  EXPECT_EQ(r2, to2);
+  EXPECT_EQ(r3, back);
+}
+
+TEST(StreamMux, ConcurrentSendersOnePeer) {
+  fabric::Fabric fabric(reordering_loopback());
+  StreamMux a(fabric, 0), b(fabric, 1);
+  // Two threads interleave send_some calls; the byte stream must still be a
+  // valid interleaving at chunk granularity — we verify totals.
+  constexpr std::size_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::byte> block(100, static_cast<std::byte>(t + 1));
+      std::size_t sent = 0;
+      while (sent < kPerThread) {
+        const std::size_t n =
+            a.send_some(1, block.data(),
+                        std::min(block.size(), kPerThread - sent));
+        sent += n;
+        if (n == 0) {
+          a.progress();
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::uint64_t ones = 0, twos = 0, total = 0;
+  while (total < 2 * kPerThread) {
+    a.progress();
+    b.progress();
+    std::byte chunk[4096];
+    const std::size_t got = b.recv_some(0, chunk, sizeof(chunk));
+    for (std::size_t i = 0; i < got; ++i) {
+      if (chunk[i] == std::byte{1}) ++ones;
+      if (chunk[i] == std::byte{2}) ++twos;
+    }
+    total += got;
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ones, kPerThread);
+  EXPECT_EQ(twos, kPerThread);
+}
+
+// ---------------- TCP parcelport end-to-end ----------------
+
+namespace tcp_e2e {
+
+std::atomic<std::uint64_t> received{0};
+
+void sink(std::vector<std::uint8_t> data) {
+  received.fetch_add(data.size());
+}
+
+double sum(std::vector<double> values) {
+  double s = 0;
+  for (double v : values) s += v;
+  return s;
+}
+
+}  // namespace tcp_e2e
+
+TEST(TcpParcelport, ConfigParses) {
+  const auto config = amt::ParcelportConfig::parse("tcp");
+  EXPECT_EQ(config.kind, amt::ParcelportConfig::Kind::kTcp);
+  EXPECT_EQ(config.name(), "tcp");
+  EXPECT_EQ(amt::ParcelportConfig::parse("tcp_i").name(), "tcp_i");
+}
+
+TEST(TcpParcelport, SmallAndLargeActions) {
+  for (const char* name : {"tcp", "tcp_i"}) {
+    amtnet::StackOptions options;
+    options.parcelport = name;
+    options.num_localities = 2;
+    auto runtime = amtnet::make_runtime(options);
+    double result = 0;
+    amt::Latch done(1);
+    std::vector<double> values(8192, 0.25);  // 64 KiB zero-copy chunk
+    runtime->locality(0).spawn([&] {
+      result = amt::here().async<&tcp_e2e::sum>(1, values).get();
+      done.count_down();
+    });
+    done.wait(runtime->locality(0).scheduler());
+    EXPECT_DOUBLE_EQ(result, 2048.0) << name;
+    runtime->stop();
+  }
+}
+
+TEST(TcpParcelport, ManyInterleavedFrames) {
+  amtnet::StackOptions options;
+  options.parcelport = "tcp_i";
+  options.num_localities = 3;
+  options.threads_per_locality = 2;
+  auto runtime = amtnet::make_runtime(options);
+  tcp_e2e::received.store(0);
+  constexpr int kMessages = 100;
+  std::uint64_t expected = 0;
+  for (amt::Rank src : {0u, 2u}) {
+    runtime->locality(src).spawn([&] {
+      for (int i = 0; i < kMessages; ++i) {
+        const std::size_t size = 64 + (i % 7) * 3000;  // mixed frame sizes
+        amt::here().apply<&tcp_e2e::sink>(
+            1, std::vector<std::uint8_t>(size, 1));
+      }
+    });
+  }
+  for (int i = 0; i < kMessages; ++i) {
+    expected += 2 * (64 + (i % 7) * 3000);
+  }
+  ASSERT_TRUE(testutil::spin_until(
+      [&] { return tcp_e2e::received.load() == expected; },
+      std::chrono::milliseconds(30000)));
+  runtime->stop();
+}

@@ -1,0 +1,243 @@
+// Tests for the Octo-Tiger proxy: Morton indexing properties, grid kernels
+// (mass conservation, face extraction), partition coverage, and the key
+// oracle — the distributed run over real parcelports produces a BIT-EXACT
+// checksum match with the serial reference, for every backend and several
+// locality counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "octoproxy/simulation.hpp"
+#include "stack/stack.hpp"
+
+using octo::LeafGrid;
+using octo::LeafId;
+using octo::Params;
+
+// ---------------- morton ----------------
+
+TEST(Morton, EncodeDecodeRoundTrip) {
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    for (std::uint32_t y = 0; y < 8; ++y) {
+      for (std::uint32_t z = 0; z < 8; ++z) {
+        const auto code = octo::morton_encode(x, y, z);
+        const auto [dx, dy, dz] = octo::morton_decode(code);
+        EXPECT_EQ(dx, x);
+        EXPECT_EQ(dy, y);
+        EXPECT_EQ(dz, z);
+      }
+    }
+  }
+}
+
+TEST(Morton, CodesAreAPermutation) {
+  constexpr int kLevel = 3;
+  std::set<LeafId> seen;
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    for (std::uint32_t y = 0; y < 8; ++y) {
+      for (std::uint32_t z = 0; z < 8; ++z) {
+        seen.insert(octo::morton_encode(x, y, z));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 512u);
+  EXPECT_EQ(*seen.rbegin(), 511u);
+  (void)kLevel;
+}
+
+TEST(Morton, FaceNeighborsAreSymmetric) {
+  constexpr int kLevel = 3;
+  for (LeafId leaf = 0; leaf < 512; ++leaf) {
+    for (int face = 0; face < octo::kNumFaces; ++face) {
+      const auto nbr = octo::face_neighbor(leaf, face, kLevel);
+      if (!nbr) continue;
+      const auto back =
+          octo::face_neighbor(*nbr, octo::opposite_face(face), kLevel);
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(*back, leaf);
+    }
+  }
+}
+
+TEST(Morton, BoundaryHasNoNeighbor) {
+  constexpr int kLevel = 2;
+  const LeafId corner = octo::morton_encode(0, 0, 0);
+  EXPECT_FALSE(octo::face_neighbor(corner, 0, kLevel).has_value());  // -x
+  EXPECT_FALSE(octo::face_neighbor(corner, 2, kLevel).has_value());  // -y
+  EXPECT_FALSE(octo::face_neighbor(corner, 4, kLevel).has_value());  // -z
+  EXPECT_TRUE(octo::face_neighbor(corner, 1, kLevel).has_value());   // +x
+}
+
+TEST(Morton, PartitionCoversEveryLeafExactlyOnce) {
+  const std::uint64_t n_leaves = 512;
+  for (std::uint32_t parts : {1u, 2u, 3u, 4u, 7u, 8u, 16u}) {
+    std::uint64_t covered = 0;
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      const LeafId lo = octo::partition_begin(p, n_leaves, parts);
+      const LeafId hi = octo::partition_begin(p + 1, n_leaves, parts);
+      EXPECT_LE(lo, hi);
+      for (LeafId leaf = lo; leaf < hi; ++leaf) {
+        EXPECT_EQ(octo::owner_of_leaf(leaf, n_leaves, parts), p);
+      }
+      covered += hi - lo;
+    }
+    EXPECT_EQ(covered, n_leaves) << parts << " parts";
+  }
+}
+
+// ---------------- leaf grid ----------------
+
+TEST(LeafGridTest, InitIsDeterministic) {
+  LeafGrid a, b;
+  a.init(17, 8, 42);
+  b.init(17, 8, 42);
+  EXPECT_EQ(a.rho, b.rho);
+  LeafGrid c;
+  c.init(17, 8, 43);  // different seed
+  EXPECT_NE(a.rho, c.rho);
+}
+
+TEST(LeafGridTest, InteriorDiffusionConservesMass) {
+  LeafGrid grid;
+  grid.init(0, 8, 1);
+  // No ghosts: all faces are zero-flux -> mass exactly conserved up to FP.
+  const double before = grid.mass();
+  for (int i = 0; i < 10; ++i) grid.diffuse(0.1);
+  EXPECT_NEAR(grid.mass(), before, 1e-9 * before);
+}
+
+TEST(LeafGridTest, DiffusionSmoothsTowardsUniform) {
+  LeafGrid grid;
+  grid.init(0, 8, 1);
+  auto spread = [&] {
+    double lo = 1e300, hi = -1e300;
+    for (double q : grid.rho) {
+      lo = std::min(lo, q);
+      hi = std::max(hi, q);
+    }
+    return hi - lo;
+  };
+  const double before = spread();
+  for (int i = 0; i < 20; ++i) grid.diffuse(0.1);
+  EXPECT_LT(spread(), before);
+}
+
+TEST(LeafGridTest, FaceExtractionMatchesCells) {
+  LeafGrid grid;
+  grid.init(0, 4, 9);
+  const auto plane = grid.extract_face(1);  // +x face -> i == nx-1
+  ASSERT_EQ(plane.size(), 16u);
+  for (int v = 0; v < 4; ++v) {
+    for (int u = 0; u < 4; ++u) {
+      // axis = x; u -> y, v -> z.
+      EXPECT_DOUBLE_EQ(plane[static_cast<size_t>(u + 4 * v)],
+                       grid.rho[static_cast<size_t>(grid.idx(3, u, v))]);
+    }
+  }
+}
+
+TEST(LeafGridTest, PairedFluxesConserveMassAcrossLeaves) {
+  // Two leaves side by side exchanging ghost planes: combined mass must be
+  // conserved to FP accuracy.
+  LeafGrid a, b;
+  a.init(octo::morton_encode(0, 0, 0), 8, 3);
+  b.init(octo::morton_encode(1, 0, 0), 8, 3);
+  const double before = a.mass() + b.mass();
+  for (int step = 0; step < 10; ++step) {
+    a.ghosts[1] = b.extract_face(0);  // a's +x ghost = b's -x plane
+    b.ghosts[0] = a.extract_face(1);  // b's -x ghost = a's +x plane
+    a.diffuse(0.1);
+    b.diffuse(0.1);
+  }
+  EXPECT_NEAR(a.mass() + b.mass(), before, 1e-9 * before);
+}
+
+TEST(LeafGridTest, MultipoleMassMatchesSum) {
+  LeafGrid grid;
+  grid.init(5, 8, 7);
+  const auto m = grid.multipole(5);
+  EXPECT_NEAR(m[0], grid.mass(), 1e-12 * grid.mass());
+  EXPECT_DOUBLE_EQ(m[7], 512.0);  // cell count
+}
+
+TEST(LeafGridTest, FingerprintSensitivity) {
+  LeafGrid a, b;
+  a.init(3, 8, 11);
+  b.init(3, 8, 11);
+  EXPECT_EQ(octo::leaf_fingerprint(3, a), octo::leaf_fingerprint(3, b));
+  b.rho[100] += 1e-15;  // any bit flip must change the fingerprint
+  EXPECT_NE(octo::leaf_fingerprint(3, a), octo::leaf_fingerprint(3, b));
+  EXPECT_NE(octo::leaf_fingerprint(3, a), octo::leaf_fingerprint(4, a));
+}
+
+// ---------------- serial reference ----------------
+
+TEST(OctoReference, MassConserved) {
+  Params params;
+  params.level = 2;
+  params.steps = 4;
+  const auto report = octo::run_reference(params);
+  EXPECT_NEAR(report.final_mass, report.initial_mass,
+              1e-9 * report.initial_mass);
+  EXPECT_NE(report.checksum, 0u);
+}
+
+TEST(OctoReference, DeterministicAcrossRuns) {
+  Params params;
+  params.level = 2;
+  params.steps = 3;
+  const auto a = octo::run_reference(params);
+  const auto b = octo::run_reference(params);
+  EXPECT_EQ(a.checksum, b.checksum);
+  params.seed = 43;
+  const auto c = octo::run_reference(params);
+  EXPECT_NE(a.checksum, c.checksum);
+}
+
+// ---------------- distributed vs reference (the oracle) ----------------
+
+struct DistCase {
+  const char* parcelport;
+  amt::Rank localities;
+};
+
+class OctoDistributed : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(OctoDistributed, BitExactVsSerialReference) {
+  const auto param = GetParam();
+  Params params;
+  params.level = 2;  // 64 leaves
+  params.steps = 3;
+  const auto expected = octo::run_reference(params);
+
+  amtnet::StackOptions options;
+  options.parcelport = param.parcelport;
+  options.num_localities = param.localities;
+  options.threads_per_locality = 2;
+  auto runtime = amtnet::make_runtime(options);
+  const auto report = octo::run_simulation(*runtime, params);
+  runtime->stop();
+
+  EXPECT_EQ(report.checksum, expected.checksum)
+      << param.parcelport << " x" << param.localities;
+  EXPECT_NEAR(report.final_mass, report.initial_mass,
+              1e-9 * report.initial_mass);
+  EXPECT_NEAR(report.final_mass, expected.final_mass,
+              1e-9 * expected.final_mass);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OctoDistributed,
+    ::testing::Values(DistCase{"lci_psr_cq_pin_i", 1},
+                      DistCase{"lci_psr_cq_pin_i", 2},
+                      DistCase{"lci_psr_cq_pin_i", 4},
+                      DistCase{"lci_psr_cq_pin", 2},
+                      DistCase{"lci_sr_sy_mt_i", 2},
+                      DistCase{"lci_psr_sy_pin_i", 3},
+                      DistCase{"mpi", 2}, DistCase{"mpi_i", 2},
+                      DistCase{"mpi_i", 4}, DistCase{"mpi_orig", 2}),
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+      return std::string(info.param.parcelport) + "_x" +
+             std::to_string(info.param.localities);
+    });

@@ -1,0 +1,256 @@
+// End-to-end integration tests: action invocation over the real network
+// stack (fabric -> minimpi/minilci -> parcelport -> runtime) for EVERY
+// parcelport configuration in the paper's Table 1, plus the ablation
+// variants (mpi_fine, mpi_orig). Also covers the wire-header encoding and
+// cross-configuration message equivalence.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "amt/wire_header.hpp"
+#include "stack/stack.hpp"
+#include "test_util.hpp"
+
+using amt::Latch;
+using amtnet::StackOptions;
+
+// ---------------- wire header unit tests ----------------
+
+namespace {
+
+amt::OutMessage make_msg(std::size_t main_size,
+                         std::vector<std::size_t> zsizes) {
+  amt::OutMessage msg;
+  msg.main_chunk.resize(main_size, std::byte{0x5a});
+  for (std::size_t i = 0; i < zsizes.size(); ++i) {
+    auto owned = std::make_shared<std::vector<std::byte>>(
+        zsizes[i], static_cast<std::byte>(i + 1));
+    msg.zchunks.push_back(
+        amt::ZChunk{owned->data(), owned->size(), owned});
+  }
+  return msg;
+}
+
+}  // namespace
+
+TEST(WireHeader, SmallMessageFullyPiggybacked) {
+  const auto msg = make_msg(100, {});
+  const auto plan = amt::HeaderPlan::decide(msg, 8192);
+  EXPECT_TRUE(plan.piggy_main);
+  EXPECT_FALSE(plan.piggy_tchunk);
+  EXPECT_EQ(plan.num_followups(msg), 0u);
+}
+
+TEST(WireHeader, LargeMainBecomesFollowup) {
+  const auto msg = make_msg(10000, {});
+  const auto plan = amt::HeaderPlan::decide(msg, 8192);
+  EXPECT_FALSE(plan.piggy_main);
+  EXPECT_EQ(plan.num_followups(msg), 1u);
+}
+
+TEST(WireHeader, ZchunksAddFollowups) {
+  const auto msg = make_msg(100, {20000, 30000});
+  const auto plan = amt::HeaderPlan::decide(msg, 8192);
+  EXPECT_TRUE(plan.piggy_main);
+  EXPECT_TRUE(plan.piggy_tchunk);
+  EXPECT_EQ(plan.num_followups(msg), 2u);  // just the two zero-copy chunks
+}
+
+TEST(WireHeader, EncodeDecodeRoundTrip) {
+  const auto msg = make_msg(64, {9000});
+  const auto plan = amt::HeaderPlan::decide(msg, 8192);
+  std::vector<std::byte> wire;
+  amt::encode_header(msg, plan, 1234, wire);
+  EXPECT_LE(wire.size(), 8192u);
+  const auto decoded = amt::decode_header(wire.data(), wire.size());
+  EXPECT_EQ(decoded.fields.tag, 1234u);
+  EXPECT_EQ(decoded.fields.num_zchunks, 1u);
+  EXPECT_EQ(decoded.fields.main_size, 64u);
+  ASSERT_TRUE(decoded.fields.piggy_main);
+  EXPECT_EQ(decoded.piggy_main.size(), 64u);
+  ASSERT_TRUE(decoded.fields.piggy_tchunk);
+  const auto sizes = amt::parse_tchunk(decoded.piggy_tchunk.data(),
+                                       decoded.piggy_tchunk.size());
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 9000u);
+}
+
+TEST(WireHeader, OriginalPolicyFixed512NoTchunkPiggyback) {
+  const auto small = make_msg(100, {20000});
+  auto plan = amt::HeaderPlan::decide_original(small);
+  EXPECT_TRUE(plan.piggy_main);
+  EXPECT_FALSE(plan.piggy_tchunk);     // the original never piggybacks it
+  EXPECT_EQ(plan.num_followups(small), 2u);  // tchunk + zchunk
+
+  const auto big = make_msg(600, {});  // does not fit in 512 bytes
+  plan = amt::HeaderPlan::decide_original(big);
+  EXPECT_FALSE(plan.piggy_main);
+}
+
+// ---------------- end-to-end over every configuration ----------------
+
+namespace e2e {
+
+std::atomic<std::uint64_t> counter{0};
+std::atomic<std::uint64_t> large_checksum{0};
+
+void bump(std::uint64_t amount) { counter.fetch_add(amount); }
+
+std::uint64_t echo_add(std::uint64_t value) { return value + 1; }
+
+double dot(std::vector<double> a, std::vector<double> b) {
+  double sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void consume(std::vector<std::uint64_t> values) {
+  std::uint64_t sum = 0;
+  for (auto v : values) sum += v;
+  large_checksum.fetch_add(sum);
+}
+
+std::vector<double> make_data(std::uint64_t n) {
+  return std::vector<double>(n, 2.0);
+}
+
+}  // namespace e2e
+
+class ParcelportE2E : public ::testing::TestWithParam<const char*> {
+ protected:
+  StackOptions options() const {
+    StackOptions options;
+    options.parcelport = GetParam();
+    options.num_localities = 2;
+    options.threads_per_locality = 2;
+    options.platform = "loopback";
+    return options;
+  }
+};
+
+TEST_P(ParcelportE2E, SmallActionRoundTrip) {
+  auto runtime = amtnet::make_runtime(options());
+  std::uint64_t result = 0;
+  Latch done(1);
+  runtime->locality(0).spawn([&] {
+    result = amt::here().async<&e2e::echo_add>(1, std::uint64_t{41}).get();
+    done.count_down();
+  });
+  done.wait(runtime->locality(0).scheduler());
+  EXPECT_EQ(result, 42u);
+  runtime->stop();
+}
+
+TEST_P(ParcelportE2E, LargeArgumentsUseZeroCopyPath) {
+  auto runtime = amtnet::make_runtime(options());
+  double result = 0;
+  Latch done(1);
+  // Two 32 KiB vectors: header + 2 zero-copy chunks over the wire.
+  std::vector<double> a(4096, 2.0), b(4096, 3.0);
+  runtime->locality(0).spawn([&] {
+    result = amt::here().async<&e2e::dot>(1, a, b).get();
+    done.count_down();
+  });
+  done.wait(runtime->locality(0).scheduler());
+  EXPECT_DOUBLE_EQ(result, 4096.0 * 6.0);
+  runtime->stop();
+}
+
+TEST_P(ParcelportE2E, MediumMainChunkFollowup) {
+  // A ~16 KiB inline payload: too big to piggyback, too small for a
+  // zero-copy chunk with a huge threshold -> exercises the separate
+  // non-zero-copy-chunk follow-up message.
+  StackOptions opts = options();
+  opts.zero_copy_threshold = 64 * 1024;
+  auto runtime = amtnet::make_runtime(opts);
+  e2e::large_checksum.store(0);
+  std::vector<std::uint64_t> values(2000);
+  std::iota(values.begin(), values.end(), 1ull);
+  const std::uint64_t expected =
+      std::accumulate(values.begin(), values.end(), 0ull);
+  runtime->locality(0).spawn(
+      [&] { amt::here().apply<&e2e::consume>(1, values); });
+  ASSERT_TRUE(testutil::spin_until(
+      [&] { return e2e::large_checksum.load() == expected; },
+      std::chrono::milliseconds(10000)));
+  runtime->stop();
+}
+
+TEST_P(ParcelportE2E, ManyConcurrentParcels) {
+  auto runtime = amtnet::make_runtime(options());
+  e2e::counter.store(0);
+  constexpr int kParcels = 400;
+  // Fire from both localities at once, in both directions.
+  for (amt::Rank r = 0; r < 2; ++r) {
+    runtime->locality(r).spawn([&, r] {
+      for (int i = 1; i <= kParcels; ++i) {
+        amt::here().apply<&e2e::bump>(1 - r,
+                                      static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  const std::uint64_t expected =
+      2ull * kParcels * (kParcels + 1) / 2;
+  ASSERT_TRUE(testutil::spin_until(
+      [&] { return e2e::counter.load() == expected; },
+      std::chrono::milliseconds(20000)));
+  runtime->stop();
+}
+
+TEST_P(ParcelportE2E, ResultsComingBackLarge) {
+  auto runtime = amtnet::make_runtime(options());
+  std::vector<double> result;
+  Latch done(1);
+  runtime->locality(0).spawn([&] {
+    result =
+        amt::here().async<&e2e::make_data>(1, std::uint64_t{5000}).get();
+    done.count_down();
+  });
+  done.wait(runtime->locality(0).scheduler());
+  ASSERT_EQ(result.size(), 5000u);
+  EXPECT_DOUBLE_EQ(result[4999], 2.0);
+  runtime->stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, ParcelportE2E,
+    ::testing::Values(
+        // MPI parcelport + ablations
+        "mpi", "mpi_i", "mpi_fine_i", "mpi_orig", "mpi_orig_i",
+        // LCI parcelport: all 8 variant combinations, with and without the
+        // send-immediate optimisation for the baseline axes
+        "lci_psr_cq_pin", "lci_psr_cq_pin_i", "lci_psr_cq_mt_i",
+        "lci_psr_sy_pin_i", "lci_psr_sy_mt_i", "lci_sr_cq_pin_i",
+        "lci_sr_cq_mt_i", "lci_sr_sy_pin_i", "lci_sr_sy_mt_i",
+        "lci_sr_sy_mt"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return std::string(info.param);
+    });
+
+// ---------------- cross-locality scaling sanity ----------------
+
+TEST(ParcelportScaling, FourLocalitiesAllToAll) {
+  for (const char* name : {"mpi_i", "lci_psr_cq_pin_i"}) {
+    StackOptions options;
+    options.parcelport = name;
+    options.num_localities = 4;
+    options.threads_per_locality = 1;
+    auto runtime = amtnet::make_runtime(options);
+    e2e::counter.store(0);
+    for (amt::Rank r = 0; r < 4; ++r) {
+      runtime->locality(r).spawn([&] {
+        for (amt::Rank dst = 0; dst < 4; ++dst) {
+          amt::here().apply<&e2e::bump>(dst, 1);
+        }
+      });
+    }
+    ASSERT_TRUE(testutil::spin_until(
+        [&] { return e2e::counter.load() == 16; },
+        std::chrono::milliseconds(10000)))
+        << name << " delivered " << e2e::counter.load() << "/16";
+    runtime->stop();
+  }
+}

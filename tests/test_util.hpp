@@ -1,0 +1,61 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace testutil {
+
+/// Spins (with yields) until `pred` returns true or `timeout` elapses.
+/// Returns whether the predicate became true.
+template <typename Pred>
+bool spin_until(Pred&& pred,
+                std::chrono::milliseconds timeout =
+                    std::chrono::milliseconds(5000)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+/// Like spin_until but calls `pump` (e.g. a progress function) each spin.
+template <typename Pred, typename Pump>
+bool pump_until(Pred&& pred, Pump&& pump,
+                std::chrono::milliseconds timeout =
+                    std::chrono::milliseconds(5000)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    pump();
+    if (std::chrono::steady_clock::now() > deadline) return false;
+  }
+  return true;
+}
+
+/// Deterministic payload byte for (message id, offset): lets receivers verify
+/// content without shipping expected buffers around.
+inline std::byte pattern_byte(std::uint64_t msg_id, std::size_t offset) {
+  return static_cast<std::byte>((msg_id * 131 + offset * 7 + 13) & 0xff);
+}
+
+inline std::vector<std::byte> make_pattern(std::uint64_t msg_id,
+                                           std::size_t len) {
+  std::vector<std::byte> data(len);
+  for (std::size_t i = 0; i < len; ++i) data[i] = pattern_byte(msg_id, i);
+  return data;
+}
+
+inline bool check_pattern(const std::byte* data, std::uint64_t msg_id,
+                          std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    if (data[i] != pattern_byte(msg_id, i)) return false;
+  }
+  return true;
+}
+
+}  // namespace testutil
