@@ -7,8 +7,8 @@
 //     queued parcels into one HPX message).
 #include "harness.hpp"
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Ablation: parcel aggregation (send-immediate vs connection-cache "
       "limits)",

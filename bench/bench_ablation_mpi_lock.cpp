@@ -5,8 +5,8 @@
 // lock disciplines are compared directly under the same parcelport.
 #include "harness.hpp"
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Ablation: coarse vs fine-grained progress lock in the MPI layer",
       "the fine-grained variant sustains higher 16KiB message rates and "

@@ -10,8 +10,8 @@
 
 #include "harness.hpp"
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Ablation: original vs improved MPI parcelport (paper end of §3.1)",
       "improved ('mpi') beats original ('mpi_orig') on the proxy app and on "

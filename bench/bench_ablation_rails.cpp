@@ -5,8 +5,8 @@
 // and more receive-side channel try-locks to spread pollers across.
 #include "harness.hpp"
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Ablation: fabric rails per link (multi-QP striping, paper §7.2)",
       "more rails relieve per-channel serialisation for 16KiB floods; with "

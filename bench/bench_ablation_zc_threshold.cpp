@@ -7,8 +7,8 @@
 // default is meant to straddle.
 #include "harness.hpp"
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Ablation: zero-copy serialization threshold (HPX default 8192)",
       "for 4KiB payloads: a tiny threshold forces needless rendezvous "

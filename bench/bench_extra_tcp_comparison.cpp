@@ -5,8 +5,8 @@
 // concurrent-message parallelism.
 #include "harness.hpp"
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Extra: TCP parcelport vs MPI vs LCI",
       "tcp trails both on message rate (every message funnels through one "

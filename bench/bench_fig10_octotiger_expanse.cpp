@@ -8,8 +8,8 @@
 
 #include "harness.hpp"
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Figure 10: Octo-Tiger proxy strong scaling, Expanse profile (level "
       "6 -> proxy level 3, 5 steps -> scaled)",

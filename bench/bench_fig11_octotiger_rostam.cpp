@@ -6,8 +6,8 @@
 
 #include "harness.hpp"
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Figure 11: Octo-Tiger proxy strong scaling, Rostam profile (level 5 "
       "-> proxy level 2, 5 steps -> scaled)",

@@ -2,8 +2,8 @@
 // rate — MPI vs LCI, with and without the send-immediate optimisation.
 #include "harness.hpp"
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Figure 1: 8B message rate vs injection rate (mpi, mpi_i, "
       "lci_psr_cq_pin, lci_psr_cq_pin_i)",

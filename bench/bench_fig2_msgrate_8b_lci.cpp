@@ -2,8 +2,8 @@
 // rate — the eight LCI variant combinations, all with send-immediate.
 #include "harness.hpp"
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Figure 2: 8B message rate vs injection rate (8 LCI variants, _i)",
       "pin > mt (dedicated progress thread wins, up to 2.6x); psr > sr "

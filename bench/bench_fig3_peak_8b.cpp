@@ -4,8 +4,8 @@
 
 #include "harness.hpp"
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Figure 3: peak 8B message rate across injection rates (11 configs)",
       "lci_psr_cq_pin_i highest; all mt variants clustered well below the "

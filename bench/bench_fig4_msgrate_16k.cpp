@@ -3,8 +3,8 @@
 // zero-copy threshold, so each parcel travels as header + one follow-up.
 #include "harness.hpp"
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Figure 4: 16KiB message rate vs injection rate (mpi, mpi_i, "
       "lci_psr_cq_pin, lci_psr_cq_pin_i)",

@@ -2,8 +2,8 @@
 // variants with send-immediate.
 #include "harness.hpp"
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Figure 5: 16KiB message rate vs injection rate (8 LCI variants, _i)",
       "cq variants plateau smoothly and ~25-30% above sy variants (which "

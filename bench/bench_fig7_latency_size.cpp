@@ -3,8 +3,8 @@
 // 8192-byte default, so sizes above 8 KiB add a rendezvous follow-up.
 #include "harness.hpp"
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Figure 7: one-way latency vs message size, window 1 (11 configs)",
       "lci_psr_cq_pin(_i) lowest across sizes; mpi_i competitive below 1KB "

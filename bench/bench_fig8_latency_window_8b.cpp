@@ -2,8 +2,8 @@
 // ping-pong chains), all eleven configurations.
 #include "harness.hpp"
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Figure 8: 8B one-way latency vs window size (11 configs)",
       "latency grows with window everywhere; lci_psr_cq_pin_i stays lowest; "

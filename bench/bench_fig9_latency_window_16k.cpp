@@ -2,8 +2,8 @@
 // configurations. Each message uses header + rendezvous follow-up.
 #include "harness.hpp"
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Figure 9: 16KiB one-way latency vs window size (11 configs)",
       "the mpi/lci gap widens with the window (paper: mpi_i vs "

@@ -1,0 +1,27 @@
+// Telemetry overhead probe: unlimited-rate 8B flood on the fastest config
+// (lci_psr_cq_pin_i), one CSV rate row. Compare three settings to check the
+// "telemetry costs <= 5% message rate" budget:
+//   * this build as-is            (counters + timing histograms, tracing off)
+//   * AMTNET_TELEMETRY=0          (counters only; no clock reads)
+//   * a -DAMTNET_TELEMETRY_DISABLED=ON build (everything compiled out)
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
+  bench::print_header(
+      "Telemetry overhead probe: unlimited 8B flood, lci_psr_cq_pin_i",
+      "rate within ~5% of an AMTNET_TELEMETRY_DISABLED build; "
+      "AMTNET_TELEMETRY=0 within noise of it",
+      env);
+  std::printf("config,attempted_K/s,achieved_injection_K/s,message_rate_K/s,"
+              "stddev_K/s\n");
+  bench::RateParams params;
+  params.parcelport = "lci_psr_cq_pin_i";
+  params.msg_size = 8;
+  params.batch = 100;
+  params.total_msgs = static_cast<std::size_t>(20000 * env.scale);
+  params.attempted_rate = 0;  // unlimited
+  params.workers = env.workers;
+  bench::report_rate_point(params, env.runs);
+  return 0;
+}

@@ -1,15 +1,23 @@
 // Profiling breakdown — the reproduction analogue of the paper's "profiling
 // results show ..." analyses. Runs the same 16 KiB flood under each backend
-// and prints the layer-by-layer counters: parcels vs HPX messages
-// (aggregation ratio), fabric packets and bytes (protocol message overhead),
-// TX-window rejections and RNR stalls (back-pressure), connection-cache
-// pressure, and tasks executed per delivered message (runtime overhead).
+// and prints the layer-by-layer breakdown, read entirely from the runtime's
+// telemetry registry (src/telemetry/): parcels vs HPX messages (aggregation
+// ratio), fabric packets and bytes (protocol message overhead), TX-window
+// rejections and RNR stalls (back-pressure), connection-cache pressure,
+// tasks executed per delivered message (runtime overhead), and the latency
+// histograms — serialize time, LCI progress time, and the MPI progress-lock
+// acquire wait (the paper §4's smoking gun for the mpi backend).
+//
+// Also dumps a Chrome-trace JSON (chrome://tracing / Perfetto) of the run to
+// AMTNET_TRACE_FILE, or bench_profile_trace.json when unset.
 #include <atomic>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "harness.hpp"
 #include "stack/stack.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -20,8 +28,20 @@ void sink(std::vector<std::uint8_t> payload) {
   received.fetch_add(1);
 }
 
-void profile_config(const char* name, std::size_t msg_size,
-                    std::size_t total, unsigned workers) {
+void print_hist(const telemetry::Snapshot& snap, const char* label,
+                const std::string& name, double scale, const char* unit) {
+  const telemetry::HistogramSummary* h = snap.histogram(name);
+  if (h == nullptr || h->count == 0) return;
+  std::printf(
+      "  %-24s: p50 %8.2f  p90 %8.2f  p99 %8.2f  max %8.2f %s (n=%llu)\n",
+      label, static_cast<double>(h->p50) * scale,
+      static_cast<double>(h->p90) * scale, static_cast<double>(h->p99) * scale,
+      static_cast<double>(h->max) * scale,
+      unit, static_cast<unsigned long long>(h->count));
+}
+
+void profile_config(const char* name, std::size_t msg_size, std::size_t total,
+                    unsigned workers) {
   amtnet::StackOptions options;
   options.parcelport = name;
   options.num_localities = 2;
@@ -41,60 +61,85 @@ void profile_config(const char* name, std::size_t msg_size,
       [&] { return received.load() >= total; });
   const double seconds = timer.elapsed_s();
 
-  const auto send_stats = runtime->locality(0).stats();
-  const auto recv_stats = runtime->locality(1).stats();
-  const auto tx = runtime->fabric().nic(0).stats();
-  const auto rx = runtime->fabric().nic(1).stats();
-  const auto tasks0 = runtime->locality(0).scheduler().tasks_executed();
-  const auto tasks1 = runtime->locality(1).scheduler().tasks_executed();
-  const auto cache_fails =
-      runtime->locality(0).connection_cache().acquire_failures();
+  // Everything below comes from one registry snapshot — the same numbers
+  // the removed per-layer stats atomics used to carry, now in one place.
+  const telemetry::Snapshot snap = runtime->telemetry().snapshot();
   runtime->stop();
+
+  const std::uint64_t parcels = snap.counter("amt/loc0/parcels_sent");
+  const std::uint64_t messages = snap.counter("amt/loc0/messages_sent");
+  const std::uint64_t delivered = snap.counter("amt/loc1/messages_received");
+  const std::uint64_t packets = snap.counter("fabric/nic0/packets_sent");
+  const std::uint64_t bytes = snap.counter("fabric/nic0/bytes_sent");
+  const std::uint64_t tx_rejects =
+      snap.counter("fabric/nic0/tx_window_rejects");
+  const std::uint64_t rnr = snap.counter_sum("fabric/", "/rnr_stalls");
+  const std::uint64_t cache_fails =
+      snap.counter("amt/loc0/conncache_failures");
+  const std::uint64_t tasks = snap.counter_sum("sched/", "/tasks_executed");
+  const std::uint64_t steals = snap.counter_sum("sched/", "/tasks_stolen");
 
   std::printf("%s\n", name);
   std::printf("  rate                    : %8.1f K msgs/s\n",
               static_cast<double>(total) / seconds / 1e3);
   std::printf("  parcels -> HPX messages : %8llu -> %llu (aggregation %.2fx)\n",
-              static_cast<unsigned long long>(send_stats.parcels_sent),
-              static_cast<unsigned long long>(send_stats.messages_sent),
-              send_stats.messages_sent
-                  ? static_cast<double>(send_stats.parcels_sent) /
-                        static_cast<double>(send_stats.messages_sent)
-                  : 0.0);
+              static_cast<unsigned long long>(parcels),
+              static_cast<unsigned long long>(messages),
+              messages ? static_cast<double>(parcels) /
+                             static_cast<double>(messages)
+                       : 0.0);
   std::printf("  fabric pkts sender->recv: %8llu (%.2f per message: header"
               " + follow-ups + protocol)\n",
-              static_cast<unsigned long long>(tx.packets_sent),
-              send_stats.messages_sent
-                  ? static_cast<double>(tx.packets_sent) /
-                        static_cast<double>(send_stats.messages_sent)
-                  : 0.0);
+              static_cast<unsigned long long>(packets),
+              messages ? static_cast<double>(packets) /
+                             static_cast<double>(messages)
+                       : 0.0);
   std::printf("  fabric bytes sent       : %8.1f MiB\n",
-              static_cast<double>(tx.bytes_sent) / (1024.0 * 1024.0));
+              static_cast<double>(bytes) / (1024.0 * 1024.0));
   std::printf("  tx-window rejections    : %8llu, receiver RNR stalls: %llu\n",
-              static_cast<unsigned long long>(tx.sends_rejected_tx_window),
-              static_cast<unsigned long long>(rx.rnr_stalls));
+              static_cast<unsigned long long>(tx_rejects),
+              static_cast<unsigned long long>(rnr));
   std::printf("  connection-cache misses : %8llu\n",
               static_cast<unsigned long long>(cache_fails));
-  std::printf("  tasks executed (s/r)    : %8llu / %llu (%.2f per message)\n",
-              static_cast<unsigned long long>(tasks0),
-              static_cast<unsigned long long>(tasks1),
-              static_cast<double>(tasks0 + tasks1) /
-                  static_cast<double>(recv_stats.messages_received
-                                          ? recv_stats.messages_received
-                                          : 1));
+  std::printf("  tasks executed (stolen) : %8llu (%llu) — %.2f per message\n",
+              static_cast<unsigned long long>(tasks),
+              static_cast<unsigned long long>(steals),
+              static_cast<double>(tasks) /
+                  static_cast<double>(delivered ? delivered : 1));
+  print_hist(snap, "serialize", "amt/loc0/serialize_ns", 1e-3, "us");
+  print_hist(snap, "parcelport send", "pplci/loc0/send_ns", 1e-3, "us");
+  print_hist(snap, "parcelport send", "ppmpi/loc0/send_ns", 1e-3, "us");
+  print_hist(snap, "parcelport send", "pptcp/loc0/send_ns", 1e-3, "us");
+  print_hist(snap, "lci progress", "minilci/dev0/progress_ns", 1e-3, "us");
+  // The paper §4 smoking gun: time workers spend waiting to acquire the
+  // MPI big lock before every MPI call (coarse lock mode only).
+  print_hist(snap, "mpi lock wait", "minimpi/comm0/progress_lock_wait_ns",
+             1e-3, "us");
   std::fflush(stdout);
 }
 
 }  // namespace
 
-int main() {
-  const auto env = bench::Env::from_environment();
+int main(int argc, char** argv) {
+  const auto env = bench::Env::from_args(argc, argv);
   bench::print_header(
       "Profiling breakdown per backend (16KiB flood, then 8B flood)",
       "mpi shows fewer fabric packets/message only because aggregation "
       "batches parcels; lci shows lower per-message overhead and no "
       "connection-cache traffic with _i",
       env);
+  if (!telemetry::timing_enabled()) {
+    std::printf("# AMTNET_TELEMETRY=off: latency histograms will be empty\n");
+  }
+  // Record the whole run as a Chrome trace regardless of AMTNET_TRACE_FILE
+  // (which only selects the output path here).
+  telemetry::TraceRecorder& tracer = telemetry::TraceRecorder::instance();
+  tracer.set_enabled(telemetry::timing_enabled());
+  const std::string trace_file = telemetry::TraceRecorder::env_trace_file()
+                                     .empty()
+                                     ? std::string("bench_profile_trace.json")
+                                     : telemetry::TraceRecorder::env_trace_file();
+
   const auto total16 = static_cast<std::size_t>(800 * env.scale);
   const auto total8 = static_cast<std::size_t>(4000 * env.scale);
   std::printf("== 16KiB x %zu ==\n", total16);
@@ -106,6 +151,17 @@ int main() {
   for (const char* name :
        {"mpi", "mpi_i", "lci_psr_cq_pin", "lci_psr_cq_pin_i", "tcp_i"}) {
     profile_config(name, 8, total8, env.workers);
+  }
+
+  if (tracer.enabled()) {
+    if (tracer.dump_json_to_file(trace_file)) {
+      std::printf("# chrome trace written to %s (%llu events dropped)\n",
+                  trace_file.c_str(),
+                  static_cast<unsigned long long>(tracer.dropped()));
+    } else {
+      std::printf("# failed to write chrome trace to %s\n",
+                  trace_file.c_str());
+    }
   }
   return 0;
 }

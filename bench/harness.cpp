@@ -2,12 +2,41 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/clock.hpp"
 #include "octoproxy/simulation.hpp"
 #include "stack/stack.hpp"
 
 namespace bench {
+
+namespace {
+
+// JSON record sink (--json). Records accumulate here and the whole file is
+// rewritten after each one, so an interrupted benchmark leaves valid JSON.
+std::string g_json_path;
+std::vector<std::string> g_json_records;
+
+void append_json_record(std::string record) {
+  if (g_json_path.empty()) return;
+  g_json_records.push_back(std::move(record));
+  std::FILE* f = std::fopen(g_json_path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fputs("{\"records\":[", f);
+  for (std::size_t i = 0; i < g_json_records.size(); ++i) {
+    std::fprintf(f, "%s%s", i == 0 ? "\n" : ",\n",
+                 g_json_records[i].c_str());
+  }
+  std::fputs("\n]}\n", f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+void set_json_output(const std::string& path) {
+  g_json_path = path;
+  g_json_records.clear();
+}
 
 Env Env::from_environment() {
   Env env;
@@ -20,6 +49,20 @@ Env Env::from_environment() {
   if (const char* s = std::getenv("AMTNET_BENCH_WORKERS")) {
     env.workers = static_cast<unsigned>(std::strtoul(s, nullptr, 10));
   }
+  return env;
+}
+
+Env Env::from_args(int argc, char** argv) {
+  Env env = from_environment();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      env.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument '%s' (supported: --json <file>)\n",
+                   argv[i]);
+    }
+  }
+  set_json_output(env.json_path);
   return env;
 }
 
@@ -135,6 +178,16 @@ double report_rate_point(const RateParams& params, int runs) {
               params.attempted_rate / 1e3, injection.mean, rate.mean,
               rate.stddev);
   std::fflush(stdout);
+  char record[512];
+  std::snprintf(record, sizeof(record),
+                "{\"kind\":\"message_rate\",\"config\":\"%s\","
+                "\"msg_size\":%zu,\"attempted_kps\":%.3f,"
+                "\"injection_kps\":%.3f,\"rate_kps\":%.3f,"
+                "\"stddev_kps\":%.3f}",
+                params.parcelport.c_str(), params.msg_size,
+                params.attempted_rate / 1e3, injection.mean, rate.mean,
+                rate.stddev);
+  append_json_record(record);
   return rate.mean;
 }
 
@@ -174,12 +227,15 @@ double run_latency_us(const LatencyParams& params) {
   options.zero_copy_threshold = params.zero_copy_threshold;
   auto runtime = amtnet::make_runtime(options);
 
+  // Guard against steps == 0 (tiny AMTNET_BENCH_SCALE): steps - 1 would
+  // wrap and the chains would never terminate.
+  const unsigned steps = params.steps == 0 ? 1 : params.steps;
   g_chains_done.store(0);
   const common::Timer timer;
   runtime->locality(0).spawn([&] {
     for (unsigned chain = 0; chain < params.window; ++chain) {
       amt::here().apply<&lat_ping>(
-          1, chain, params.steps - 1,
+          1, chain, steps - 1,
           std::vector<std::uint8_t>(params.msg_size, 0x17));
     }
   });
@@ -188,7 +244,7 @@ double run_latency_us(const LatencyParams& params) {
   });
   const double elapsed_us = timer.elapsed_us();
   runtime->stop();
-  return elapsed_us / (2.0 * params.steps);
+  return elapsed_us / (2.0 * steps);
 }
 
 void report_latency_point(const LatencyParams& params, int runs) {
@@ -200,6 +256,13 @@ void report_latency_point(const LatencyParams& params, int runs) {
   std::printf("%s,%zu,%u,%.2f,%.2f\n", params.parcelport.c_str(),
               params.msg_size, params.window, stats.mean, stats.stddev);
   std::fflush(stdout);
+  char record[512];
+  std::snprintf(record, sizeof(record),
+                "{\"kind\":\"latency\",\"config\":\"%s\",\"msg_size\":%zu,"
+                "\"window\":%u,\"latency_us\":%.3f,\"stddev_us\":%.3f}",
+                params.parcelport.c_str(), params.msg_size, params.window,
+                stats.mean, stats.stddev);
+  append_json_record(record);
 }
 
 // ---- octo-tiger proxy ------------------------------------------------------
@@ -229,6 +292,13 @@ double report_octo_point(const OctoParams& params, int runs) {
   std::printf("%s,%u,%.3f,%.3f\n", params.parcelport.c_str(),
               params.localities, stats.mean, stats.stddev);
   std::fflush(stdout);
+  char record[512];
+  std::snprintf(record, sizeof(record),
+                "{\"kind\":\"octo\",\"config\":\"%s\",\"localities\":%u,"
+                "\"steps_per_s\":%.3f,\"stddev\":%.3f}",
+                params.parcelport.c_str(), params.localities, stats.mean,
+                stats.stddev);
+  append_json_record(record);
   return stats.mean;
 }
 

@@ -12,6 +12,11 @@
 //   AMTNET_BENCH_SCALE  multiplies message/step counts (default 1.0)
 //   AMTNET_BENCH_RUNS   repetitions per data point   (default 2)
 //   AMTNET_BENCH_WORKERS worker threads per locality (default 8)
+//
+// Command-line flags (parsed by Env::from_args):
+//   --json <file>  additionally write every reported data point as a JSON
+//                  record to <file>; the file is rewritten after each point
+//                  so interrupted runs still leave valid JSON behind.
 #pragma once
 
 #include <cmath>
@@ -28,7 +33,11 @@ struct Env {
   double scale = 1.0;
   int runs = 2;
   unsigned workers = 8;
+  std::string json_path;  // empty: no JSON sink
   static Env from_environment();
+  /// from_environment() plus command-line flags (currently --json <file>,
+  /// which also installs the process-wide JSON record sink).
+  static Env from_args(int argc, char** argv);
 };
 
 struct Stats {
@@ -110,5 +119,9 @@ double report_octo_point(const OctoParams& params, int runs);
 /// Prints the standard benchmark header: figure id, paper expectation, env.
 void print_header(const char* figure, const char* expectation,
                   const Env& env);
+
+/// Installs (or, with an empty path, removes) the JSON record sink used by
+/// the report_* functions. Usually set via Env::from_args / --json.
+void set_json_output(const std::string& path);
 
 }  // namespace bench

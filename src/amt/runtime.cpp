@@ -9,6 +9,10 @@ namespace amt {
 
 namespace {
 thread_local Locality* tls_here = nullptr;
+
+std::string loc_metric(Rank rank, const char* leaf) {
+  return "amt/loc" + std::to_string(rank) + "/" + leaf;
+}
 }  // namespace
 
 Locality& here() {
@@ -32,9 +36,24 @@ Locality::Locality(Runtime& runtime, Rank rank, const RuntimeConfig& config)
       rank_(rank),
       zero_copy_threshold_(config.zero_copy_threshold),
       send_immediate_(config.parcelport.send_immediate),
-      scheduler_(config.threads_per_locality,
-                 "loc" + std::to_string(rank)),
-      connection_cache_(config.max_connections) {
+      scheduler_(config.threads_per_locality, "loc" + std::to_string(rank),
+                 &runtime.telemetry()),
+      connection_cache_(config.max_connections),
+      ctr_parcels_sent_(
+          runtime.telemetry().counter(loc_metric(rank, "parcels_sent"))),
+      ctr_messages_sent_(
+          runtime.telemetry().counter(loc_metric(rank, "messages_sent"))),
+      ctr_messages_received_(
+          runtime.telemetry().counter(loc_metric(rank, "messages_received"))),
+      ctr_actions_executed_(
+          runtime.telemetry().counter(loc_metric(rank, "actions_executed"))),
+      hist_serialize_ns_(
+          runtime.telemetry().histogram(loc_metric(rank, "serialize_ns"))),
+      hist_aggregate_batch_(runtime.telemetry().histogram(
+          loc_metric(rank, "aggregate_batch"))) {
+  connection_cache_.attach_counters(
+      &runtime.telemetry().counter(loc_metric(rank, "conncache_hits")),
+      &runtime.telemetry().counter(loc_metric(rank, "conncache_failures")));
   parcel_queues_.reserve(config.num_localities);
   for (Rank r = 0; r < config.num_localities; ++r) {
     parcel_queues_.push_back(std::make_unique<DestQueue>());
@@ -53,7 +72,7 @@ void Locality::spawn(common::UniqueFunction<void()> fn) {
 }
 
 void Locality::put_parcel(Rank dst, ParcelWriter writer) {
-  stat_parcels_sent_.fetch_add(1, std::memory_order_relaxed);
+  ctr_parcels_sent_.add();
 
   if (send_immediate_) {
     // Bypass the parcel queue and the connection cache entirely (paper
@@ -61,9 +80,12 @@ void Locality::put_parcel(Rank dst, ParcelWriter writer) {
     OutputArchive ar(zero_copy_threshold_);
     const std::uint32_t count = 1;
     ar << count;
-    writer(ar);
-    OutMessage msg = ar.finish();
-    stat_messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    OutMessage msg = [&] {
+      telemetry::ScopedTimer timer(hist_serialize_ns_);
+      writer(ar);
+      return ar.finish();
+    }();
+    ctr_messages_sent_.add();
     if (dst == rank_) {
       deliver_local(std::move(msg));
     } else {
@@ -94,11 +116,15 @@ void Locality::try_flush(Rank dst) {
       return;
     }
     // Aggregate everything queued for this destination into one HPX message.
+    hist_aggregate_batch_.record(writers.size());
     OutputArchive ar(zero_copy_threshold_);
     ar << static_cast<std::uint32_t>(writers.size());
-    for (auto& writer : writers) writer(ar);
-    OutMessage msg = ar.finish();
-    stat_messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    OutMessage msg = [&] {
+      telemetry::ScopedTimer timer(hist_serialize_ns_);
+      for (auto& writer : writers) writer(ar);
+      return ar.finish();
+    }();
+    ctr_messages_sent_.add();
 
     if (dst == rank_) {
       deliver_local(std::move(msg));
@@ -141,7 +167,7 @@ void Locality::deliver_local(OutMessage&& msg) {
 }
 
 void Locality::on_message(InMessage&& msg) {
-  stat_messages_received_.fetch_add(1, std::memory_order_relaxed);
+  ctr_messages_received_.add();
   scheduler_.spawn([this, msg = std::move(msg)]() mutable {
     detail::ScopedHere scope(this);
     handle_message(msg);
@@ -174,7 +200,7 @@ void Locality::handle_message(const InMessage& msg) {
       assert(vtable.invoke != nullptr);
       vtable.invoke(*this, msg.source, promise_id, ar);
     }
-    stat_actions_executed_.fetch_add(1, std::memory_order_relaxed);
+    ctr_actions_executed_.add();
   }
 }
 
@@ -196,13 +222,14 @@ void Locality::send_response(Rank dst, std::uint64_t promise_id,
 }
 
 LocalityStats Locality::stats() const {
+  // Single aggregation pass over the registry counters; relaxed-read
+  // semantics as documented in telemetry/metrics.hpp (each field coherent
+  // and monotonic, the set not a cross-counter atomic cut).
   LocalityStats stats;
-  stats.parcels_sent = stat_parcels_sent_.load(std::memory_order_relaxed);
-  stats.messages_sent = stat_messages_sent_.load(std::memory_order_relaxed);
-  stats.messages_received =
-      stat_messages_received_.load(std::memory_order_relaxed);
-  stats.actions_executed =
-      stat_actions_executed_.load(std::memory_order_relaxed);
+  stats.parcels_sent = ctr_parcels_sent_.value();
+  stats.messages_sent = ctr_messages_sent_.value();
+  stats.messages_received = ctr_messages_received_.value();
+  stats.actions_executed = ctr_actions_executed_.value();
   return stats;
 }
 

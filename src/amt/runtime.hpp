@@ -65,13 +65,23 @@ class ConnectionCache {
   explicit ConnectionCache(std::size_t max_connections)
       : max_(max_connections) {}
 
+  /// Mirrors acquire outcomes into registry counters (either may be null).
+  /// The internal tallies keep working regardless, so standalone caches
+  /// (tests) need no registry.
+  void attach_counters(telemetry::Counter* hits, telemetry::Counter* failures) {
+    hit_counter_ = hits;
+    failure_counter_ = failures;
+  }
+
   bool try_acquire() {
     std::lock_guard<common::SpinMutex> guard(mutex_);
     if (in_use_ >= max_) {
       ++acquire_failures_;
+      if (failure_counter_ != nullptr) failure_counter_->add();
       return false;
     }
     ++in_use_;
+    if (hit_counter_ != nullptr) hit_counter_->add();
     return true;
   }
 
@@ -96,6 +106,8 @@ class ConnectionCache {
   const std::size_t max_;
   std::size_t in_use_ = 0;
   std::uint64_t acquire_failures_ = 0;
+  telemetry::Counter* hit_counter_ = nullptr;
+  telemetry::Counter* failure_counter_ = nullptr;
 };
 
 struct RuntimeConfig {
@@ -213,10 +225,13 @@ class Locality {
                      common::UniqueFunction<void(InputArchive&)>>
       promises_;
 
-  std::atomic<std::uint64_t> stat_parcels_sent_{0};
-  std::atomic<std::uint64_t> stat_messages_sent_{0};
-  std::atomic<std::uint64_t> stat_messages_received_{0};
-  std::atomic<std::uint64_t> stat_actions_executed_{0};
+  // Metrics under amt/loc<rank>/... in the Runtime's (= Fabric's) registry.
+  telemetry::Counter& ctr_parcels_sent_;
+  telemetry::Counter& ctr_messages_sent_;
+  telemetry::Counter& ctr_messages_received_;
+  telemetry::Counter& ctr_actions_executed_;
+  telemetry::Histogram& hist_serialize_ns_;    // per-message serialize time
+  telemetry::Histogram& hist_aggregate_batch_; // parcels per flushed message
 };
 
 class Runtime {
@@ -236,6 +251,10 @@ class Runtime {
   Locality& locality(Rank rank) { return *localities_[rank]; }
   fabric::Fabric& fabric() { return fabric_; }
   const RuntimeConfig& config() const { return config_; }
+
+  /// The registry every layer of this runtime reports into (owned by the
+  /// fabric). Snapshot it for a full per-layer breakdown.
+  telemetry::Registry& telemetry() const { return fabric_.telemetry(); }
 
   /// Runs `fn` as a task on locality 0 and waits for `latch_count` latch
   /// decrements signalled via the passed Latch. Convenience for mains.

@@ -18,9 +18,26 @@ struct WorkerTls {
 thread_local WorkerTls tls_worker;
 }  // namespace
 
-Scheduler::Scheduler(unsigned num_workers, std::string name)
+namespace {
+std::string sched_metric(const std::string& name, const char* leaf) {
+  return "sched/" + name + "/" + leaf;
+}
+}  // namespace
+
+Scheduler::Scheduler(unsigned num_workers, std::string name,
+                     telemetry::Registry* registry)
     : num_workers_(num_workers == 0 ? 1 : num_workers),
       name_(std::move(name)),
+      owned_registry_(registry == nullptr
+                          ? std::make_unique<telemetry::Registry>()
+                          : nullptr),
+      ctr_executed_((registry != nullptr ? *registry : *owned_registry_)
+                        .counter(sched_metric(name_, "tasks_executed"))),
+      ctr_steals_((registry != nullptr ? *registry : *owned_registry_)
+                      .counter(sched_metric(name_, "tasks_stolen"))),
+      ctr_background_polls_(
+          (registry != nullptr ? *registry : *owned_registry_)
+              .counter(sched_metric(name_, "background_polls"))),
       workers_(num_workers_) {}
 
 Scheduler::~Scheduler() { stop(); }
@@ -78,6 +95,7 @@ bool Scheduler::try_steal(unsigned thief, Task& task) {
       task = std::move(victim.queue.back());
       victim.queue.pop_back();
       victim.mutex.unlock();
+      ctr_steals_.add();
       return true;
     }
     victim.mutex.unlock();
@@ -104,7 +122,7 @@ bool Scheduler::run_one() {
     // External threads may help drain the inject queue (used by tests).
     if (!try_pop_inject(task)) return false;
   }
-  stat_executed_.fetch_add(1, std::memory_order_relaxed);
+  ctr_executed_.add();
   task();
   return true;
 }
@@ -116,7 +134,10 @@ void Scheduler::worker_loop(unsigned index) {
   while (!stopping_.load(std::memory_order_relaxed)) {
     if (run_one()) continue;
     // Idle: perform communication background work, like an HPX worker.
-    if (background_ && background_(index)) continue;
+    if (background_ != nullptr) {
+      ctr_background_polls_.add();
+      if (background_(index)) continue;
+    }
     std::this_thread::yield();
   }
   tls_worker.scheduler = nullptr;

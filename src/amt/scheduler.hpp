@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "common/spinlock.hpp"
 #include "common/unique_function.hpp"
 #include "queues/mpsc_queue.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace amt {
 
@@ -29,7 +31,10 @@ class Scheduler {
   /// `name` labels worker threads (debuggers); workers are created by
   /// start(). The background hook is invoked by idle workers with their
   /// worker index and returns whether it found work (HPX background work).
-  Scheduler(unsigned num_workers, std::string name);
+  /// Metrics go under sched/<name>/... in `registry`; null gives the
+  /// scheduler a private registry (standalone/test use).
+  Scheduler(unsigned num_workers, std::string name,
+            telemetry::Registry* registry = nullptr);
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -57,7 +62,10 @@ class Scheduler {
   void wait_until(Pred&& pred) {
     while (!pred()) {
       if (run_one()) continue;
-      if (background_ && background_(current_worker_index())) continue;
+      if (background_ != nullptr) {
+        ctr_background_polls_.add();
+        if (background_(current_worker_index())) continue;
+      }
       std::this_thread::yield();
     }
   }
@@ -69,9 +77,8 @@ class Scheduler {
   /// Worker index of the calling thread, or num_workers() for externals.
   unsigned current_worker_index() const;
 
-  std::uint64_t tasks_executed() const {
-    return stat_executed_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t tasks_executed() const { return ctr_executed_.value(); }
+  std::uint64_t tasks_stolen() const { return ctr_steals_.value(); }
 
  private:
   struct Worker {
@@ -88,12 +95,17 @@ class Scheduler {
   const std::string name_;
   std::function<bool(unsigned)> background_;
 
+  // Metrics under sched/<name>/... (owned registry when none was injected).
+  std::unique_ptr<telemetry::Registry> owned_registry_;
+  telemetry::Counter& ctr_executed_;
+  telemetry::Counter& ctr_steals_;
+  telemetry::Counter& ctr_background_polls_;
+
   std::vector<common::CachePadded<Worker>> workers_;
   queues::TryMpmcQueue<Task> inject_;
   std::vector<std::thread> threads_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};
-  std::atomic<std::uint64_t> stat_executed_{0};
 };
 
 /// Counting latch with a scheduler-aware wait; the building block tests and

@@ -48,6 +48,14 @@ std::string Profile::describe(const Config& config, const std::string& name) {
   return oss.str();
 }
 
+namespace {
+
+std::string nic_metric(Rank rank, const char* leaf) {
+  return "fabric/nic" + std::to_string(rank) + "/" + leaf;
+}
+
+}  // namespace
+
 Nic::Nic(Fabric& fabric, Rank rank, const Config& config)
     : fabric_(fabric),
       rank_(rank),
@@ -60,7 +68,19 @@ Nic::Nic(Fabric& fabric, Rank rank, const Config& config)
                                                    config.pkt_rate_mpps)
                       : 0),
       jitter_ns_(static_cast<common::Nanos>(config.jitter_us * 1000.0)),
-      srq_(config.srq_depth, config.srq_buffer_size) {
+      srq_(config.srq_depth, config.srq_buffer_size),
+      ctr_packets_sent_(
+          fabric.telemetry().counter(nic_metric(rank, "packets_sent"))),
+      ctr_bytes_sent_(
+          fabric.telemetry().counter(nic_metric(rank, "bytes_sent"))),
+      ctr_packets_received_(
+          fabric.telemetry().counter(nic_metric(rank, "packets_received"))),
+      ctr_tx_window_rejects_(
+          fabric.telemetry().counter(nic_metric(rank, "tx_window_rejects"))),
+      ctr_rnr_stalls_(
+          fabric.telemetry().counter(nic_metric(rank, "rnr_stalls"))),
+      hist_wire_latency_ns_(
+          fabric.telemetry().histogram(nic_metric(rank, "wire_latency_ns"))) {
   const std::size_t n = static_cast<std::size_t>(config.num_ranks) *
                         std::max(1u, config.num_rails);
   rx_channels_.reserve(n);
@@ -90,7 +110,7 @@ common::Status Nic::post_packet(Rank dst, detail::Packet packet,
       tx_in_flight_.value.fetch_add(1, std::memory_order_relaxed);
   if (in_flight >= static_cast<std::int64_t>(config_.tx_window)) {
     tx_in_flight_.value.fetch_sub(1, std::memory_order_relaxed);
-    stat_tx_window_rejects_.fetch_add(1, std::memory_order_relaxed);
+    ctr_tx_window_rejects_.add();
     return common::Status::kRetry;
   }
   packet.tx_owner = rank_;
@@ -127,10 +147,16 @@ common::Status Nic::post_packet(Rank dst, detail::Packet packet,
       packet.deliver_time += static_cast<common::Nanos>(
           common::splitmix64(state) % static_cast<std::uint64_t>(jitter_ns_));
     }
+    // The per-rail send latency charged to this packet: queueing behind the
+    // rail's busy window + serialisation + propagation (+jitter).
+    if (telemetry::timing_enabled()) {
+      hist_wire_latency_ns_.record(
+          static_cast<std::uint64_t>(packet.deliver_time - now));
+    }
   }
 
-  stat_packets_sent_.fetch_add(1, std::memory_order_relaxed);
-  stat_bytes_sent_.fetch_add(wire_len, std::memory_order_relaxed);
+  ctr_packets_sent_.add();
+  ctr_bytes_sent_.add(wire_len);
   channel.queue.push(std::move(packet));
   return common::Status::kOk;
 }
@@ -233,18 +259,25 @@ bool Nic::rx_looks_nonempty() const {
 }
 
 NicStats Nic::stats() const {
+  // Single aggregation pass over the registry counters. Relaxed-read
+  // semantics: each field is a coherent monotonic value sampled during this
+  // call; the fields are not a cross-counter atomic cut (a concurrent send
+  // may appear in bytes_sent but not yet in packets_sent, or vice versa).
   NicStats stats;
-  stats.packets_sent = stat_packets_sent_.load(std::memory_order_relaxed);
-  stats.bytes_sent = stat_bytes_sent_.load(std::memory_order_relaxed);
-  stats.packets_received =
-      stat_packets_received_.load(std::memory_order_relaxed);
-  stats.sends_rejected_tx_window =
-      stat_tx_window_rejects_.load(std::memory_order_relaxed);
-  stats.rnr_stalls = stat_rnr_stalls_.load(std::memory_order_relaxed);
+  stats.packets_sent = ctr_packets_sent_.value();
+  stats.bytes_sent = ctr_bytes_sent_.value();
+  stats.packets_received = ctr_packets_received_.value();
+  stats.sends_rejected_tx_window = ctr_tx_window_rejects_.value();
+  stats.rnr_stalls = ctr_rnr_stalls_.value();
   return stats;
 }
 
-Fabric::Fabric(const Config& config) : config_(config) {
+Fabric::Fabric(const Config& config, telemetry::Registry* registry)
+    : owned_registry_(registry == nullptr
+                          ? std::make_unique<telemetry::Registry>()
+                          : nullptr),
+      registry_(registry != nullptr ? registry : owned_registry_.get()),
+      config_(config) {
   nics_.reserve(config_.num_ranks);
   for (Rank r = 0; r < config_.num_ranks; ++r) {
     nics_.push_back(std::make_unique<Nic>(*this, r, config_));

@@ -23,6 +23,7 @@
 #include "fabric/srq_pool.hpp"
 #include "fabric/types.hpp"
 #include "queues/mpsc_queue.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fabric {
 
@@ -175,19 +176,28 @@ class Nic {
   std::unordered_map<std::uint64_t, MrEntry> mr_table_;
   std::atomic<std::uint64_t> next_mr_id_{1};
 
-  // Stats (relaxed atomics; read as a racy snapshot).
-  std::atomic<std::uint64_t> stat_packets_sent_{0};
-  std::atomic<std::uint64_t> stat_bytes_sent_{0};
-  std::atomic<std::uint64_t> stat_packets_received_{0};
-  std::atomic<std::uint64_t> stat_tx_window_rejects_{0};
-  std::atomic<std::uint64_t> stat_rnr_stalls_{0};
+  // Stats live in the Fabric's telemetry registry under fabric/nic<rank>/...
+  // (sharded relaxed counters; stats() aggregates them in one pass).
+  telemetry::Counter& ctr_packets_sent_;
+  telemetry::Counter& ctr_bytes_sent_;
+  telemetry::Counter& ctr_packets_received_;
+  telemetry::Counter& ctr_tx_window_rejects_;
+  telemetry::Counter& ctr_rnr_stalls_;
+  // One-way wire latency charged to each packet (post -> deliver_time), the
+  // per-rail send-latency distribution. Not recorded in zero_time mode.
+  telemetry::Histogram& hist_wire_latency_ns_;
 };
 
 /// The collection of NICs for all simulated ranks (localities) in this
 /// process, plus the shared configuration.
 class Fabric {
  public:
-  explicit Fabric(const Config& config);
+  /// `registry` scopes all metrics for this fabric and every layer stacked on
+  /// it. Null (the default) gives the Fabric a private registry, so each
+  /// Fabric's counters start at zero — tests and sequential bench runs in one
+  /// process stay independent.
+  explicit Fabric(const Config& config,
+                  telemetry::Registry* registry = nullptr);
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
@@ -196,7 +206,12 @@ class Fabric {
   Rank num_ranks() const { return config_.num_ranks; }
   const Config& config() const { return config_; }
 
+  /// The metrics registry for this fabric and the layers built on it.
+  telemetry::Registry& telemetry() const { return *registry_; }
+
  private:
+  std::unique_ptr<telemetry::Registry> owned_registry_;  // when not injected
+  telemetry::Registry* registry_;
   Config config_;
   std::vector<std::unique_ptr<Nic>> nics_;
 };
@@ -230,7 +245,8 @@ std::size_t Nic::poll_rx(std::size_t max_packets, Sink&& sink) {
         reserved = srq_.try_acquire();
         if (reserved == nullptr) {
           // RNR: stall this channel until buffers are recycled.
-          stat_rnr_stalls_.fetch_add(1, std::memory_order_relaxed);
+          ctr_rnr_stalls_.add();
+          AMTNET_TRACE_INSTANT("fabric", "rnr_stall");
           return false;
         }
       }
@@ -238,7 +254,7 @@ std::size_t Nic::poll_rx(std::size_t max_packets, Sink&& sink) {
     };
 
     auto consume = [&](detail::Packet&& p) {
-      stat_packets_received_.fetch_add(1, std::memory_order_relaxed);
+      ctr_packets_received_.add();
       on_packet_delivered(p.tx_owner);
       if (p.kind == detail::Packet::Kind::kReadResp) {
         // Serve the read: snapshot the remote registered region now and

@@ -12,6 +12,7 @@
 #include "common/spinlock.hpp"
 #include "minilci/types.hpp"
 #include "queues/mpsc_queue.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace minilci {
 
@@ -21,20 +22,36 @@ namespace minilci {
 /// leads to fewer CPU cycles and less thread contention").
 class CompQueue {
  public:
-  void push(CqEntry&& entry) { queue_.push(std::move(entry)); }
+  void push(CqEntry&& entry) {
+    queue_.push(std::move(entry));
+    if (depth_gauge_ != nullptr) depth_gauge_->add();
+  }
 
-  std::optional<CqEntry> poll() { return queue_.try_pop(nullptr); }
+  std::optional<CqEntry> poll() {
+    auto entry = queue_.try_pop(nullptr);
+    if (entry && depth_gauge_ != nullptr) depth_gauge_->sub();
+    return entry;
+  }
 
   /// Drains up to `max_items` entries in one lock acquisition.
   template <typename Fn>
   std::size_t poll_batch(std::size_t max_items, Fn&& fn) {
-    return queue_.try_drain(max_items, std::forward<Fn>(fn));
+    const std::size_t n = queue_.try_drain(max_items, std::forward<Fn>(fn));
+    if (n > 0 && depth_gauge_ != nullptr) {
+      depth_gauge_->sub(static_cast<std::int64_t>(n));
+    }
+    return n;
   }
 
   bool looks_empty() const { return queue_.looks_empty(); }
 
+  /// Optional registry gauge tracking the queue depth (push - poll). The
+  /// gauge must outlive the queue; pass nullptr to detach.
+  void attach_depth_gauge(telemetry::Gauge* gauge) { depth_gauge_ = gauge; }
+
  private:
   queues::TryMpmcQueue<CqEntry> queue_;
+  telemetry::Gauge* depth_gauge_ = nullptr;
 };
 
 /// Synchronizer: MPI_Request-like object, with the LCI twist of allowing

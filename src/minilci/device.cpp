@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 #include <mutex>
+#include <string>
 
 #include "common/logging.hpp"
 
@@ -66,6 +67,10 @@ T from_bytes(const std::byte* data, std::size_t len) {
   return value;
 }
 
+std::string dev_metric(Rank rank, const char* leaf) {
+  return "minilci/dev" + std::to_string(rank) + "/" + leaf;
+}
+
 }  // namespace
 
 Device::Device(fabric::Fabric& fabric, Rank rank, Config config,
@@ -75,7 +80,17 @@ Device::Device(fabric::Fabric& fabric, Rank rank, Config config,
       rank_(rank),
       config_(config),
       remote_put_cq_(remote_put_cq),
-      packet_pool_(config.packet_pool_size, config.eager_threshold) {
+      packet_pool_(config.packet_pool_size, config.eager_threshold),
+      ctr_progress_calls_(
+          fabric.telemetry().counter(dev_metric(rank, "progress_calls"))),
+      ctr_match_hits_(
+          fabric.telemetry().counter(dev_metric(rank, "match_hits"))),
+      ctr_match_misses_(
+          fabric.telemetry().counter(dev_metric(rank, "match_misses"))),
+      ctr_pool_exhausted_(
+          fabric.telemetry().counter(dev_metric(rank, "pool_exhausted"))),
+      hist_progress_ns_(
+          fabric.telemetry().histogram(dev_metric(rank, "progress_ns"))) {
   assert(config_.eager_threshold <= nic_.srq_buffer_size());
 }
 
@@ -123,6 +138,7 @@ common::Status Device::recvm(Rank src, Tag tag, const Comp& comp,
   recv.comp = comp;
   recv.user_context = user_context;
   auto arrival = matching_.insert_recv(src, tag, std::move(recv));
+  (arrival ? ctr_match_hits_ : ctr_match_misses_).add();
   if (!arrival) return common::Status::kOk;  // recv stored in the table
   if (arrival->is_rts) {
     AMTNET_LOG_ERROR("minilci: recvm matched a long-protocol RTS (src=", src,
@@ -177,6 +193,7 @@ common::Status Device::recvl(Rank src, Tag tag, void* buf, std::size_t maxlen,
   recv.maxlen = maxlen;
   recv.user_context = user_context;
   auto arrival = matching_.insert_recv(src, tag, std::move(recv));
+  (arrival ? ctr_match_hits_ : ctr_match_misses_).add();
   if (!arrival) return common::Status::kOk;  // recv stored in the table
   if (!arrival->is_rts) {
     AMTNET_LOG_ERROR("minilci: recvl matched a medium arrival (src=", src,
@@ -519,7 +536,8 @@ void Device::retry_deferred() {
 }
 
 std::size_t Device::progress() {
-  stat_progress_calls_.fetch_add(1, std::memory_order_relaxed);
+  ctr_progress_calls_.add();
+  telemetry::ScopedTimer timer(hist_progress_ns_);
   retry_deferred();
   return nic_.poll_rx(config_.progress_batch, [this](fabric::RxEvent&& event) {
     handle_event(std::move(event));
@@ -535,6 +553,7 @@ void Device::handle_medium_arrival(Rank src, Tag tag,
   arrival.tag = tag;
   arrival.payload = std::move(data);
   auto posted = matching_.insert_arrival(src, tag, std::move(arrival));
+  (posted ? ctr_match_hits_ : ctr_match_misses_).add();
   if (!posted) return;  // stored as unexpected (payload moved into table)
   if (posted->is_long) {
     AMTNET_LOG_ERROR("minilci: medium arrival matched recvl (src=", src,
@@ -562,6 +581,7 @@ void Device::handle_rts(Rank src, Tag tag, std::size_t size,
   arrival.rdv_size = size;
   arrival.rdv_sender_id = sender_id;
   auto posted = matching_.insert_arrival(src, tag, std::move(arrival));
+  (posted ? ctr_match_hits_ : ctr_match_misses_).add();
   if (!posted) return;
   if (!posted->is_long) {
     AMTNET_LOG_ERROR("minilci: RTS matched recvm (src=", src, " tag=", tag,

@@ -42,7 +42,9 @@ class Device {
 
   /// Grabs a send packet for in-place assembly; nullopt == pool exhausted.
   std::optional<PacketBuffer> try_alloc_packet() {
-    return packet_pool_.try_alloc();
+    auto packet = packet_pool_.try_alloc();
+    if (!packet) ctr_pool_exhausted_.add();
+    return packet;
   }
 
   std::size_t max_medium_size() const { return config_.eager_threshold; }
@@ -206,7 +208,12 @@ class Device {
   common::SpinMutex deferred_mutex_;
   std::deque<DeferredSend> deferred_;
 
-  std::atomic<std::uint64_t> stat_progress_calls_{0};
+  // Metrics under minilci/dev<rank>/... in the Fabric's registry.
+  telemetry::Counter& ctr_progress_calls_;
+  telemetry::Counter& ctr_match_hits_;    // recv/arrival paired immediately
+  telemetry::Counter& ctr_match_misses_;  // stored to wait for the other side
+  telemetry::Counter& ctr_pool_exhausted_;
+  telemetry::Histogram& hist_progress_ns_;  // duration of each progress()
 };
 
 }  // namespace minilci

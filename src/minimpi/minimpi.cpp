@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <string>
 
 #include "common/logging.hpp"
 
@@ -47,18 +48,32 @@ std::uint32_t imm_arg(std::uint64_t imm) {
   return static_cast<std::uint32_t>(imm);
 }
 
-/// RAII guard that takes the coarse blocking lock only in coarse mode.
+/// RAII guard that takes the coarse blocking lock only in coarse mode,
+/// recording how long acquisition stalled — the paper's §4b "threads convoy
+/// on the ucp_progress lock" effect, made directly measurable.
 class MaybeBigLock {
  public:
-  MaybeBigLock(common::UcxStyleSpinMutex& mutex, LockMode mode) {
+  MaybeBigLock(common::UcxStyleSpinMutex& mutex, LockMode mode,
+               telemetry::Histogram& wait_hist) {
     if (mode == LockMode::kCoarseBlocking) {
-      guard_ = std::unique_lock(mutex);
+      if (telemetry::timing_enabled()) {
+        const common::Nanos start = common::now_ns();
+        guard_ = std::unique_lock(mutex);
+        wait_hist.record(
+            static_cast<std::uint64_t>(common::now_ns() - start));
+      } else {
+        guard_ = std::unique_lock(mutex);
+      }
     }
   }
 
  private:
   std::unique_lock<common::UcxStyleSpinMutex> guard_;
 };
+
+std::string comm_metric(Rank rank, const char* leaf) {
+  return "minimpi/comm" + std::to_string(rank) + "/" + leaf;
+}
 
 }  // namespace
 
@@ -68,18 +83,24 @@ Comm::Comm(fabric::Fabric& fabric, Rank rank, Config config)
       rank_(rank),
       config_(config),
       reorder_(fabric.num_ranks()),
-      tx_seq_(fabric.num_ranks()) {
+      tx_seq_(fabric.num_ranks()),
+      ctr_completed_(
+          fabric.telemetry().counter(comm_metric(rank, "completed_ops"))),
+      ctr_unexpected_(
+          fabric.telemetry().counter(comm_metric(rank, "unexpected_msgs"))),
+      hist_lock_wait_ns_(fabric.telemetry().histogram(
+          comm_metric(rank, "progress_lock_wait_ns"))) {
   assert(config_.eager_threshold <= nic_.srq_buffer_size());
 }
 
 void Comm::mark_done(const std::shared_ptr<detail::ReqState>& req) {
   req->done.store(true, std::memory_order_release);
-  stat_completed_.fetch_add(1, std::memory_order_relaxed);
+  ctr_completed_.add();
 }
 
 Request Comm::isend(const void* buf, std::size_t len, Rank dst, Tag tag) {
   assert(tag >= 0 && tag < kTagUpperBound);
-  MaybeBigLock big(big_lock_, config_.lock_mode);
+  MaybeBigLock big(big_lock_, config_.lock_mode, hist_lock_wait_ns_);
 
   auto req = std::make_shared<detail::ReqState>();
   const std::uint32_t seq =
@@ -116,7 +137,7 @@ Request Comm::isend(const void* buf, std::size_t len, Rank dst, Tag tag) {
 
 Request Comm::irecv(void* buf, std::size_t maxlen, int src, Tag tag) {
   assert(tag >= 0 && tag < kTagUpperBound);
-  MaybeBigLock big(big_lock_, config_.lock_mode);
+  MaybeBigLock big(big_lock_, config_.lock_mode, hist_lock_wait_ns_);
 
   auto req = std::make_shared<detail::ReqState>();
   req->is_recv = true;
@@ -148,13 +169,13 @@ Request Comm::irecv(void* buf, std::size_t maxlen, int src, Tag tag) {
 bool Comm::test(Request& request) {
   assert(request.valid());
   if (request.done()) return true;
-  MaybeBigLock big(big_lock_, config_.lock_mode);
+  MaybeBigLock big(big_lock_, config_.lock_mode, hist_lock_wait_ns_);
   progress_locked();
   return request.done();
 }
 
 void Comm::progress() {
-  MaybeBigLock big(big_lock_, config_.lock_mode);
+  MaybeBigLock big(big_lock_, config_.lock_mode, hist_lock_wait_ns_);
   progress_locked();
 }
 
@@ -353,6 +374,7 @@ void Comm::match_or_stash_unexpected(Rank src, StashedMsg&& msg) {
   unexpected.rdv_size = msg.rdv_size;
   unexpected.rdv_sender_id = msg.rdv_sender_id;
   unexpected_.push_back(std::move(unexpected));
+  ctr_unexpected_.add();
 }
 
 void Comm::complete_recv_eager(const std::shared_ptr<detail::ReqState>& req,

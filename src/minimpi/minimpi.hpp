@@ -123,9 +123,7 @@ class Comm {
   void progress();
 
   /// Number of completed operations so far (tests/benchmarks).
-  std::uint64_t completed_ops() const {
-    return stat_completed_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t completed_ops() const { return ctr_completed_.value(); }
 
  private:
   struct UnexpectedMsg {
@@ -222,7 +220,12 @@ class Comm {
   // skip instead of queueing (the try-lock discipline).
   common::SpinMutex progress_mutex_;
 
-  std::atomic<std::uint64_t> stat_completed_{0};
+  // Metrics under minimpi/comm<rank>/... in the Fabric's registry. The lock
+  // wait histogram measures time spent acquiring big_lock_ — the paper §4b
+  // convoy — from every isend/irecv/test/progress call in coarse mode.
+  telemetry::Counter& ctr_completed_;
+  telemetry::Counter& ctr_unexpected_;  // arrivals stashed with no recv posted
+  telemetry::Histogram& hist_lock_wait_ns_;
 };
 
 /// Convenience bundle: a fabric plus one Comm per rank, for tests/benches.

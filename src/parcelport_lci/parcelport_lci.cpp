@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <mutex>
+#include <string>
 
 #include "common/affinity.hpp"
+#include "common/clock.hpp"
 #include "common/logging.hpp"
 
 namespace pplci {
@@ -17,6 +19,10 @@ minilci::Config make_device_config(const amt::ParcelportContext& context) {
   (void)context;
   return config;
 }
+
+std::string pp_metric(amt::Rank rank, const char* leaf) {
+  return "pplci/loc" + std::to_string(rank) + "/" + leaf;
+}
 }  // namespace
 
 LciParcelport::LciParcelport(const amt::ParcelportContext& context)
@@ -28,7 +34,17 @@ LciParcelport::LciParcelport(const amt::ParcelportContext& context)
           std::max(context.zero_copy_threshold, sizeof(amt::WireHeader)),
           make_device_config(context).eager_threshold)),
       device_(*context.fabric, context.rank, make_device_config(context),
-              &remote_put_cq_) {}
+              &remote_put_cq_),
+      ctr_delivered_(context.fabric->telemetry().counter(
+          pp_metric(context.rank, "messages_delivered"))),
+      hist_send_ns_(context.fabric->telemetry().histogram(
+          pp_metric(context.rank, "send_ns"))) {
+  telemetry::Registry& registry = context.fabric->telemetry();
+  remote_put_cq_.attach_depth_gauge(
+      &registry.gauge(pp_metric(context.rank, "remote_put_cq_depth")));
+  comp_cq_.attach_depth_gauge(
+      &registry.gauge(pp_metric(context.rank, "comp_cq_depth")));
+}
 
 LciParcelport::~LciParcelport() { stop(); }
 
@@ -84,6 +100,17 @@ std::uint32_t LciParcelport::alloc_tags(std::size_t count) {
 
 void LciParcelport::send(amt::Rank dst, amt::OutMessage msg,
                          common::UniqueFunction<void()> done) {
+  AMTNET_TRACE_SCOPE("pplci", "send");
+  if (telemetry::timing_enabled()) {
+    // Time the full send path: send() entry until the done callback fires
+    // from the completion chain. Per-message frequency, so cheap enough.
+    const common::Nanos start = common::now_ns();
+    done = [this, start, inner = std::move(done)]() mutable {
+      hist_send_ns_.record(
+          static_cast<std::uint64_t>(common::now_ns() - start));
+      inner();
+    };
+  }
   const amt::HeaderPlan plan = amt::HeaderPlan::decide(msg, max_header_size_);
 
   auto connection = std::make_unique<SenderConnection>();
@@ -274,7 +301,7 @@ void LciParcelport::ReceiverConnection::finish(LciParcelport& port) {
   in.source = src;
   in.main_chunk = std::move(main);
   in.zchunks = std::move(zchunks);
-  port.stat_delivered_.fetch_add(1, std::memory_order_relaxed);
+  port.ctr_delivered_.add();
   port.context_.deliver(std::move(in));
 }
 

@@ -52,9 +52,7 @@ class LciParcelport final : public amt::Parcelport {
 
   static constexpr minilci::Tag kHeaderTag = 0;  // sr-protocol headers
 
-  std::uint64_t messages_delivered() const {
-    return stat_delivered_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t messages_delivered() const { return ctr_delivered_.value(); }
 
  private:
   // user_context values in completion entries: either a Connection* or this
@@ -146,7 +144,12 @@ class LciParcelport final : public amt::Parcelport {
   std::thread progress_thread_;  // pin mode ("rp" resource partitioner)
   std::atomic<bool> progress_stop_{false};
 
-  std::atomic<std::uint64_t> stat_delivered_{0};
+  // Metrics under pplci/loc<rank>/... in the fabric's registry. The send
+  // histogram measures send() entry to done-callback firing (only when
+  // telemetry timing is enabled; see telemetry::timing_enabled).
+  telemetry::Counter& ctr_delivered_;
+  telemetry::Histogram& hist_send_ns_;
+
   std::atomic<bool> started_{false};
 };
 

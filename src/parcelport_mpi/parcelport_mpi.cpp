@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <mutex>
+#include <string>
 
+#include "common/clock.hpp"
 #include "common/logging.hpp"
 
 namespace ppmpi {
@@ -16,6 +18,10 @@ minimpi::Config make_comm_config(const amt::ParcelportContext& context) {
                          : minimpi::LockMode::kFineGrained;
   return config;
 }
+
+std::string pp_metric(amt::Rank rank, const char* leaf) {
+  return "ppmpi/loc" + std::to_string(rank) + "/" + leaf;
+}
 }  // namespace
 
 MpiParcelport::MpiParcelport(const amt::ParcelportContext& context)
@@ -25,7 +31,11 @@ MpiParcelport::MpiParcelport(const amt::ParcelportContext& context)
                            ? 512
                            : std::max(context.zero_copy_threshold,
                                       sizeof(amt::WireHeader))),
-      comm_(*context.fabric, context.rank, make_comm_config(context)) {}
+      comm_(*context.fabric, context.rank, make_comm_config(context)),
+      ctr_delivered_(context.fabric->telemetry().counter(
+          pp_metric(context.rank, "messages_delivered"))),
+      hist_send_ns_(context.fabric->telemetry().histogram(
+          pp_metric(context.rank, "send_ns"))) {}
 
 MpiParcelport::~MpiParcelport() = default;
 
@@ -67,6 +77,15 @@ void MpiParcelport::release_tag(minimpi::Tag tag) {
 
 void MpiParcelport::send(amt::Rank dst, amt::OutMessage msg,
                          common::UniqueFunction<void()> done) {
+  AMTNET_TRACE_SCOPE("ppmpi", "send");
+  if (telemetry::timing_enabled()) {
+    const common::Nanos start = common::now_ns();
+    done = [this, start, inner = std::move(done)]() mutable {
+      hist_send_ns_.record(
+          static_cast<std::uint64_t>(common::now_ns() - start));
+      inner();
+    };
+  }
   const amt::HeaderPlan plan =
       original_ ? amt::HeaderPlan::decide_original(msg)
                 : amt::HeaderPlan::decide(msg, max_header_size_);
@@ -179,7 +198,7 @@ void MpiParcelport::ReceiverConnection::finish(MpiParcelport& port) {
   in.source = src;
   in.main_chunk = std::move(main);
   in.zchunks = std::move(zchunks);
-  port.stat_delivered_.fetch_add(1, std::memory_order_relaxed);
+  port.ctr_delivered_.add();
   port.context_.deliver(std::move(in));
   if (port.original_ && tag != 0) {
     // Tag-release protocol: hand the tag back to the sender's provider.

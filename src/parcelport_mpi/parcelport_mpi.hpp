@@ -48,9 +48,7 @@ class MpiParcelport final : public amt::Parcelport {
   static constexpr minimpi::Tag kTagReleaseTag = 1;  // original variant only
   static constexpr minimpi::Tag kFirstDataTag = 2;
 
-  std::uint64_t messages_delivered() const {
-    return stat_delivered_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t messages_delivered() const { return ctr_delivered_.value(); }
 
  private:
   struct Connection {
@@ -125,7 +123,11 @@ class MpiParcelport final : public amt::Parcelport {
   common::SpinMutex pending_mutex_;
   std::deque<std::unique_ptr<Connection>> pending_;
 
-  std::atomic<std::uint64_t> stat_delivered_{0};
+  // Metrics under ppmpi/loc<rank>/... in the fabric's registry; send_ns
+  // spans send() entry to done-callback firing when timing is enabled.
+  telemetry::Counter& ctr_delivered_;
+  telemetry::Histogram& hist_send_ns_;
+
   std::atomic<bool> started_{false};
 };
 

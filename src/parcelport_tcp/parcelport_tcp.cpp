@@ -3,7 +3,9 @@
 #include <cassert>
 #include <cstring>
 #include <mutex>
+#include <string>
 
+#include "common/clock.hpp"
 #include "common/logging.hpp"
 
 namespace pptcp {
@@ -11,10 +13,19 @@ namespace pptcp {
 namespace {
 constexpr std::size_t kPrefixSize =
     sizeof(std::uint64_t) + sizeof(std::uint32_t);
+
+std::string pp_metric(amt::Rank rank, const char* leaf) {
+  return "pptcp/loc" + std::to_string(rank) + "/" + leaf;
+}
 }  // namespace
 
 TcpParcelport::TcpParcelport(const amt::ParcelportContext& context)
-    : context_(context), mux_(*context.fabric, context.rank) {
+    : context_(context),
+      mux_(*context.fabric, context.rank),
+      ctr_delivered_(context.fabric->telemetry().counter(
+          pp_metric(context.rank, "messages_delivered"))),
+      hist_send_ns_(context.fabric->telemetry().histogram(
+          pp_metric(context.rank, "send_ns"))) {
   const amt::Rank n = context.fabric->num_ranks();
   for (amt::Rank r = 0; r < n; ++r) {
     tx_queues_.push_back(std::make_unique<TxQueue>());
@@ -28,6 +39,15 @@ void TcpParcelport::stop() { started_.store(false); }
 
 void TcpParcelport::send(amt::Rank dst, amt::OutMessage msg,
                          common::UniqueFunction<void()> done) {
+  AMTNET_TRACE_SCOPE("pptcp", "send");
+  if (telemetry::timing_enabled()) {
+    const common::Nanos start = common::now_ns();
+    done = [this, start, inner = std::move(done)]() mutable {
+      hist_send_ns_.record(
+          static_cast<std::uint64_t>(common::now_ns() - start));
+      inner();
+    };
+  }
   OutFrame frame;
   frame.done = std::move(done);
 
@@ -90,7 +110,7 @@ void TcpParcelport::finish_frame(amt::Rank src, RxState& rx) {
   in.source = src;
   in.main_chunk = std::move(rx.main);
   in.zchunks = std::move(rx.zchunks);
-  stat_delivered_.fetch_add(1, std::memory_order_relaxed);
+  ctr_delivered_.add();
   rx = RxState{};  // reset for the next frame
   context_.deliver(std::move(in));
 }

@@ -24,6 +24,7 @@
 #include "amt/parcelport.hpp"
 #include "common/spinlock.hpp"
 #include "ministream/stream_mux.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pptcp {
 
@@ -37,9 +38,7 @@ class TcpParcelport final : public amt::Parcelport {
             common::UniqueFunction<void()> done) override;
   bool background_work(unsigned worker_index) override;
 
-  std::uint64_t messages_delivered() const {
-    return stat_delivered_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t messages_delivered() const { return ctr_delivered_.value(); }
 
  private:
   struct OutFrame {
@@ -83,7 +82,11 @@ class TcpParcelport final : public amt::Parcelport {
   std::vector<std::unique_ptr<RxState>> rx_states_;   // per source
   std::vector<std::unique_ptr<common::SpinMutex>> rx_mutexes_;
 
-  std::atomic<std::uint64_t> stat_delivered_{0};
+  // Metrics under pptcp/loc<rank>/... in the fabric's registry; send_ns
+  // spans send() entry to done-callback firing when timing is enabled.
+  telemetry::Counter& ctr_delivered_;
+  telemetry::Histogram& hist_send_ns_;
+
   std::atomic<bool> started_{false};
 };
 

@@ -1,0 +1,206 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace telemetry {
+
+bool timing_enabled_from_env() {
+  const char* raw = std::getenv("AMTNET_TELEMETRY");
+  if (raw == nullptr) return true;
+  return !(std::strcmp(raw, "0") == 0 || std::strcmp(raw, "off") == 0 ||
+           std::strcmp(raw, "false") == 0);
+}
+
+std::uint64_t Snapshot::counter(std::string_view name) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+std::int64_t Snapshot::gauge(std::string_view name) const {
+  for (const auto& [key, value] : gauges) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+const HistogramSummary* Snapshot::histogram(std::string_view name) const {
+  for (const auto& summary : histograms) {
+    if (summary.name == name) return &summary;
+  }
+  return nullptr;
+}
+
+std::uint64_t Snapshot::counter_sum(std::string_view prefix,
+                                    std::string_view suffix) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : counters) {
+    if (key.size() < prefix.size() + suffix.size()) continue;
+    if (key.compare(0, prefix.size(), prefix) != 0) continue;
+    if (key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    total += value;
+  }
+  return total;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Snapshot::to_csv() const {
+  std::string out = "name,kind,value,count,sum,max,p50,p90,p99\n";
+  char line[512];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(line, sizeof(line), "%s,counter,%llu,,,,,,\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(line, sizeof(line), "%s,gauge,%lld,,,,,,\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  for (const auto& h : histograms) {
+    std::snprintf(line, sizeof(line),
+                  "%s,histogram,,%llu,%llu,%llu,%llu,%llu,%llu\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum),
+                  static_cast<unsigned long long>(h.max),
+                  static_cast<unsigned long long>(h.p50),
+                  static_cast<unsigned long long>(h.p90),
+                  static_cast<unsigned long long>(h.p99));
+    out += line;
+  }
+  return out;
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  char buf[128];
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, name);
+    std::snprintf(buf, sizeof(buf), "\":%llu",
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, name);
+    std::snprintf(buf, sizeof(buf), "\":%lld", static_cast<long long>(value));
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, h.name);
+    std::snprintf(
+        buf, sizeof(buf),
+        "\":{\"count\":%llu,\"sum\":%llu,\"max\":%llu,\"p50\":%llu,"
+        "\"p90\":%llu,\"p99\":%llu}",
+        static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.sum),
+        static_cast<unsigned long long>(h.max),
+        static_cast<unsigned long long>(h.p50),
+        static_cast<unsigned long long>(h.p90),
+        static_cast<unsigned long long>(h.p99));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+#ifndef AMTNET_TELEMETRY_DISABLED
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSummary summary;
+    summary.name = name;
+    summary.count = histogram->count();
+    summary.sum = histogram->sum();
+    summary.max = histogram->max();
+    std::array<std::uint64_t, 3> qs{};
+    histogram->percentiles({{0.50, 0.90, 0.99}}, qs);
+    summary.p50 = qs[0];
+    summary.p90 = qs[1];
+    summary.p99 = qs[2];
+    snap.histograms.push_back(std::move(summary));
+  }
+  return snap;
+}
+
+#endif  // AMTNET_TELEMETRY_DISABLED
+
+}  // namespace telemetry

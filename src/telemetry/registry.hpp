@@ -1,0 +1,107 @@
+// Hierarchical metrics registry. Metric names are '/'-separated paths
+// ("fabric/nic0/packets_sent") grouped per layer/instance. Registration is
+// find-or-create under a mutex; the returned pointers are stable for the
+// registry's lifetime, so hot paths hold raw pointers and never touch the
+// map again. snapshot() aggregates every metric in one pass with relaxed
+// reads (see metrics.hpp for the exact consistency contract).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/spinlock.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace telemetry {
+
+/// One aggregated histogram in a Snapshot.
+struct HistogramSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+};
+
+/// Point-in-time aggregation of a Registry: one pass over every shard.
+/// All values are relaxed reads taken during the same snapshot() call; they
+/// are individually coherent but not a cross-metric atomic cut.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramSummary> histograms;
+
+  /// Counter value by exact name, 0 if absent.
+  std::uint64_t counter(std::string_view name) const;
+  /// Gauge value by exact name, 0 if absent.
+  std::int64_t gauge(std::string_view name) const;
+  /// Histogram summary by exact name, nullptr if absent.
+  const HistogramSummary* histogram(std::string_view name) const;
+  /// Sum of all counters whose name matches "prefix*suffix" (both parts may
+  /// be empty). Lets callers aggregate across instances, e.g.
+  /// counter_sum("fabric/", "/packets_sent") over all NICs.
+  std::uint64_t counter_sum(std::string_view prefix,
+                            std::string_view suffix) const;
+
+  /// "name,kind,value[,count,sum,max,p50,p90,p99]" CSV lines with header.
+  std::string to_csv() const;
+  /// Single JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+};
+
+#ifndef AMTNET_TELEMETRY_DISABLED
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create. Pointers remain valid for the Registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  Snapshot snapshot() const;
+
+ private:
+  mutable common::SpinMutex mutex_;
+  // node_ptr-stable maps; unique_ptr keeps metric addresses fixed regardless.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+#else  // AMTNET_TELEMETRY_DISABLED
+
+/// No-op registry: hands out references to shared static stubs.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view) {
+    static Counter stub;
+    return stub;
+  }
+  Gauge& gauge(std::string_view) {
+    static Gauge stub;
+    return stub;
+  }
+  Histogram& histogram(std::string_view) {
+    static Histogram stub;
+    return stub;
+  }
+  Snapshot snapshot() const { return {}; }
+};
+
+#endif  // AMTNET_TELEMETRY_DISABLED
+
+}  // namespace telemetry
