@@ -89,13 +89,34 @@ std::atomic<bool> g_rate_done{false};
 
 void rate_ack() { g_rate_done.store(true, std::memory_order_release); }
 
-void rate_sink(std::vector<std::uint8_t> payload) {
-  (void)payload;
+void rate_count_one() {
   const auto received = g_rate_received.fetch_add(1) + 1;
   if (received == g_rate_expected.load(std::memory_order_relaxed)) {
     // Receiver signals back with one short message (paper §4.1).
     amt::here().apply<&rate_ack>(0);
   }
+}
+
+void rate_sink(std::vector<std::uint8_t> payload) {
+  (void)payload;
+  rate_count_one();
+}
+
+// Multi-zchunk sinks: each vector argument above the zero-copy threshold
+// becomes one zero-copy chunk, i.e. one pipelined follow-up transfer.
+void rate_sink_z2(std::vector<std::uint8_t> a, std::vector<std::uint8_t> b) {
+  (void)a;
+  (void)b;
+  rate_count_one();
+}
+
+void rate_sink_z4(std::vector<std::uint8_t> a, std::vector<std::uint8_t> b,
+                  std::vector<std::uint8_t> c, std::vector<std::uint8_t> d) {
+  (void)a;
+  (void)b;
+  (void)c;
+  (void)d;
+  rate_count_one();
 }
 
 }  // namespace
@@ -141,7 +162,18 @@ RateResult run_message_rate(const RateParams& params) {
       here.spawn([&] {
         amt::Locality& sender = amt::here();
         for (std::size_t i = 0; i < params.batch; ++i) {
-          sender.apply<&rate_sink>(1, payload);
+          switch (params.zchunk_count) {
+            case 2:
+              sender.apply<&rate_sink_z2>(1, payload, payload);
+              break;
+            case 4:
+              sender.apply<&rate_sink_z4>(1, payload, payload, payload,
+                                          payload);
+              break;
+            default:  // 0 or 1: one payload (zero-copy iff over threshold)
+              sender.apply<&rate_sink>(1, payload);
+              break;
+          }
           if (g_rate_sent.fetch_add(1) + 1 == total) {
             g_rate_injection_end_ns.store(common::now_ns());
           }
@@ -181,12 +213,12 @@ double report_rate_point(const RateParams& params, int runs) {
   char record[512];
   std::snprintf(record, sizeof(record),
                 "{\"kind\":\"message_rate\",\"config\":\"%s\","
-                "\"msg_size\":%zu,\"attempted_kps\":%.3f,"
+                "\"msg_size\":%zu,\"zchunks\":%zu,\"attempted_kps\":%.3f,"
                 "\"injection_kps\":%.3f,\"rate_kps\":%.3f,"
                 "\"stddev_kps\":%.3f}",
                 params.parcelport.c_str(), params.msg_size,
-                params.attempted_rate / 1e3, injection.mean, rate.mean,
-                rate.stddev);
+                params.zchunk_count, params.attempted_rate / 1e3,
+                injection.mean, rate.mean, rate.stddev);
   append_json_record(record);
   return rate.mean;
 }
@@ -216,6 +248,50 @@ void lat_pong(std::uint32_t chain, std::uint32_t remaining,
   }
 }
 
+// Multi-zchunk ping-pong: every hop ships its vectors as independent
+// zero-copy follow-ups, so per-hop latency directly exposes whether the
+// pieces travel serialized (pipeline depth 1) or overlapped.
+void lat_pong_z4(std::uint32_t chain, std::uint32_t remaining,
+                 std::vector<std::uint8_t> a, std::vector<std::uint8_t> b,
+                 std::vector<std::uint8_t> c, std::vector<std::uint8_t> d);
+
+void lat_ping_z4(std::uint32_t chain, std::uint32_t remaining,
+                 std::vector<std::uint8_t> a, std::vector<std::uint8_t> b,
+                 std::vector<std::uint8_t> c, std::vector<std::uint8_t> d) {
+  amt::here().apply<&lat_pong_z4>(0, chain, remaining, std::move(a),
+                                  std::move(b), std::move(c), std::move(d));
+}
+
+void lat_pong_z4(std::uint32_t chain, std::uint32_t remaining,
+                 std::vector<std::uint8_t> a, std::vector<std::uint8_t> b,
+                 std::vector<std::uint8_t> c, std::vector<std::uint8_t> d) {
+  if (remaining > 0) {
+    amt::here().apply<&lat_ping_z4>(1, chain, remaining - 1, std::move(a),
+                                    std::move(b), std::move(c), std::move(d));
+  } else {
+    g_chains_done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void lat_pong_z2(std::uint32_t chain, std::uint32_t remaining,
+                 std::vector<std::uint8_t> a, std::vector<std::uint8_t> b);
+
+void lat_ping_z2(std::uint32_t chain, std::uint32_t remaining,
+                 std::vector<std::uint8_t> a, std::vector<std::uint8_t> b) {
+  amt::here().apply<&lat_pong_z2>(0, chain, remaining, std::move(a),
+                                  std::move(b));
+}
+
+void lat_pong_z2(std::uint32_t chain, std::uint32_t remaining,
+                 std::vector<std::uint8_t> a, std::vector<std::uint8_t> b) {
+  if (remaining > 0) {
+    amt::here().apply<&lat_ping_z2>(1, chain, remaining - 1, std::move(a),
+                                    std::move(b));
+  } else {
+    g_chains_done.fetch_add(1, std::memory_order_release);
+  }
+}
+
 }  // namespace
 
 double run_latency_us(const LatencyParams& params) {
@@ -225,6 +301,7 @@ double run_latency_us(const LatencyParams& params) {
   options.threads_per_locality = params.workers;
   options.platform = params.platform;
   options.zero_copy_threshold = params.zero_copy_threshold;
+  options.fabric_rails = params.fabric_rails;
   auto runtime = amtnet::make_runtime(options);
 
   // Guard against steps == 0 (tiny AMTNET_BENCH_SCALE): steps - 1 would
@@ -233,10 +310,21 @@ double run_latency_us(const LatencyParams& params) {
   g_chains_done.store(0);
   const common::Timer timer;
   runtime->locality(0).spawn([&] {
+    const std::vector<std::uint8_t> payload(params.msg_size, 0x17);
     for (unsigned chain = 0; chain < params.window; ++chain) {
-      amt::here().apply<&lat_ping>(
-          1, chain, steps - 1,
-          std::vector<std::uint8_t>(params.msg_size, 0x17));
+      switch (params.zchunk_count) {
+        case 2:
+          amt::here().apply<&lat_ping_z2>(1, chain, steps - 1, payload,
+                                          payload);
+          break;
+        case 4:
+          amt::here().apply<&lat_ping_z4>(1, chain, steps - 1, payload,
+                                          payload, payload, payload);
+          break;
+        default:
+          amt::here().apply<&lat_ping>(1, chain, steps - 1, payload);
+          break;
+      }
     }
   });
   runtime->locality(0).scheduler().wait_until([&] {
@@ -259,9 +347,11 @@ void report_latency_point(const LatencyParams& params, int runs) {
   char record[512];
   std::snprintf(record, sizeof(record),
                 "{\"kind\":\"latency\",\"config\":\"%s\",\"msg_size\":%zu,"
-                "\"window\":%u,\"latency_us\":%.3f,\"stddev_us\":%.3f}",
-                params.parcelport.c_str(), params.msg_size, params.window,
-                stats.mean, stats.stddev);
+                "\"zchunks\":%zu,\"window\":%u,\"latency_us\":%.3f,"
+                "\"stddev_us\":%.3f}",
+                params.parcelport.c_str(), params.msg_size,
+                params.zchunk_count, params.window, stats.mean,
+                stats.stddev);
   append_json_record(record);
 }
 

@@ -69,6 +69,11 @@ struct RateParams {
   std::size_t zero_copy_threshold = 8192;  // HPX default
   std::size_t max_connections = 8192;      // connection-cache cap
   unsigned fabric_rails = 0;               // 0 = platform default
+  // Multi-zchunk shape: each message carries this many zero-copy chunks of
+  // msg_size bytes instead of one inline payload (each chunk must exceed
+  // zero_copy_threshold to travel zero-copy). Supported: 0 (plain payload,
+  // the default), 1, 2, 4.
+  std::size_t zchunk_count = 0;
 };
 
 struct RateResult {
@@ -93,6 +98,11 @@ struct LatencyParams {
   unsigned workers = 4;
   std::string platform = "expanse";
   std::size_t zero_copy_threshold = 8192;
+  unsigned fabric_rails = 0;  // 0 = platform default
+  // Multi-zchunk shape: each hop carries this many zero-copy chunks of
+  // msg_size bytes instead of one inline payload. Supported: 0 (plain
+  // payload, the default), 2, 4.
+  std::size_t zchunk_count = 0;
 };
 
 double run_latency_us(const LatencyParams& params);

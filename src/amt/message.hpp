@@ -34,13 +34,20 @@ struct OutMessage {
   /// by the receiver to post appropriately sized receives. Only transferred
   /// when there is at least one zero-copy chunk.
   std::vector<std::byte> make_tchunk() const {
-    std::vector<std::byte> tchunk(zchunks.size() * sizeof(std::uint64_t));
+    std::vector<std::byte> tchunk;
+    make_tchunk_into(tchunk);
+    return tchunk;
+  }
+
+  /// In-place variant: reuses `out`'s capacity, so callers recycling their
+  /// buffers (the LCI parcelport's pooled connections) allocate nothing in
+  /// steady state.
+  void make_tchunk_into(std::vector<std::byte>& out) const {
+    out.resize(zchunks.size() * sizeof(std::uint64_t));
     for (std::size_t i = 0; i < zchunks.size(); ++i) {
       const std::uint64_t size = zchunks[i].size;
-      std::memcpy(tchunk.data() + i * sizeof(std::uint64_t), &size,
-                  sizeof(size));
+      std::memcpy(out.data() + i * sizeof(std::uint64_t), &size, sizeof(size));
     }
-    return tchunk;
   }
 };
 

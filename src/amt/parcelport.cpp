@@ -33,6 +33,16 @@ ParcelportConfig ParcelportConfig::parse(const std::string& name) {
       config.progress = ProgressType::kWorker;
     } else if (token == "i") {
       config.send_immediate = true;
+    } else if (token == "pdinf") {
+      config.lci_pipeline_depth = 0;
+    } else if (token.size() > 2 && token.compare(0, 2, "pd") == 0 &&
+               token.find_first_not_of("0123456789", 2) == std::string::npos) {
+      const unsigned long depth = std::stoul(token.substr(2));
+      if (depth == 0) {
+        throw std::invalid_argument(
+            "pipeline depth must be >= 1 (use pdinf for unbounded): " + name);
+      }
+      config.lci_pipeline_depth = depth;
     } else if (token == "fine") {
       config.mpi_coarse_lock = false;
     } else if (token == "orig") {
@@ -62,6 +72,9 @@ std::string ParcelportConfig::name() const {
     out += (protocol == Protocol::kPutSendRecv) ? "_psr" : "_sr";
     out += (completion == CompType::kQueue) ? "_cq" : "_sy";
     out += (progress == ProgressType::kPinned) ? "_pin" : "_mt";
+    if (lci_pipeline_depth > 0) {
+      out += "_pd" + std::to_string(lci_pipeline_depth);
+    }
   }
   if (send_immediate) out += "_i";
   return out;

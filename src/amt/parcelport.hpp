@@ -33,6 +33,13 @@ struct ParcelportConfig {
   CompType completion = CompType::kQueue;
   bool send_immediate = false;  // "_i": bypass parcel queue + connection cache
 
+  /// LCI follow-up pipeline depth: max in-flight follow-up pieces per
+  /// connection. 0 = unbounded (post everything eagerly, the default);
+  /// 1 reproduces the serialized one-op-per-connection behaviour. Parsed
+  /// from a "pd<N>" token ("pdinf" = unbounded); overridable at runtime by
+  /// AMTNET_LCI_PIPELINE_DEPTH when the name leaves it unbounded.
+  std::size_t lci_pipeline_depth = 0;
+
   // MPI-parcelport ablation knobs (beyond Table 1):
   bool mpi_coarse_lock = true;  // "fine" clears it (lock-granularity ablation)
   bool mpi_original = false;    // "orig": pre-optimisation MPI parcelport

@@ -57,9 +57,14 @@ struct FnTraits<R (*)(As...)> {
 }  // namespace detail
 
 /// HPX's connection cache, reduced to its contention-relevant essentials: a
-/// spin-lock-guarded counter of live connections with a configurable cap
-/// (8192 by default). Acquire fails when the cap is reached, leaving parcels
-/// queued — which is exactly when the parcel queue provides aggregation.
+/// counter of live connections with a configurable cap (8192 by default).
+/// Acquire fails when the cap is reached, leaving parcels queued — which is
+/// exactly when the parcel queue provides aggregation.
+///
+/// Lock-free: acquire optimistically reserves a slot with one fetch_add and
+/// only the over-cap losers take the corrective fetch_sub, so the aggregating
+/// send path never round-trips a lock. in_use() may transiently read up to
+/// one reservation above the cap while a failed acquire is backing out.
 class ConnectionCache {
  public:
   explicit ConnectionCache(std::size_t max_connections)
@@ -74,38 +79,35 @@ class ConnectionCache {
   }
 
   bool try_acquire() {
-    std::lock_guard<common::SpinMutex> guard(mutex_);
-    if (in_use_ >= max_) {
-      ++acquire_failures_;
+    const std::size_t prev = in_use_.fetch_add(1, std::memory_order_acq_rel);
+    if (prev >= max_) {
+      in_use_.fetch_sub(1, std::memory_order_acq_rel);
+      acquire_failures_.fetch_add(1, std::memory_order_relaxed);
       if (failure_counter_ != nullptr) failure_counter_->add();
       return false;
     }
-    ++in_use_;
     if (hit_counter_ != nullptr) hit_counter_->add();
     return true;
   }
 
   void release() {
-    std::lock_guard<common::SpinMutex> guard(mutex_);
-    assert(in_use_ > 0);
-    --in_use_;
+    const std::size_t prev = in_use_.fetch_sub(1, std::memory_order_acq_rel);
+    assert(prev > 0);
+    (void)prev;
   }
 
   std::size_t in_use() const {
-    std::lock_guard<common::SpinMutex> guard(mutex_);
-    return in_use_;
+    return in_use_.load(std::memory_order_acquire);
   }
 
   std::uint64_t acquire_failures() const {
-    std::lock_guard<common::SpinMutex> guard(mutex_);
-    return acquire_failures_;
+    return acquire_failures_.load(std::memory_order_relaxed);
   }
 
  private:
-  mutable common::SpinMutex mutex_;
   const std::size_t max_;
-  std::size_t in_use_ = 0;
-  std::uint64_t acquire_failures_ = 0;
+  std::atomic<std::size_t> in_use_{0};
+  std::atomic<std::uint64_t> acquire_failures_{0};
   telemetry::Counter* hit_counter_ = nullptr;
   telemetry::Counter* failure_counter_ = nullptr;
 };

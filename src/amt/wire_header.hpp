@@ -100,9 +100,13 @@ inline std::size_t encode_header_to(const OutMessage& msg,
   std::memcpy(out, &header, sizeof(header));
   std::size_t offset = sizeof(header);
   if (plan.piggy_tchunk) {
-    const auto tchunk = msg.make_tchunk();
-    std::memcpy(out + offset, tchunk.data(), tchunk.size());
-    offset += tchunk.size();
+    // Encode the transmission chunk in place: no temporary vector on the
+    // piggybacked (eager) path, which must stay allocation-free.
+    for (const ZChunk& chunk : msg.zchunks) {
+      const std::uint64_t size = chunk.size;
+      std::memcpy(out + offset, &size, sizeof(size));
+      offset += sizeof(size);
+    }
   }
   if (plan.piggy_main) {
     std::memcpy(out + offset, msg.main_chunk.data(), msg.main_chunk.size());

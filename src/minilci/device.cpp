@@ -52,13 +52,6 @@ std::uint32_t imm_arg(std::uint64_t imm) {
 }
 
 template <typename T>
-std::vector<std::byte> to_bytes(const T& value) {
-  std::vector<std::byte> bytes(sizeof(T));
-  std::memcpy(bytes.data(), &value, sizeof(T));
-  return bytes;
-}
-
-template <typename T>
 T from_bytes(const std::byte* data, std::size_t len) {
   T value{};
   assert(len >= sizeof(T));
@@ -73,6 +66,10 @@ std::string dev_metric(Rank rank, const char* leaf) {
 
 }  // namespace
 
+static_assert(sizeof(CtsPayload) <= 24 && sizeof(PutCtsPayload) <= 24 &&
+                  sizeof(RdvHello) <= 24,
+              "control payloads must fit the inline DeferredSend buffer");
+
 Device::Device(fabric::Fabric& fabric, Rank rank, Config config,
                CompQueue* remote_put_cq)
     : fabric_(fabric),
@@ -80,7 +77,8 @@ Device::Device(fabric::Fabric& fabric, Rank rank, Config config,
       rank_(rank),
       config_(config),
       remote_put_cq_(remote_put_cq),
-      packet_pool_(config.packet_pool_size, config.eager_threshold),
+      packet_pool_(config.packet_pool_size, config.eager_threshold,
+                   config.packet_cache_size),
       ctr_progress_calls_(
           fabric.telemetry().counter(dev_metric(rank, "progress_calls"))),
       ctr_match_hits_(
@@ -89,9 +87,12 @@ Device::Device(fabric::Fabric& fabric, Rank rank, Config config,
           fabric.telemetry().counter(dev_metric(rank, "match_misses"))),
       ctr_pool_exhausted_(
           fabric.telemetry().counter(dev_metric(rank, "pool_exhausted"))),
+      ctr_pool_cache_hits_(
+          fabric.telemetry().counter(dev_metric(rank, "pool_cache_hits"))),
       hist_progress_ns_(
           fabric.telemetry().histogram(dev_metric(rank, "progress_ns"))) {
   assert(config_.eager_threshold <= nic_.srq_buffer_size());
+  packet_pool_.attach_cache_hit_counter(&ctr_pool_cache_hits_);
 }
 
 // ---- two-sided: medium ----------------------------------------------------
@@ -173,9 +174,9 @@ common::Status Device::sendl(Rank dst, Tag tag, const void* data,
     rdv.tag = tag;
     rdv.dst = dst;
   }
-  const auto hello = to_bytes(RdvHello{len, id});
-  const common::Status status = nic_.post_send(
-      dst, hello.data(), hello.size(), make_imm(MsgKind::kRts, tag));
+  const RdvHello hello{len, id};
+  const common::Status status =
+      nic_.post_send(dst, &hello, sizeof(hello), make_imm(MsgKind::kRts, tag));
   if (status != common::Status::kOk) {
     std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
     rdv_sends_.erase(id);
@@ -221,8 +222,8 @@ void Device::start_long_recv(Rank src, Tag tag, std::size_t size,
     rdv.tag = tag;
     rdv.src = src;
   }
-  send_ctrl(src, make_imm(MsgKind::kCts, 0),
-            to_bytes(CtsPayload{mr.id, recv.maxlen, sender_id, recv_id}));
+  const CtsPayload cts{mr.id, recv.maxlen, sender_id, recv_id};
+  send_ctrl(src, make_imm(MsgKind::kCts, 0), &cts, sizeof(cts));
 }
 
 void Device::handle_cts(Rank src, const std::byte* payload, std::size_t len) {
@@ -370,9 +371,9 @@ common::Status Device::put_dyn(Rank dst, Tag tag, const void* data,
     put.dst = dst;
     put.user_context = user_context;
   }
-  const auto hello = to_bytes(RdvHello{len, id});
+  const RdvHello hello{len, id};
   const common::Status status = nic_.post_send(
-      dst, hello.data(), hello.size(), make_imm(MsgKind::kPutRts, tag));
+      dst, &hello, sizeof(hello), make_imm(MsgKind::kPutRts, tag));
   if (status != common::Status::kOk) {
     std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
     put_sends_.erase(id);
@@ -425,8 +426,8 @@ void Device::handle_put_rts(Rank src, Tag tag, std::size_t size,
     put.src = src;
     mr_id = put.mr.id;
   }
-  send_ctrl(src, make_imm(MsgKind::kPutCts, 0),
-            to_bytes(PutCtsPayload{mr_id, sender_id, recv_id}));
+  const PutCtsPayload cts{mr_id, sender_id, recv_id};
+  send_ctrl(src, make_imm(MsgKind::kPutCts, 0), &cts, sizeof(cts));
 }
 
 void Device::handle_put_cts(Rank src, const std::byte* payload,
@@ -493,16 +494,17 @@ void Device::handle_put_fin(std::uint32_t recv_id) {
 
 // ---- progress engine ---------------------------------------------------------
 
-void Device::send_ctrl(Rank dst, std::uint64_t imm,
-                       std::vector<std::byte> payload) {
-  if (nic_.post_send(dst, payload.data(), payload.size(), imm) ==
-      common::Status::kOk) {
+void Device::send_ctrl(Rank dst, std::uint64_t imm, const void* payload,
+                       std::size_t len) {
+  assert(len <= kMaxCtrlPayload);
+  if (nic_.post_send(dst, payload, len, imm) == common::Status::kOk) {
     return;
   }
   DeferredSend deferred;
   deferred.dst = dst;
   deferred.imm = imm;
-  deferred.payload = std::move(payload);
+  std::memcpy(deferred.ctrl.data(), payload, len);
+  deferred.ctrl_len = len;
   std::lock_guard<common::SpinMutex> guard(deferred_mutex_);
   deferred_.push_back(std::move(deferred));
 }
@@ -523,8 +525,7 @@ void Device::retry_deferred() {
                                    msg.payload.data(), msg.payload.size(),
                                    msg.imm);
     } else {
-      status = nic_.post_send(msg.dst, msg.payload.data(), msg.payload.size(),
-                              msg.imm);
+      status = nic_.post_send(msg.dst, msg.ctrl.data(), msg.ctrl_len, msg.imm);
     }
     if (status != common::Status::kOk) {
       std::lock_guard<common::SpinMutex> guard(deferred_mutex_);

@@ -5,6 +5,7 @@
 // primitives and the explicit, thread-safe progress() function.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -151,9 +152,17 @@ class Device {
     Rank src = 0;
   };
 
-  struct DeferredSend {  // control message that hit TX back-pressure
+  // Largest control-message payload (CtsPayload); deferred control sends
+  // buffer it inline instead of in a heap vector.
+  static constexpr std::size_t kMaxCtrlPayload = 24;
+
+  struct DeferredSend {  // message that hit TX back-pressure
     Rank dst = 0;
     std::uint64_t imm = 0;
+    // Control payloads are tiny and fixed-size: buffered inline. Deferred
+    // RDMA writes keep their (arbitrarily large) payload in the vector.
+    std::array<std::byte, kMaxCtrlPayload> ctrl{};
+    std::size_t ctrl_len = 0;
     std::vector<std::byte> payload;
     bool is_write = false;
     std::uint64_t write_mr_id = 0;
@@ -178,7 +187,11 @@ class Device {
   void handle_put_cts(Rank src, const std::byte* payload, std::size_t len);
   void handle_put_fin(std::uint32_t recv_id);
   void handle_get_done(std::uint32_t get_id);
-  void send_ctrl(Rank dst, std::uint64_t imm, std::vector<std::byte> payload);
+  /// Posts a small fixed-size control message (RTS/CTS family) directly from
+  /// the caller's stack — the NIC copies at post time, so no heap buffer is
+  /// ever needed; TX back-pressure defers it into an inline buffer.
+  void send_ctrl(Rank dst, std::uint64_t imm, const void* payload,
+                 std::size_t len);
   void retry_deferred();
 
   fabric::Fabric& fabric_;
@@ -213,6 +226,8 @@ class Device {
   telemetry::Counter& ctr_match_hits_;    // recv/arrival paired immediately
   telemetry::Counter& ctr_match_misses_;  // stored to wait for the other side
   telemetry::Counter& ctr_pool_exhausted_;
+  telemetry::Counter& ctr_pool_cache_hits_;  // packet allocs served by the
+                                             // per-slot magazine
   telemetry::Histogram& hist_progress_ns_;  // duration of each progress()
 };
 

@@ -31,6 +31,9 @@ using Tag = std::uint32_t;
 struct Config {
   std::size_t eager_threshold = 8192;   // max medium-message payload
   std::size_t packet_pool_size = 4096;  // send-side packet buffers
+  std::size_t packet_cache_size = 32;   // per-slot magazine capacity
+                                        // (0 = every alloc hits the shared
+                                        // MPMC free list)
   std::size_t progress_batch = 64;      // fabric packets per progress call
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 
@@ -17,7 +18,21 @@ minilci::Config make_device_config(const amt::ParcelportContext& context) {
   // The LCI eager threshold stays at its default; the header message must
   // fit in one medium message, so the header cap below accounts for both.
   (void)context;
+  if (const char* s = std::getenv("AMTNET_LCI_PACKET_CACHE")) {
+    config.packet_cache_size =
+        static_cast<std::size_t>(std::strtoul(s, nullptr, 10));
+  }
   return config;
+}
+
+std::size_t resolve_pipeline_depth(const amt::ParcelportConfig& config) {
+  // The config name ("pd<N>" token) wins; the environment only fills in
+  // when the name leaves the depth unbounded.
+  if (config.lci_pipeline_depth > 0) return config.lci_pipeline_depth;
+  if (const char* s = std::getenv("AMTNET_LCI_PIPELINE_DEPTH")) {
+    return static_cast<std::size_t>(std::strtoul(s, nullptr, 10));
+  }
+  return 0;
 }
 
 std::string pp_metric(amt::Rank rank, const char* leaf) {
@@ -33,10 +48,23 @@ LciParcelport::LciParcelport(const amt::ParcelportContext& context)
       max_header_size_(std::min(
           std::max(context.zero_copy_threshold, sizeof(amt::WireHeader)),
           make_device_config(context).eager_threshold)),
+      pipeline_depth_(resolve_pipeline_depth(context.config)),
       device_(*context.fabric, context.rank, make_device_config(context),
               &remote_put_cq_),
       ctr_delivered_(context.fabric->telemetry().counter(
           pp_metric(context.rank, "messages_delivered"))),
+      ctr_send_retries_(context.fabric->telemetry().counter(
+          pp_metric(context.rank, "send_retries"))),
+      ctr_conn_reuses_(context.fabric->telemetry().counter(
+          pp_metric(context.rank, "conn_reuses"))),
+      ctr_conn_allocs_(context.fabric->telemetry().counter(
+          pp_metric(context.rank, "conn_allocs"))),
+      ctr_sync_reuses_(context.fabric->telemetry().counter(
+          pp_metric(context.rank, "sync_reuses"))),
+      ctr_sync_allocs_(context.fabric->telemetry().counter(
+          pp_metric(context.rank, "sync_allocs"))),
+      gauge_pieces_in_flight_(context.fabric->telemetry().gauge(
+          pp_metric(context.rank, "pieces_in_flight"))),
       hist_send_ns_(context.fabric->telemetry().histogram(
           pp_metric(context.rank, "send_ns"))) {
   telemetry::Registry& registry = context.fabric->telemetry();
@@ -46,7 +74,15 @@ LciParcelport::LciParcelport(const amt::ParcelportContext& context)
       &registry.gauge(pp_metric(context.rank, "comp_cq_depth")));
 }
 
-LciParcelport::~LciParcelport() { stop(); }
+LciParcelport::~LciParcelport() {
+  stop();
+  while (auto connection = sender_pool_.try_pop()) delete *connection;
+  while (auto connection = receiver_pool_.try_pop()) delete *connection;
+  while (auto sync = sync_pool_.try_pop()) delete *sync;
+  for (auto& shard : sync_shards_) {
+    for (minilci::Synchronizer* sync : shard.value.pending) delete sync;
+  }
+}
 
 void LciParcelport::start() {
   started_.store(true);
@@ -84,11 +120,48 @@ minilci::Comp LciParcelport::make_comp() {
   if (completion_type_ == amt::ParcelportConfig::CompType::kQueue) {
     return minilci::Comp::queue(&comp_cq_);
   }
-  auto sync = std::make_unique<minilci::Synchronizer>(1);
-  const minilci::Comp comp = minilci::Comp::sync(sync.get());
-  std::lock_guard<common::SpinMutex> guard(sync_mutex_);
-  pending_syncs_.push_back(std::move(sync));
+  minilci::Synchronizer* sync = nullptr;
+  if (auto pooled = sync_pool_.try_pop()) {
+    sync = *pooled;
+    ctr_sync_reuses_.add();
+  } else {
+    sync = new minilci::Synchronizer(1);
+    ctr_sync_allocs_.add();
+  }
+  const minilci::Comp comp = minilci::Comp::sync(sync);
+  SyncShard& shard =
+      sync_shards_[telemetry::shard_slot() & (kSyncShards - 1)].value;
+  std::lock_guard<common::SpinMutex> guard(shard.mutex);
+  shard.pending.push_back(sync);
   return comp;
+}
+
+LciParcelport::SenderConnection* LciParcelport::acquire_sender() {
+  if (auto connection = sender_pool_.try_pop()) {
+    ctr_conn_reuses_.add();
+    return *connection;
+  }
+  ctr_conn_allocs_.add();
+  return new SenderConnection();
+}
+
+LciParcelport::ReceiverConnection* LciParcelport::acquire_receiver() {
+  if (auto connection = receiver_pool_.try_pop()) {
+    ctr_conn_reuses_.add();
+    return *connection;
+  }
+  ctr_conn_allocs_.add();
+  return new ReceiverConnection();
+}
+
+void LciParcelport::recycle(SenderConnection* connection) {
+  connection->reset();
+  if (!sender_pool_.try_push(connection)) delete connection;
+}
+
+void LciParcelport::recycle(ReceiverConnection* connection) {
+  connection->reset();
+  if (!receiver_pool_.try_push(connection)) delete connection;
 }
 
 std::uint32_t LciParcelport::alloc_tags(std::size_t count) {
@@ -96,6 +169,20 @@ std::uint32_t LciParcelport::alloc_tags(std::size_t count) {
   // after 2^32 messages; same reuse assumption as the paper's §3.2.1.
   return static_cast<std::uint32_t>(
       next_tag_.fetch_add(count, std::memory_order_relaxed));
+}
+
+void LciParcelport::send_backoff(unsigned& round) {
+  // Bounded exponential backoff: spin-wait 2^round pauses (capped), then
+  // start yielding to the OS. Keeps retry storms off the NIC and the free
+  // list while staying responsive when the resource frees up quickly.
+  constexpr unsigned kCapShift = 10;
+  ctr_send_retries_.add();
+  const unsigned shift = std::min(round, kCapShift);
+  for (unsigned i = 0; i < (1u << shift); ++i) {
+    common::SpinMutex::cpu_relax();
+  }
+  if (shift == kCapShift) std::this_thread::yield();
+  ++round;
 }
 
 void LciParcelport::send(amt::Rank dst, amt::OutMessage msg,
@@ -113,15 +200,17 @@ void LciParcelport::send(amt::Rank dst, amt::OutMessage msg,
   }
   const amt::HeaderPlan plan = amt::HeaderPlan::decide(msg, max_header_size_);
 
-  auto connection = std::make_unique<SenderConnection>();
+  SenderConnection* connection = acquire_sender();
   connection->dst = dst;
   connection->done = std::move(done);
-  if (!plan.piggy_main) {
+  // Follow-up piece layout, mirrored by the receiver: [main][tchunk][z...].
+  // An empty main chunk travels piggybacked-by-omission (never as a piece).
+  if (!plan.piggy_main && !msg.main_chunk.empty()) {
     connection->pieces.emplace_back(msg.main_chunk.data(),
                                     msg.main_chunk.size());
   }
   if (msg.has_zchunks() && !plan.piggy_tchunk) {
-    connection->tchunk_buf = msg.make_tchunk();
+    msg.make_tchunk_into(connection->tchunk_buf);
     connection->pieces.emplace_back(connection->tchunk_buf.data(),
                                     connection->tchunk_buf.size());
   }
@@ -130,18 +219,24 @@ void LciParcelport::send(amt::Rank dst, amt::OutMessage msg,
   }
   connection->tag_base =
       connection->pieces.empty() ? 0 : alloc_tags(connection->pieces.size());
+  // One reference per operation (header + pieces) plus the guard this
+  // function holds while it still touches the connection.
+  connection->remaining.store(2 + connection->pieces.size(),
+                              std::memory_order_relaxed);
 
   // Assemble the header directly in an LCI packet buffer (saves a copy on
-  // the eager path — paper §3.2.1), then inject it, retrying on transient
-  // resource exhaustion per LCI's explicit-retry contract.
+  // the eager path — paper §3.2.1), then inject it, retrying with bounded
+  // backoff on transient resource exhaustion per LCI's explicit-retry
+  // contract.
   std::optional<minilci::PacketBuffer> packet;
+  unsigned backoff_round = 0;
   for (;;) {
     packet = device_.try_alloc_packet();
     if (packet) break;
     if (progress_type_ == amt::ParcelportConfig::ProgressType::kWorker) {
       device_.progress();
     }
-    std::this_thread::yield();
+    send_backoff(backoff_round);
   }
   const std::size_t header_size = amt::encode_header_to(
       msg, plan, connection->tag_base, packet->data(), packet->capacity());
@@ -149,7 +244,9 @@ void LciParcelport::send(amt::Rank dst, amt::OutMessage msg,
   connection->msg = std::move(msg);
 
   const minilci::Comp comp = make_comp();
-  const auto ctx = reinterpret_cast<std::uint64_t>(connection.get());
+  const auto ctx =
+      reinterpret_cast<std::uint64_t>(static_cast<Connection*>(connection));
+  backoff_round = 0;
   for (;;) {
     const common::Status status =
         protocol_ == amt::ParcelportConfig::Protocol::kPutSendRecv
@@ -159,55 +256,102 @@ void LciParcelport::send(amt::Rank dst, amt::OutMessage msg,
     if (progress_type_ == amt::ParcelportConfig::ProgressType::kWorker) {
       device_.progress();
     }
-    std::this_thread::yield();
+    send_backoff(backoff_round);
   }
-  // Ownership passes to the completion path (dispatch_entry deletes it).
-  connection.release();
+
+  // Seed the pipeline: with depth d, the header plus d-1 pieces may be in
+  // flight at once (each completion then posts one replacement, so depth 1
+  // reproduces the old serialized walk). Unbounded: post everything now.
+  const std::size_t seed =
+      pipeline_depth_ == 0
+          ? connection->pieces.size()
+          : std::min(pipeline_depth_ - 1, connection->pieces.size());
+  for (std::size_t i = 0; i < seed; ++i) {
+    if (!connection->post_one(*this)) break;
+  }
+  // Drop the send() guard; from here the completion chain owns the
+  // connection (and may already be recycling it on another thread).
+  connection->drop_ref(*this);
 }
 
-common::Status LciParcelport::SenderConnection::post_current(
-    LciParcelport& port) {
-  const auto [data, size] = pieces[next_piece];
-  const std::uint32_t tag =
-      tag_base + static_cast<std::uint32_t>(next_piece);
+common::Status LciParcelport::SenderConnection::post_piece(
+    LciParcelport& port, std::size_t index) {
+  const auto [data, size] = pieces[index];
+  const std::uint32_t tag = tag_base + static_cast<std::uint32_t>(index);
   const minilci::Comp comp = port.make_comp();
-  const auto ctx = reinterpret_cast<std::uint64_t>(this);
+  const auto ctx =
+      reinterpret_cast<std::uint64_t>(static_cast<Connection*>(this));
   const common::Status status =
       size <= port.device_.max_medium_size()
           ? port.device_.sendm(dst, tag, data, size, comp, ctx)
           : port.device_.sendl(dst, tag, data, size, comp, ctx);
-  if (status == common::Status::kOk) ++next_piece;
+  if (status == common::Status::kOk) port.gauge_pieces_in_flight_.add();
   return status;
 }
 
-bool LciParcelport::SenderConnection::on_completion(
-    LciParcelport& port, minilci::CqEntry&& /*entry*/) {
-  // The previous operation (header or piece next_piece-1) completed; post
-  // the next piece, or finish when everything has completed.
-  if (next_piece < pieces.size()) {
-    if (post_current(port) == common::Status::kRetry) {
-      std::lock_guard<common::SpinMutex> guard(port.retry_mutex_);
-      port.retry_.push_back(this);
+bool LciParcelport::SenderConnection::post_one(LciParcelport& port) {
+  std::size_t index = next_piece.load(std::memory_order_relaxed);
+  for (;;) {
+    if (index >= pieces.size()) return false;
+    if (next_piece.compare_exchange_weak(index, index + 1,
+                                         std::memory_order_relaxed)) {
+      break;
     }
-    return false;
   }
-  done();
+  if (post_piece(port, index) == common::Status::kRetry) {
+    std::lock_guard<common::SpinMutex> guard(port.retry_mutex_);
+    port.retry_.push_back(RetryEntry{this, index});
+  }
   return true;
+}
+
+void LciParcelport::SenderConnection::on_completion(
+    LciParcelport& port, minilci::CqEntry&& entry) {
+  // Header completions: the dynamic put (psr) or the tag-0 medium send
+  // (sr). Everything else is a follow-up piece (piece tags start at 1).
+  const bool is_piece = entry.op != minilci::OpKind::kPutDyn &&
+                        entry.tag != LciParcelport::kHeaderTag;
+  if (is_piece) port.gauge_pieces_in_flight_.sub();
+  // Keep the pipeline at its depth: every completion posts one replacement
+  // piece (a no-op once all pieces are claimed).
+  post_one(port);
+  drop_ref(port);
+}
+
+void LciParcelport::SenderConnection::drop_ref(LciParcelport& port) {
+  if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    done();
+    port.recycle(this);
+  }
+}
+
+void LciParcelport::SenderConnection::reset() {
+  dst = 0;
+  msg = amt::OutMessage{};  // releases the archive buffer + keepalives
+  done = common::UniqueFunction<void()>();
+  tchunk_buf.clear();  // capacity survives for the next use
+  pieces.clear();
+  tag_base = 0;
+  next_piece.store(0, std::memory_order_relaxed);
+  remaining.store(0, std::memory_order_relaxed);
 }
 
 bool LciParcelport::retry_senders() {
   bool did_work = false;
   for (int i = 0; i < 8; ++i) {
-    SenderConnection* connection = nullptr;
+    RetryEntry entry;
     {
       std::lock_guard<common::SpinMutex> guard(retry_mutex_);
       if (retry_.empty()) break;
-      connection = retry_.front();
+      entry = retry_.front();
       retry_.pop_front();
     }
-    if (connection->post_current(*this) == common::Status::kRetry) {
+    // The claimed piece's completion has not fired, so the connection is
+    // guaranteed alive here.
+    if (entry.connection->post_piece(*this, entry.piece) ==
+        common::Status::kRetry) {
       std::lock_guard<common::SpinMutex> guard(retry_mutex_);
-      retry_.push_front(connection);
+      retry_.push_front(entry);
       break;
     }
     did_work = true;
@@ -215,85 +359,61 @@ bool LciParcelport::retry_senders() {
   return did_work;
 }
 
-void LciParcelport::ReceiverConnection::post_next(LciParcelport& port) {
-  const auto post_piece = [&](std::size_t size, std::vector<std::byte>& buf,
-                              bool is_zchunk) {
-    const std::uint32_t tag =
-        tag_base + static_cast<std::uint32_t>(piece_index);
-    ++piece_index;
-    const minilci::Comp comp = port.make_comp();
-    const auto ctx = reinterpret_cast<std::uint64_t>(this);
-    if (size <= port.device_.max_medium_size()) {
-      // Medium: the payload arrives as an owned buffer in the entry and is
-      // moved into place by store_completed.
-      port.device_.recvm(src, tag, comp, ctx);
-    } else {
-      buf.resize(size);
-      port.device_.recvl(src, tag, buf.data(), size, comp, ctx);
-    }
-    (void)is_zchunk;
-  };
-
-  for (;;) {
-    switch (stage) {
-      case Stage::kMain:
-        stage = Stage::kTchunk;
-        if (!fields.piggy_main && fields.main_size > 0) {
-          post_piece(fields.main_size, main, false);
-          return;
-        }
-        break;
-      case Stage::kTchunk:
-        stage = Stage::kZchunks;
-        if (fields.num_zchunks > 0 && !fields.piggy_tchunk) {
-          post_piece(fields.num_zchunks * sizeof(std::uint64_t), tchunk,
-                     false);
-          return;
-        }
-        break;
-      case Stage::kZchunks:
-        if (zsizes.empty() && fields.num_zchunks > 0) {
-          zsizes = amt::parse_tchunk(tchunk.data(), tchunk.size());
-          assert(zsizes.size() == fields.num_zchunks);
-        }
-        if (zindex < fields.num_zchunks) {
-          zchunks.emplace_back();
-          post_piece(zsizes[zindex], zchunks.back(), true);
-          ++zindex;
-          return;
-        }
-        stage = Stage::kDone;
-        return;
-      case Stage::kDone:
-        return;
-    }
-  }
-}
-
-void LciParcelport::ReceiverConnection::store_completed(
-    minilci::CqEntry&& entry) {
-  if (entry.op != minilci::OpKind::kRecvMedium) return;  // long: in place
-  // The entry completed the most recently posted piece; figure out which
-  // buffer it belongs to from the walk state.
-  if (stage == Stage::kTchunk) {
-    main = std::move(entry.data);
-  } else if (stage == Stage::kZchunks && zindex == 0) {
-    tchunk = std::move(entry.data);
+void LciParcelport::post_recv_piece(ReceiverConnection* connection,
+                                    std::size_t piece, std::size_t size,
+                                    std::vector<std::byte>& buf) {
+  const std::uint32_t tag =
+      connection->tag_base + static_cast<std::uint32_t>(piece);
+  const minilci::Comp comp = make_comp();
+  const auto ctx =
+      reinterpret_cast<std::uint64_t>(static_cast<Connection*>(connection));
+  if (size <= device_.max_medium_size()) {
+    // Medium: the payload arrives as an owned buffer in the entry and is
+    // moved into place by the completion handler.
+    device_.recvm(connection->src, tag, comp, ctx);
   } else {
-    assert(zindex > 0);
-    zchunks[zindex - 1] = std::move(entry.data);
+    buf.resize(size);
+    device_.recvl(connection->src, tag, buf.data(), size, comp, ctx);
   }
 }
 
-bool LciParcelport::ReceiverConnection::on_completion(
-    LciParcelport& port, minilci::CqEntry&& entry) {
-  store_completed(std::move(entry));
-  post_next(port);
-  if (stage == Stage::kDone) {
-    finish(port);
-    return true;
+void LciParcelport::ReceiverConnection::post_zchunk_recvs(
+    LciParcelport& port) {
+  const std::vector<std::uint64_t> zsizes =
+      amt::parse_tchunk(tchunk.data(), tchunk.size());
+  assert(zsizes.size() == fields.num_zchunks);
+  // Size the slot vector before posting anything: completions may land (on
+  // other threads) while later receives are still being posted, and the
+  // slots must not move under them.
+  zchunks.resize(fields.num_zchunks);
+  for (std::size_t i = 0; i < zsizes.size(); ++i) {
+    port.post_recv_piece(this, zbase + i, zsizes[i], zchunks[i]);
   }
-  return false;
+}
+
+void LciParcelport::ReceiverConnection::on_completion(
+    LciParcelport& port, minilci::CqEntry&& entry) {
+  const std::size_t piece = entry.tag - tag_base;
+  const bool is_medium = entry.op == minilci::OpKind::kRecvMedium;
+  if (static_cast<int>(piece) == tchunk_piece) {
+    if (is_medium) tchunk = std::move(entry.data);
+    // Zero-copy chunk sizes are now known; pre-post every zchunk receive.
+    // Our own un-dropped reference keeps the connection alive throughout.
+    post_zchunk_recvs(port);
+  } else if (static_cast<int>(piece) == main_piece) {
+    if (is_medium) main = std::move(entry.data);
+  } else {
+    assert(piece >= zbase && piece - zbase < zchunks.size());
+    if (is_medium) zchunks[piece - zbase] = std::move(entry.data);
+    // Long receives already landed in the pre-sized slot buffer.
+  }
+  drop_ref(port);
+}
+
+void LciParcelport::ReceiverConnection::drop_ref(LciParcelport& port) {
+  if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    finish(port);
+  }
 }
 
 void LciParcelport::ReceiverConnection::finish(LciParcelport& port) {
@@ -303,25 +423,62 @@ void LciParcelport::ReceiverConnection::finish(LciParcelport& port) {
   in.zchunks = std::move(zchunks);
   port.ctr_delivered_.add();
   port.context_.deliver(std::move(in));
+  port.recycle(this);
+}
+
+void LciParcelport::ReceiverConnection::reset() {
+  src = 0;
+  tag_base = 0;
+  fields = amt::WireHeader{};
+  main.clear();
+  tchunk.clear();
+  zchunks.clear();
+  main_piece = -1;
+  tchunk_piece = -1;
+  zbase = 0;
+  remaining.store(0, std::memory_order_relaxed);
 }
 
 void LciParcelport::handle_header(amt::Rank src, const std::byte* data,
                                   std::size_t size) {
   amt::DecodedHeader decoded = amt::decode_header(data, size);
 
-  auto connection = std::make_unique<ReceiverConnection>();
+  ReceiverConnection* connection = acquire_receiver();
   connection->src = src;
   connection->tag_base = decoded.fields.tag;
   connection->fields = decoded.fields;
   connection->main = std::move(decoded.piggy_main);
   connection->tchunk = std::move(decoded.piggy_tchunk);
 
-  connection->post_next(*this);
-  if (connection->stage == ReceiverConnection::Stage::kDone) {
-    connection->finish(*this);  // fully piggybacked message
-    return;
+  const amt::WireHeader& fields = connection->fields;
+  const bool has_main = !fields.piggy_main && fields.main_size > 0;
+  const bool has_tchunk = fields.num_zchunks > 0 && !fields.piggy_tchunk;
+  std::size_t index = 0;
+  if (has_main) connection->main_piece = static_cast<int>(index++);
+  if (has_tchunk) connection->tchunk_piece = static_cast<int>(index++);
+  connection->zbase = index;
+  const std::size_t total_pieces = index + fields.num_zchunks;
+  // One reference per expected piece, plus the posting guard held until the
+  // end of this function (it also finishes fully-piggybacked messages).
+  connection->remaining.store(total_pieces + 1, std::memory_order_relaxed);
+
+  // Pre-post every receive we already know the size of; completions may
+  // land in any order and are routed by tag.
+  if (has_main) {
+    post_recv_piece(connection, static_cast<std::size_t>(
+                                    connection->main_piece),
+                    fields.main_size, connection->main);
   }
-  connection.release();  // owned by its completion chain now
+  if (has_tchunk) {
+    post_recv_piece(connection,
+                    static_cast<std::size_t>(connection->tchunk_piece),
+                    fields.num_zchunks * sizeof(std::uint64_t),
+                    connection->tchunk);
+  } else if (fields.num_zchunks > 0) {
+    // Piggybacked tchunk: zero-copy chunk sizes are already known.
+    connection->post_zchunk_recvs(*this);
+  }
+  connection->drop_ref(*this);
 }
 
 void LciParcelport::dispatch_entry(minilci::CqEntry&& entry) {
@@ -334,9 +491,7 @@ void LciParcelport::dispatch_entry(minilci::CqEntry&& entry) {
   }
   auto* connection = reinterpret_cast<Connection*>(entry.user_context);
   assert(connection != nullptr);
-  if (connection->on_completion(*this, std::move(entry))) {
-    delete connection;
-  }
+  connection->on_completion(*this, std::move(entry));
 }
 
 bool LciParcelport::poll_completions() {
@@ -352,31 +507,44 @@ bool LciParcelport::poll_remote_puts() {
          }) > 0;
 }
 
-bool LciParcelport::poll_synchronizers() {
-  // Round-robin over the pending-synchronizer list, the sy-variant analogue
-  // of the MPI parcelport's pending-connection polling.
+bool LciParcelport::poll_synchronizers(unsigned worker_index) {
+  // The sy-variant analogue of the MPI parcelport's pending-connection
+  // polling, sharded so concurrent pollers (and make_comp producers) do not
+  // round-trip one global lock. Each worker starts at its own shard and
+  // round-robins; a not-ready synchronizer sends the poller to the next
+  // shard rather than busy-retesting the same one.
   bool did_work = false;
-  for (int i = 0; i < 8; ++i) {
-    std::unique_ptr<minilci::Synchronizer> sync;
-    {
-      std::lock_guard<common::SpinMutex> guard(sync_mutex_);
-      if (pending_syncs_.empty()) break;
-      sync = std::move(pending_syncs_.front());
-      pending_syncs_.pop_front();
-    }
-    std::vector<minilci::CqEntry> entries;
-    if (sync->test(&entries)) {
-      for (auto& entry : entries) dispatch_entry(std::move(entry));
-      did_work = true;  // synchronizer consumed and destroyed
-    } else {
-      std::lock_guard<common::SpinMutex> guard(sync_mutex_);
-      pending_syncs_.push_back(std::move(sync));
+  int budget = 8;
+  for (std::size_t k = 0; k < kSyncShards && budget > 0; ++k) {
+    SyncShard& shard =
+        sync_shards_[(worker_index + k) & (kSyncShards - 1)].value;
+    while (budget > 0) {
+      minilci::Synchronizer* sync = nullptr;
+      {
+        std::lock_guard<common::SpinMutex> guard(shard.mutex);
+        if (shard.pending.empty()) break;
+        sync = shard.pending.front();
+        shard.pending.pop_front();
+      }
+      --budget;
+      std::vector<minilci::CqEntry> entries;
+      if (sync->test(&entries)) {
+        // test() reset the synchronizer; recycle it before dispatching so
+        // the entries' own make_comp calls can already reuse it.
+        if (!sync_pool_.try_push(sync)) delete sync;
+        for (auto& entry : entries) dispatch_entry(std::move(entry));
+        did_work = true;
+      } else {
+        std::lock_guard<common::SpinMutex> guard(shard.mutex);
+        shard.pending.push_back(sync);
+        break;  // head of this shard not ready; try the next shard
+      }
     }
   }
   return did_work;
 }
 
-bool LciParcelport::background_work(unsigned /*worker_index*/) {
+bool LciParcelport::background_work(unsigned worker_index) {
   if (!started_.load(std::memory_order_relaxed)) return false;
   bool did_work = false;
   if (progress_type_ == amt::ParcelportConfig::ProgressType::kWorker) {
@@ -388,7 +556,7 @@ bool LciParcelport::background_work(unsigned /*worker_index*/) {
   if (completion_type_ == amt::ParcelportConfig::CompType::kQueue) {
     did_work |= poll_completions();
   } else {
-    did_work |= poll_synchronizers();
+    did_work |= poll_synchronizers(worker_index);
   }
   did_work |= retry_senders();
   return did_work;

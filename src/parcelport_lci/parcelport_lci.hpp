@@ -6,11 +6,23 @@
 // arrival and signalled through a pre-configured remote completion queue.
 // Follow-up messages use medium (eager) or long (rendezvous) send/receive,
 // each with a *distinct* tag from an atomic counter (LCI gives no in-order
-// delivery, so one tag per connection would mis-match). One send/receive is
-// outstanding per connection at a time. Completions land in one completion
+// delivery, so one tag per connection would mis-match).
+//
+// Follow-ups are *pipelined*: the sender posts every piece eagerly (bounded
+// by the configurable pipeline depth; depth 1 reproduces the serialized
+// one-op-per-connection behaviour), and the receiver pre-posts every recv as
+// soon as the header — and, for zero-copy chunk sizes, the transmission
+// chunk — is decoded. Completions may land in any order, so connections
+// track an atomic remaining-count and route each completion to its piece
+// slot by tag instead of walking stages. Completions land in one completion
 // queue; worker background work polls that queue plus the remote-put queue.
 // A dedicated progress thread, created through the resource-partitioner shim
 // and pinned at core 0, is the only caller of LCI_progress.
+//
+// The steady-state send path allocates nothing: SenderConnection /
+// ReceiverConnection / Synchronizer objects are recycled through bounded
+// MPMC freelists (keeping their vector capacities), the header is assembled
+// in a pooled LCI packet, and the transmission chunk is encoded in place.
 //
 // Variants (paper §3.2.2), all runtime-selectable via ParcelportConfig:
 //   * protocol   psr | sr   — dynamic-put header vs send/recv header (one
@@ -18,13 +30,16 @@
 //   * progress   pin | mt   — dedicated pinned progress thread vs all worker
 //                             threads calling progress when idle,
 //   * completion cq | sy    — one completion queue vs per-operation
-//                             synchronizers on a round-robin pending list
+//                             synchronizers on sharded pending lists
 //                             (the dynamic put's remote completion stays a
 //                             CQ — the only mechanism LCI's put supports),
 //   * send-immediate `_i`   — handled above this layer (parcel queue and
-//                             connection cache bypass in amt::Locality).
+//                             connection cache bypass in amt::Locality),
+//   * pipeline   pd<N>      — follow-up pipeline depth (pdinf/absent =
+//                             unbounded; also AMTNET_LCI_PIPELINE_DEPTH).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -34,8 +49,10 @@
 
 #include "amt/parcelport.hpp"
 #include "amt/wire_header.hpp"
+#include "common/cache.hpp"
 #include "common/spinlock.hpp"
 #include "minilci/device.hpp"
+#include "queues/mpmc_queue.hpp"
 
 namespace pplci {
 
@@ -53,17 +70,22 @@ class LciParcelport final : public amt::Parcelport {
   static constexpr minilci::Tag kHeaderTag = 0;  // sr-protocol headers
 
   std::uint64_t messages_delivered() const { return ctr_delivered_.value(); }
+  /// Effective follow-up pipeline depth (0 = unbounded).
+  std::size_t pipeline_depth() const { return pipeline_depth_; }
 
  private:
   // user_context values in completion entries: either a Connection* or this
   // sentinel marking an sr-protocol header receive.
   static constexpr std::uint64_t kHeaderRecvCtx = 1;
 
+  static constexpr std::size_t kSyncShards = 8;  // power of two
+
   struct Connection {
     virtual ~Connection() = default;
-    /// Reacts to the completion of this connection's outstanding operation.
-    /// Returns true when the connection has finished (caller deletes it).
-    virtual bool on_completion(LciParcelport& port,
+    /// Reacts to one completion landing for this connection. Completions
+    /// arrive in any order (and concurrently, from multiple pollers); the
+    /// implementation recycles the connection when the last one lands.
+    virtual void on_completion(LciParcelport& port,
                                minilci::CqEntry&& entry) = 0;
   };
 
@@ -73,13 +95,22 @@ class LciParcelport final : public amt::Parcelport {
     common::UniqueFunction<void()> done;
     std::vector<std::byte> tchunk_buf;
     std::vector<std::pair<const std::byte*, std::size_t>> pieces;
-    std::size_t next_piece = 0;  // piece i travels on tag_base + i
     std::uint32_t tag_base = 0;
+    std::atomic<std::size_t> next_piece{0};  // next unclaimed piece index
+    // Live references: one per posted-or-claimed operation (header + every
+    // piece) plus one guard held by send() while it still touches the
+    // connection. Whoever drops the count to zero finishes and recycles.
+    std::atomic<std::size_t> remaining{0};
 
-    /// Posts the current piece; kRetry leaves state unchanged.
-    common::Status post_current(LciParcelport& port);
-    bool on_completion(LciParcelport& port,
+    /// Posts piece `index`; kRetry leaves it claimable by retry_senders().
+    common::Status post_piece(LciParcelport& port, std::size_t index);
+    /// Claims and posts the next unposted piece (kRetry pieces go to the
+    /// retry queue). Returns false when every piece is already claimed.
+    bool post_one(LciParcelport& port);
+    void on_completion(LciParcelport& port,
                        minilci::CqEntry&& entry) override;
+    void drop_ref(LciParcelport& port);
+    void reset();
   };
 
   struct ReceiverConnection final : Connection {
@@ -88,34 +119,53 @@ class LciParcelport final : public amt::Parcelport {
     amt::WireHeader fields;
     std::vector<std::byte> main;
     std::vector<std::byte> tchunk;
-    std::vector<std::uint64_t> zsizes;
     std::vector<std::vector<std::byte>> zchunks;
-    enum class Stage : std::uint8_t { kMain, kTchunk, kZchunks, kDone };
-    Stage stage = Stage::kMain;
-    std::size_t zindex = 0;
-    std::size_t piece_index = 0;  // next follow-up tag offset
+    // Follow-up piece layout (matches the sender): [main][tchunk][zchunks].
+    // -1 = piece not transferred (piggybacked or absent).
+    int main_piece = -1;
+    int tchunk_piece = -1;
+    std::size_t zbase = 0;  // piece index of zero-copy chunk 0
+    // One reference per expected piece plus a posting guard (same protocol
+    // as SenderConnection::remaining).
+    std::atomic<std::size_t> remaining{0};
 
-    /// Posts receives until one is outstanding or the message is complete.
-    void post_next(LciParcelport& port);
-    bool on_completion(LciParcelport& port,
+    void on_completion(LciParcelport& port,
                        minilci::CqEntry&& entry) override;
-    void store_completed(minilci::CqEntry&& entry);
+    /// Posts all zero-copy chunk receives (sizes from the decoded tchunk).
+    /// Called once: from handle_header (piggybacked tchunk) or from the
+    /// tchunk piece's completion.
+    void post_zchunk_recvs(LciParcelport& port);
+    void drop_ref(LciParcelport& port);
     void finish(LciParcelport& port);
+    void reset();
   };
 
   /// Builds the completion object for one operation: the shared CQ in cq
-  /// mode, or a fresh synchronizer added to the pending list in sy mode.
+  /// mode, or a pooled synchronizer added to a sharded pending list in sy
+  /// mode.
   minilci::Comp make_comp();
+
+  // Connection/synchronizer freelists (paper: "zero allocation on the
+  // critical path"). Pop-or-new on acquire; reset-and-push (or delete, when
+  // the bounded pool is full) on recycle.
+  SenderConnection* acquire_sender();
+  ReceiverConnection* acquire_receiver();
+  void recycle(SenderConnection* connection);
+  void recycle(ReceiverConnection* connection);
 
   std::uint32_t alloc_tags(std::size_t count);
   void handle_header(amt::Rank src, const std::byte* data, std::size_t size);
   void dispatch_entry(minilci::CqEntry&& entry);
   bool poll_completions();
   bool poll_remote_puts();
-  bool poll_synchronizers();
+  bool poll_synchronizers(unsigned worker_index);
   bool retry_senders();
-  void post_recv_piece(ReceiverConnection* connection, std::uint32_t tag,
-                       void* buf, std::size_t size);
+  /// Posts one follow-up receive (medium or long, by size) for `piece`.
+  void post_recv_piece(ReceiverConnection* connection, std::size_t piece,
+                       std::size_t size, std::vector<std::byte>& buf);
+  /// Bounded exponential backoff between injection retries; counts every
+  /// round in pplci/*/send_retries.
+  void send_backoff(unsigned& round);
   void progress_thread_loop();
 
   const amt::ParcelportContext context_;
@@ -123,21 +173,34 @@ class LciParcelport final : public amt::Parcelport {
   const amt::ParcelportConfig::ProgressType progress_type_;
   const amt::ParcelportConfig::CompType completion_type_;
   const std::size_t max_header_size_;
+  const std::size_t pipeline_depth_;  // 0 = unbounded
 
   minilci::CompQueue remote_put_cq_;  // pre-configured remote CQ for puts
   minilci::Device device_;
   minilci::CompQueue comp_cq_;        // cq mode: all op completions
 
-  // sy mode: per-operation synchronizers, round-robin polled.
-  common::SpinMutex sync_mutex_;
-  std::deque<std::unique_ptr<minilci::Synchronizer>> pending_syncs_;
+  // sy mode: per-operation synchronizers on sharded pending lists, polled
+  // round-robin starting at the worker's own shard (no global lock).
+  struct SyncShard {
+    common::SpinMutex mutex;
+    std::deque<minilci::Synchronizer*> pending;
+  };
+  std::array<common::CachePadded<SyncShard>, kSyncShards> sync_shards_;
 
   // sr mode: one always-posted header receive per peer (reposted by the
   // completion handler; no state needed beyond the sentinel context).
 
-  // Senders whose current piece hit resource back-pressure.
+  // Claimed sender pieces that hit resource back-pressure.
+  struct RetryEntry {
+    SenderConnection* connection = nullptr;
+    std::size_t piece = 0;
+  };
   common::SpinMutex retry_mutex_;
-  std::deque<SenderConnection*> retry_;
+  std::deque<RetryEntry> retry_;
+
+  queues::MpmcQueue<SenderConnection*> sender_pool_{1024};
+  queues::MpmcQueue<ReceiverConnection*> receiver_pool_{1024};
+  queues::MpmcQueue<minilci::Synchronizer*> sync_pool_{4096};
 
   std::atomic<std::uint64_t> next_tag_{1};  // 0 is the sr header tag
 
@@ -148,6 +211,13 @@ class LciParcelport final : public amt::Parcelport {
   // histogram measures send() entry to done-callback firing (only when
   // telemetry timing is enabled; see telemetry::timing_enabled).
   telemetry::Counter& ctr_delivered_;
+  telemetry::Counter& ctr_send_retries_;  // backoff rounds in send()
+  telemetry::Counter& ctr_conn_reuses_;   // connections served by the pools
+  telemetry::Counter& ctr_conn_allocs_;   // connections newly heap-allocated
+  telemetry::Counter& ctr_sync_reuses_;
+  telemetry::Counter& ctr_sync_allocs_;
+  telemetry::Gauge& gauge_pieces_in_flight_;  // posted, not-yet-completed
+                                              // follow-up pieces (sender)
   telemetry::Histogram& hist_send_ns_;
 
   std::atomic<bool> started_{false};

@@ -5,6 +5,7 @@
 // cross-configuration message equivalence.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <string>
@@ -229,6 +230,184 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<const char*>& info) {
       return std::string(info.param);
     });
+
+// ---------------- pipelined follow-ups: out-of-order completions ----------
+
+namespace e2e {
+
+// Order-sensitive digest over four zero-copy chunks: any cross-chunk mixup
+// or intra-chunk corruption changes the result.
+std::uint64_t ordered_digest(std::vector<std::uint64_t> a,
+                             std::vector<std::uint64_t> b,
+                             std::vector<std::uint64_t> c,
+                             std::vector<std::uint64_t> d) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](const std::vector<std::uint64_t>& v) {
+    h = h * 1099511628211ull + v.size();
+    for (std::uint64_t x : v) h = h * 1099511628211ull + x;
+  };
+  mix(a);
+  mix(b);
+  mix(c);
+  mix(d);
+  return h;
+}
+
+std::vector<std::uint64_t> make_chunk(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = seed * 1000003ull + i;
+  return v;
+}
+
+}  // namespace e2e
+
+// Multi-zchunk parcels over a 4-rail fabric: the sender posts every piece
+// eagerly, rails deliver them out of order, and the receiver must route each
+// completion to the right buffer slot by tag. Covers all 8 LCI variant
+// combinations plus pipeline-depth regression configs (pd1 = the old
+// serialized walk must still work and stay reachable).
+class LciPipelineE2E : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LciPipelineE2E, MultiZchunkIntegrityAcrossReorderingFabric) {
+  StackOptions options;
+  options.parcelport = GetParam();
+  options.num_localities = 2;
+  options.threads_per_locality = 2;
+  options.platform = "loopback";
+  options.fabric_rails = 4;  // unordered delivery across pieces
+  auto runtime = amtnet::make_runtime(options);
+  Latch done(1);
+  bool all_ok = false;
+  runtime->locality(0).spawn([&] {
+    bool ok = true;
+    for (std::uint64_t round = 0; round < 6; ++round) {
+      // Four 16 KiB chunks (over the 8 KiB zero-copy threshold): header +
+      // 4 zero-copy follow-ups, all in flight at once.
+      auto a = e2e::make_chunk(2048, 4 * round + 1);
+      auto b = e2e::make_chunk(2048, 4 * round + 2);
+      auto c = e2e::make_chunk(2048, 4 * round + 3);
+      auto d = e2e::make_chunk(2048, 4 * round + 4);
+      const std::uint64_t expected = e2e::ordered_digest(a, b, c, d);
+      const std::uint64_t got =
+          amt::here().async<&e2e::ordered_digest>(1, a, b, c, d).get();
+      ok = ok && got == expected;
+    }
+    all_ok = ok;
+    done.count_down();
+  });
+  done.wait(runtime->locality(0).scheduler());
+  EXPECT_TRUE(all_ok);
+  runtime->stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLciVariants, LciPipelineE2E,
+    ::testing::Values("lci_psr_cq_pin", "lci_psr_cq_mt", "lci_psr_sy_pin",
+                      "lci_psr_sy_mt", "lci_sr_cq_pin", "lci_sr_cq_mt",
+                      "lci_sr_sy_pin", "lci_sr_sy_mt",
+                      // regression: bounded depths, incl. the old serialized
+                      // behaviour (depth 1)
+                      "lci_psr_cq_pin_pd1_i", "lci_sr_sy_mt_pd1",
+                      "lci_psr_cq_mt_pd4_i"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return std::string(info.param);
+    });
+
+TEST(LciPipeline, OutOfOrderWithJitterChaos) {
+  // Rails + per-packet jitter: aggressively shuffles piece arrival order.
+  StackOptions options;
+  options.parcelport = "lci_psr_cq_mt_i";
+  options.num_localities = 2;
+  options.threads_per_locality = 2;
+  options.fabric_rails = 4;
+  amt::RuntimeConfig config = amtnet::make_runtime_config(options);
+  config.fabric.jitter_us = 5.0;
+  amt::Runtime runtime(config, amtnet::default_parcelport_factory());
+  runtime.start();
+  Latch done(1);
+  bool all_ok = false;
+  runtime.locality(0).spawn([&] {
+    bool ok = true;
+    for (std::uint64_t round = 0; round < 4; ++round) {
+      auto a = e2e::make_chunk(3000, round + 11);
+      auto b = e2e::make_chunk(1024, round + 22);
+      auto c = e2e::make_chunk(4096, round + 33);
+      auto d = e2e::make_chunk(2048, round + 44);
+      const std::uint64_t expected = e2e::ordered_digest(a, b, c, d);
+      const std::uint64_t got =
+          amt::here().async<&e2e::ordered_digest>(1, a, b, c, d).get();
+      ok = ok && got == expected;
+    }
+    all_ok = ok;
+    done.count_down();
+  });
+  done.wait(runtime.locality(0).scheduler());
+  EXPECT_TRUE(all_ok);
+  runtime.stop();
+}
+
+#ifndef AMTNET_TELEMETRY_DISABLED
+TEST(LciPipeline, SteadyStateSendAllocatesNoConnectionsOrSyncs) {
+  // The zero-allocation acceptance check: after a warm-up burst has stocked
+  // the connection/synchronizer freelists, further sends must be served
+  // entirely from the pools — the alloc counters stop moving while the
+  // reuse counters keep climbing.
+  StackOptions options;
+  options.parcelport = "lci_psr_sy_mt_i";  // sy: exercises the sync pool too
+  options.num_localities = 2;
+  options.threads_per_locality = 2;
+  auto runtime = amtnet::make_runtime(options);
+
+  const auto pools = [&] {
+    const auto snap = runtime->telemetry().snapshot();
+    const auto both = [&snap](const char* leaf) {
+      return snap.counter(std::string("pplci/loc0/") + leaf) +
+             snap.counter(std::string("pplci/loc1/") + leaf);
+    };
+    return std::array<std::uint64_t, 4>{
+        both("conn_allocs"), both("conn_reuses"), both("sync_allocs"),
+        both("sync_reuses")};
+  };
+
+  // Warm-up: a concurrent burst in both directions grows the pools past any
+  // steady-state in-flight count.
+  e2e::counter.store(0);
+  constexpr int kBurst = 48;
+  for (amt::Rank r = 0; r < 2; ++r) {
+    runtime->locality(r).spawn([&] {
+      for (int i = 0; i < kBurst; ++i) {
+        amt::here().apply<&e2e::bump>(1 - amt::here().rank(), 1);
+      }
+    });
+  }
+  ASSERT_TRUE(testutil::spin_until(
+      [&] { return e2e::counter.load() == 2 * kBurst; },
+      std::chrono::milliseconds(10000)));
+
+  const auto warm = pools();
+
+  // Steady state: sequential request/response round trips.
+  Latch done(1);
+  bool all_ok = false;
+  runtime->locality(0).spawn([&] {
+    bool ok = true;
+    for (std::uint64_t i = 0; i < 128; ++i) {
+      ok = ok && amt::here().async<&e2e::echo_add>(1, i).get() == i + 1;
+    }
+    all_ok = ok;
+    done.count_down();
+  });
+  done.wait(runtime->locality(0).scheduler());
+  ASSERT_TRUE(all_ok);
+
+  const auto after = pools();
+  EXPECT_EQ(after[0], warm[0]) << "steady-state sends allocated connections";
+  EXPECT_GT(after[1], warm[1]) << "connections were not recycled";
+  EXPECT_EQ(after[2], warm[2]) << "steady-state sends allocated synchronizers";
+  EXPECT_GT(after[3], warm[3]) << "synchronizers were not recycled";
+  runtime->stop();
+}
+#endif  // AMTNET_TELEMETRY_DISABLED
 
 // ---------------- cross-locality scaling sanity ----------------
 
