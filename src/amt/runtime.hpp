@@ -61,10 +61,11 @@ struct FnTraits<R (*)(As...)> {
 /// Acquire fails when the cap is reached, leaving parcels queued — which is
 /// exactly when the parcel queue provides aggregation.
 ///
-/// Lock-free: acquire optimistically reserves a slot with one fetch_add and
-/// only the over-cap losers take the corrective fetch_sub, so the aggregating
-/// send path never round-trips a lock. in_use() may transiently read up to
-/// one reservation above the cap while a failed acquire is backing out.
+/// Lock-free: acquire reserves a slot with a CAS loop that never pushes the
+/// counter past the cap. (An earlier fetch_add/fetch_sub scheme overshot
+/// transiently, which let N concurrent losers read in_use() up to cap+N and
+/// — with a cap of 1 — let two acquirers both fail even though a slot was
+/// free the whole time.)
 class ConnectionCache {
  public:
   explicit ConnectionCache(std::size_t max_connections)
@@ -79,15 +80,20 @@ class ConnectionCache {
   }
 
   bool try_acquire() {
-    const std::size_t prev = in_use_.fetch_add(1, std::memory_order_acq_rel);
-    if (prev >= max_) {
-      in_use_.fetch_sub(1, std::memory_order_acq_rel);
-      acquire_failures_.fetch_add(1, std::memory_order_relaxed);
-      if (failure_counter_ != nullptr) failure_counter_->add();
-      return false;
+    std::size_t current = in_use_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (current >= max_) {
+        acquire_failures_.fetch_add(1, std::memory_order_relaxed);
+        if (failure_counter_ != nullptr) failure_counter_->add();
+        return false;
+      }
+      if (in_use_.compare_exchange_weak(current, current + 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        if (hit_counter_ != nullptr) hit_counter_->add();
+        return true;
+      }
     }
-    if (hit_counter_ != nullptr) hit_counter_->add();
-    return true;
   }
 
   void release() {
@@ -176,6 +182,9 @@ class Locality {
   const ConnectionCache& connection_cache() const {
     return connection_cache_;
   }
+  /// The installed parcelport (null before Runtime::start). Tests use this
+  /// to reach backend-specific hooks (e.g. the LCI tag-counter positioner).
+  Parcelport* parcelport() { return parcelport_.get(); }
 
   // ---- internal plumbing (used by Runtime, parcelports, action glue) ----
 

@@ -9,11 +9,14 @@
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <vector>
 
 #include "amt/message.hpp"
+#include "common/crc32.hpp"
+#include "common/integrity.hpp"
 
 namespace amt {
 
@@ -23,9 +26,45 @@ struct WireHeader {
   std::uint64_t main_size = 0;
   std::uint8_t piggy_main = 0;    // non-zero-copy chunk rides in the header
   std::uint8_t piggy_tchunk = 0;  // transmission chunk rides in the header
-  std::uint8_t reserved[6] = {};
+  /// Per-destination-channel generation number: each sender stamps headers
+  /// to one peer with consecutive values. Delivery may reorder (multi-rail)
+  /// so receivers only use it to detect duplicated headers — a duplicate
+  /// would double-deliver a parcel, which is an integrity failure.
+  std::uint16_t seq = 0;
+  /// CRC-32 over the entire encoded header message (this field as zero),
+  /// verified by decode_header — corruption fail-fasts rather than
+  /// deserializing garbage.
+  std::uint32_t crc = 0;
 };
 static_assert(sizeof(WireHeader) == 24);
+
+/// Tracks recently seen per-source header generation numbers; accept()
+/// returns false for a duplicate. Reordering-tolerant: arrivals more than
+/// 64 generations behind the newest are presumed legitimate stragglers
+/// (indistinguishable from 2^16-delayed duplicates, which cannot occur).
+class HeaderSeqTracker {
+ public:
+  bool accept(std::uint16_t seq) {
+    const std::int16_t delta = static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(seq - highest_));
+    if (delta > 0) {
+      mask_ = delta >= 64 ? 0 : mask_ << delta;
+      mask_ |= 1ull;
+      highest_ = seq;
+      return true;
+    }
+    const int back = -static_cast<int>(delta);
+    if (back >= 64) return true;
+    const std::uint64_t bit = 1ull << back;
+    if ((mask_ & bit) != 0) return false;
+    mask_ |= bit;
+    return true;
+  }
+
+ private:
+  std::uint16_t highest_ = 0xFFFF;  // so the first seq (0) is "newer"
+  std::uint64_t mask_ = 0;          // bit i: (highest_ - i) seen
+};
 
 /// How a message will be split into header + follow-ups.
 struct HeaderPlan {
@@ -86,13 +125,16 @@ inline std::size_t encoded_header_size(const OutMessage& msg,
 /// assemble the header in an LCI packet buffer without an extra copy.
 inline std::size_t encode_header_to(const OutMessage& msg,
                                     const HeaderPlan& plan, std::uint32_t tag,
-                                    std::byte* out, std::size_t capacity) {
+                                    std::uint16_t seq, std::byte* out,
+                                    std::size_t capacity) {
   WireHeader header;
   header.tag = tag;
   header.num_zchunks = static_cast<std::uint32_t>(msg.zchunks.size());
   header.main_size = msg.main_chunk.size();
   header.piggy_main = plan.piggy_main ? 1 : 0;
   header.piggy_tchunk = plan.piggy_tchunk ? 1 : 0;
+  header.seq = seq;
+  header.crc = 0;
 
   const std::size_t total = encoded_header_size(msg, plan);
   assert(total <= capacity);
@@ -111,14 +153,18 @@ inline std::size_t encode_header_to(const OutMessage& msg,
   if (plan.piggy_main) {
     std::memcpy(out + offset, msg.main_chunk.data(), msg.main_chunk.size());
   }
+  // Checksum the full encoded message (crc field as zero) and patch it in.
+  const std::uint32_t crc = common::crc32(out, total);
+  std::memcpy(out + offsetof(WireHeader, crc), &crc, sizeof(crc));
   return total;
 }
 
 /// Convenience: encode into a freshly sized vector (MPI parcelport path).
 inline void encode_header(const OutMessage& msg, const HeaderPlan& plan,
-                          std::uint32_t tag, std::vector<std::byte>& out) {
+                          std::uint32_t tag, std::uint16_t seq,
+                          std::vector<std::byte>& out) {
   out.resize(encoded_header_size(msg, plan));
-  encode_header_to(msg, plan, tag, out.data(), out.size());
+  encode_header_to(msg, plan, tag, seq, out.data(), out.size());
 }
 
 /// Decoded header view (piggybacked chunks are copied out).
@@ -128,20 +174,50 @@ struct DecodedHeader {
   std::vector<std::byte> piggy_main;    // valid if fields.piggy_main
 };
 
+/// Decodes and *verifies* a header message. Any inconsistency — CRC
+/// mismatch, truncated buffer, size fields pointing past the end — means
+/// corrupted wire data reached the decode stage (past all retransmit
+/// protection), so this fail-fasts with a diagnostic dump instead of
+/// returning garbage. All three parcelports decode through here.
 inline DecodedHeader decode_header(const std::byte* data, std::size_t size) {
   DecodedHeader decoded;
-  assert(size >= sizeof(WireHeader));
+  if (size < sizeof(WireHeader)) {
+    common::integrity_fail("wire header truncated: ", size, " bytes < ",
+                           sizeof(WireHeader));
+  }
   std::memcpy(&decoded.fields, data, sizeof(WireHeader));
+  // Recompute the CRC with the stored-crc bytes replaced by zero.
+  const std::uint32_t zero = 0;
+  std::uint32_t crc = common::crc32(data, offsetof(WireHeader, crc));
+  crc = common::crc32(&zero, sizeof(zero), crc);
+  crc = common::crc32(data + sizeof(WireHeader), size - sizeof(WireHeader),
+                      crc);
+  if (crc != decoded.fields.crc) {
+    common::integrity_fail(
+        "wire header CRC mismatch: stored=", decoded.fields.crc,
+        " computed=", crc, " size=", size, " tag=", decoded.fields.tag,
+        " seq=", decoded.fields.seq,
+        " num_zchunks=", decoded.fields.num_zchunks,
+        " main_size=", decoded.fields.main_size);
+  }
   std::size_t offset = sizeof(WireHeader);
   if (decoded.fields.piggy_tchunk) {
     const std::size_t tchunk_size =
-        decoded.fields.num_zchunks * sizeof(std::uint64_t);
-    assert(offset + tchunk_size <= size);
+        static_cast<std::size_t>(decoded.fields.num_zchunks) *
+        sizeof(std::uint64_t);
+    if (offset + tchunk_size > size) {
+      common::integrity_fail("wire header tchunk overruns message: ",
+                             tchunk_size, " bytes at ", offset, " of ", size);
+    }
     decoded.piggy_tchunk.assign(data + offset, data + offset + tchunk_size);
     offset += tchunk_size;
   }
   if (decoded.fields.piggy_main) {
-    assert(offset + decoded.fields.main_size <= size);
+    if (offset + decoded.fields.main_size > size) {
+      common::integrity_fail("wire header main chunk overruns message: ",
+                             decoded.fields.main_size, " bytes at ", offset,
+                             " of ", size);
+    }
     decoded.piggy_main.assign(data + offset,
                               data + offset + decoded.fields.main_size);
   }

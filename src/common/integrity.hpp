@@ -1,0 +1,35 @@
+// Fail-fast reporting for detected end-to-end integrity violations.
+//
+// When a CRC or generation check catches corruption on a path with no
+// software retransmit (the zero-copy RDMA path) — or when the bounded
+// retransmit path exhausts its retry budget — continuing would hand the
+// application silently corrupted parcels. The contract here is "loud
+// fail-fast": dump every diagnostic the detection site has, flush, abort.
+// Paths with a recovery story (eager/control messages under
+// fabric::ReliableEndpoint) never call this for a first offence; they
+// retransmit instead.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace common {
+
+[[noreturn]] inline void integrity_abort(const std::string& dump) {
+  log_line(LogLevel::kError, "INTEGRITY FAILURE: " + dump);
+  std::fprintf(stderr, "INTEGRITY FAILURE: %s\n", dump.c_str());
+  std::fflush(nullptr);
+  std::abort();
+}
+
+/// integrity_fail("crc mismatch src=", src, " tag=", tag, ...) — formats the
+/// diagnostic dump like the logging macros, then aborts the process.
+template <typename... Args>
+[[noreturn]] void integrity_fail(Args&&... args) {
+  integrity_abort(detail::format_parts(std::forward<Args>(args)...));
+}
+
+}  // namespace common

@@ -45,6 +45,9 @@ std::string Profile::describe(const Config& config, const std::string& name) {
       << " pkt_rate_mpps=" << config.pkt_rate_mpps
       << " rails=" << config.num_rails << " srq_depth=" << config.srq_depth
       << " tx_window=" << config.tx_window;
+  if (config.faults.any() || config.faults.integrity) {
+    oss << " faults[" << config.faults.describe() << "]";
+  }
   return oss.str();
 }
 
@@ -68,6 +71,15 @@ Nic::Nic(Fabric& fabric, Rank rank, const Config& config)
                                                    config.pkt_rate_mpps)
                       : 0),
       jitter_ns_(static_cast<common::Nanos>(config.jitter_us * 1000.0)),
+      faults_on_(config.faults.any()),
+      thr_drop_(fault_threshold(config.faults.drop)),
+      thr_dup_(fault_threshold(config.faults.duplicate)),
+      thr_corrupt_(fault_threshold(config.faults.corrupt)),
+      thr_delay_(fault_threshold(config.faults.delay)),
+      thr_brownout_(fault_threshold(config.faults.brownout)),
+      thr_rnr_storm_(fault_threshold(config.faults.rnr_storm)),
+      fault_delay_ns_(
+          static_cast<common::Nanos>(config.faults.delay_us * 1000.0)),
       srq_(config.srq_depth, config.srq_buffer_size),
       ctr_packets_sent_(
           fabric.telemetry().counter(nic_metric(rank, "packets_sent"))),
@@ -79,6 +91,18 @@ Nic::Nic(Fabric& fabric, Rank rank, const Config& config)
           fabric.telemetry().counter(nic_metric(rank, "tx_window_rejects"))),
       ctr_rnr_stalls_(
           fabric.telemetry().counter(nic_metric(rank, "rnr_stalls"))),
+      ctr_faults_dropped_(
+          fabric.telemetry().counter(nic_metric(rank, "faults_dropped"))),
+      ctr_faults_duplicated_(
+          fabric.telemetry().counter(nic_metric(rank, "faults_duplicated"))),
+      ctr_faults_corrupted_(
+          fabric.telemetry().counter(nic_metric(rank, "faults_corrupted"))),
+      ctr_faults_delayed_(
+          fabric.telemetry().counter(nic_metric(rank, "faults_delayed"))),
+      ctr_brownout_rejects_(
+          fabric.telemetry().counter(nic_metric(rank, "brownout_rejects"))),
+      ctr_rnr_storms_(
+          fabric.telemetry().counter(nic_metric(rank, "rnr_storms"))),
       hist_wire_latency_ns_(
           fabric.telemetry().histogram(nic_metric(rank, "wire_latency_ns"))) {
   const std::size_t n = static_cast<std::size_t>(config.num_ranks) *
@@ -114,6 +138,63 @@ common::Status Nic::post_packet(Rank dst, detail::Packet packet,
     return common::Status::kRetry;
   }
   packet.tx_owner = rank_;
+
+  // Deterministic fault injection (fabric/fault.hpp). Each post gets an
+  // index that keys its splitmix64 decision stream and positions it against
+  // the brownout window, so the whole fault pattern replays from the seed.
+  bool fault_duplicate = false;
+  if (faults_on_) {
+    const std::uint64_t post_idx =
+        tx_post_counter_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t rng = config_.faults.seed ^
+                        (0x9e3779b97f4a7c15ULL * (post_idx + 1)) ^
+                        (static_cast<std::uint64_t>(rank_) << 48);
+    if (packet.kind == detail::Packet::Kind::kSend) {
+      // Brownout: the send queue refuses posts for a window, surfacing the
+      // verbs "queue full" condition to software as Status::kRetry.
+      if (post_idx < brownout_until_post_.load(std::memory_order_relaxed)) {
+        tx_in_flight_.value.fetch_sub(1, std::memory_order_relaxed);
+        ctr_brownout_rejects_.add();
+        return common::Status::kRetry;
+      }
+      if (thr_brownout_ != 0 && common::splitmix64(rng) < thr_brownout_) {
+        brownout_until_post_.store(post_idx + config_.faults.brownout_posts,
+                                   std::memory_order_relaxed);
+        tx_in_flight_.value.fetch_sub(1, std::memory_order_relaxed);
+        ctr_brownout_rejects_.add();
+        return common::Status::kRetry;
+      }
+      // Drop: the wire eats the datagram. The TX slot is credited back as
+      // if it had been delivered; the receiver simply never sees it. Only
+      // two-sided sends drop — one-sided RDMA is link-level reliable in the
+      // modelled RC hardware (no software detection point exists for it).
+      if (thr_drop_ != 0 && common::splitmix64(rng) < thr_drop_) {
+        tx_in_flight_.value.fetch_sub(1, std::memory_order_relaxed);
+        ctr_faults_dropped_.add();
+        ctr_packets_sent_.add();
+        ctr_bytes_sent_.add(wire_len);
+        return common::Status::kOk;
+      }
+      if (thr_dup_ != 0 && common::splitmix64(rng) < thr_dup_) {
+        fault_duplicate = true;
+      }
+    }
+    // Corruption: a single bit flip anywhere in the payload — sends and
+    // RDMA writes alike; checksums downstream must catch it.
+    if (thr_corrupt_ != 0 && !packet.payload.empty() &&
+        packet.payload.size() >= config_.faults.corrupt_min_size &&
+        common::splitmix64(rng) < thr_corrupt_) {
+      const std::uint64_t bit =
+          common::splitmix64(rng) % (packet.payload.size() * 8);
+      packet.payload[bit / 8] ^=
+          static_cast<std::byte>(1u << (bit % 8));
+      ctr_faults_corrupted_.add();
+    }
+    if (thr_delay_ != 0 && common::splitmix64(rng) < thr_delay_) {
+      packet.extra_latency += fault_delay_ns_;
+      ctr_faults_delayed_.add();
+    }
+  }
 
   // Read responses are delivered back to THIS NIC (they only traverse the
   // remote NIC in hardware); everything else goes to the destination.
@@ -157,8 +238,51 @@ common::Status Nic::post_packet(Rank dst, detail::Packet packet,
 
   ctr_packets_sent_.add();
   ctr_bytes_sent_.add(wire_len);
+  if (fault_duplicate) {
+    // Deliver a second copy on an independently chosen rail, so the twin
+    // can overtake the original. Each delivered copy credits one TX slot
+    // back, so the window is charged for both.
+    detail::Packet copy = packet;
+    tx_in_flight_.value.fetch_add(1, std::memory_order_relaxed);
+    const unsigned rail2 = static_cast<unsigned>(
+        tx_rail_rr_.value.fetch_add(1, std::memory_order_relaxed) % rails);
+    detail::Channel& channel2 =
+        *target.rx_channels_[static_cast<std::size_t>(copy.src) * rails +
+                             rail2];
+    ctr_faults_duplicated_.add();
+    ctr_packets_sent_.add();
+    ctr_bytes_sent_.add(wire_len);
+    channel2.queue.push(std::move(copy));
+  }
   channel.queue.push(std::move(packet));
   return common::Status::kOk;
+}
+
+std::uint64_t Nic::fault_threshold(double p) {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return ~0ull;
+  // Compare against the top 32 bits shifted up: exact for our purposes and
+  // immune to double->u64 overflow near 1.0.
+  return static_cast<std::uint64_t>(p * 4294967296.0) << 32;
+}
+
+bool Nic::rnr_storm_active() {
+  if (thr_rnr_storm_ == 0) return false;
+  const std::uint64_t poll_idx =
+      rx_poll_counter_.fetch_add(1, std::memory_order_relaxed);
+  if (poll_idx < rnr_storm_until_poll_.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  std::uint64_t rng = config_.faults.seed ^ 0x2545f4914f6cdd1dULL ^
+                      (0x9e3779b97f4a7c15ULL * (poll_idx + 1)) ^
+                      (static_cast<std::uint64_t>(rank_) << 48);
+  if (common::splitmix64(rng) < thr_rnr_storm_) {
+    rnr_storm_until_poll_.store(poll_idx + config_.faults.rnr_storm_polls,
+                                std::memory_order_relaxed);
+    ctr_rnr_storms_.add();
+    return true;
+  }
+  return false;
 }
 
 common::Status Nic::post_send(Rank dst, const void* data, std::size_t len,
@@ -269,6 +393,12 @@ NicStats Nic::stats() const {
   stats.packets_received = ctr_packets_received_.value();
   stats.sends_rejected_tx_window = ctr_tx_window_rejects_.value();
   stats.rnr_stalls = ctr_rnr_stalls_.value();
+  stats.faults_dropped = ctr_faults_dropped_.value();
+  stats.faults_duplicated = ctr_faults_duplicated_.value();
+  stats.faults_corrupted = ctr_faults_corrupted_.value();
+  stats.faults_delayed = ctr_faults_delayed_.value();
+  stats.brownout_rejects = ctr_brownout_rejects_.value();
+  stats.rnr_storms = ctr_rnr_storms_.value();
   return stats;
 }
 

@@ -18,6 +18,7 @@
 
 #include "common/cache.hpp"
 #include "common/clock.hpp"
+#include "common/rng.hpp"
 #include "common/spinlock.hpp"
 #include "common/status.hpp"
 #include "fabric/srq_pool.hpp"
@@ -139,6 +140,11 @@ class Nic {
 
   common::Status post_packet(Rank dst, detail::Packet packet,
                              std::size_t wire_len);
+  // Converts a probability to a splitmix64-comparable threshold.
+  static std::uint64_t fault_threshold(double p);
+  // True while poll_rx should refuse buffer-consuming deliveries, possibly
+  // starting a new injected RNR storm window for this call.
+  bool rnr_storm_active();
   // Resolves a registered region; nullopt when the key is stale/bogus.
   std::optional<MrEntry> lookup_mr(std::uint64_t id) const;
   // Credits the sender's TX window back when one of its packets lands here.
@@ -157,6 +163,24 @@ class Nic {
   const common::Nanos pkt_gap_ns_;  // 0 when unlimited
   const common::Nanos jitter_ns_;   // 0 when chaos mode is off
   std::atomic<std::uint64_t> jitter_counter_{0};
+
+  // Fault injection (see fabric/fault.hpp). Thresholds are precomputed so
+  // the disabled case costs one branch on faults_on_.
+  const bool faults_on_;
+  const std::uint64_t thr_drop_;
+  const std::uint64_t thr_dup_;
+  const std::uint64_t thr_corrupt_;
+  const std::uint64_t thr_delay_;
+  const std::uint64_t thr_brownout_;
+  const std::uint64_t thr_rnr_storm_;
+  const common::Nanos fault_delay_ns_;
+  // Post/poll indices drive both the deterministic RNG streams and the
+  // brownout / RNR-storm windows (windows are measured in operations, so
+  // they behave identically under zero_time fabrics).
+  std::atomic<std::uint64_t> tx_post_counter_{0};
+  std::atomic<std::uint64_t> brownout_until_post_{0};
+  std::atomic<std::uint64_t> rx_poll_counter_{0};
+  std::atomic<std::uint64_t> rnr_storm_until_poll_{0};
 
   SrqPool srq_;
 
@@ -183,6 +207,12 @@ class Nic {
   telemetry::Counter& ctr_packets_received_;
   telemetry::Counter& ctr_tx_window_rejects_;
   telemetry::Counter& ctr_rnr_stalls_;
+  telemetry::Counter& ctr_faults_dropped_;
+  telemetry::Counter& ctr_faults_duplicated_;
+  telemetry::Counter& ctr_faults_corrupted_;
+  telemetry::Counter& ctr_faults_delayed_;
+  telemetry::Counter& ctr_brownout_rejects_;
+  telemetry::Counter& ctr_rnr_storms_;
   // One-way wire latency charged to each packet (post -> deliver_time), the
   // per-rail send-latency distribution. Not recorded in zero_time mode.
   telemetry::Histogram& hist_wire_latency_ns_;
@@ -231,6 +261,10 @@ std::size_t Nic::poll_rx(std::size_t max_packets, Sink&& sink) {
       config_.zero_time ? 0 : common::now_ns();
   const std::uint64_t start =
       poll_rr_.value.fetch_add(1, std::memory_order_relaxed);
+  // Injected RNR storm: refuse every buffer-consuming delivery for this
+  // call, exactly as if the SRQ had drained (senders see stalled channels
+  // and eventually retransmit / back off).
+  const bool rnr_storm = faults_on_ && rnr_storm_active();
 
   std::size_t processed = 0;
   for (std::size_t i = 0; i < n_channels && processed < max_packets; ++i) {
@@ -242,6 +276,10 @@ std::size_t Nic::poll_rx(std::size_t max_packets, Sink&& sink) {
       if (!config_.zero_time && p.deliver_time > now) return false;
       if (p.kind == detail::Packet::Kind::kSend && !p.payload.empty() &&
           reserved == nullptr) {
+        if (rnr_storm) {
+          ctr_rnr_stalls_.add();
+          return false;
+        }
         reserved = srq_.try_acquire();
         if (reserved == nullptr) {
           // RNR: stall this channel until buffers are recycled.

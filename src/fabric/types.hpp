@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <string>
 
+#include "fabric/fault.hpp"
+
 namespace fabric {
 
 using Rank = std::uint32_t;
@@ -44,6 +46,9 @@ struct Config {
   // the head), but cross-rail interleavings become highly irregular.
   double jitter_us = 0.0;
   std::uint64_t jitter_seed = 0x7b9f1d3a5c8e2461ULL;
+  // Deterministic fault injection (drops/dups/corruption/brownouts/RNR
+  // storms); see fabric/fault.hpp. All-zero probabilities = polite network.
+  FaultConfig faults;
 
   double bytes_per_ns() const { return bandwidth_gbps / 8.0; }
 };
@@ -67,6 +72,13 @@ struct NicStats {
   std::uint64_t packets_received = 0;
   std::uint64_t sends_rejected_tx_window = 0;  // post returned kRetry
   std::uint64_t rnr_stalls = 0;  // delivery deferred: SRQ empty
+  // Injected-fault tallies (all zero unless Config::faults enables chaos).
+  std::uint64_t faults_dropped = 0;     // datagrams eaten by the wire
+  std::uint64_t faults_duplicated = 0;  // datagrams delivered twice
+  std::uint64_t faults_corrupted = 0;   // payloads with a flipped bit
+  std::uint64_t faults_delayed = 0;     // packets given a latency spike
+  std::uint64_t brownout_rejects = 0;   // posts refused during a brownout
+  std::uint64_t rnr_storms = 0;         // injected RNR storm windows
 };
 
 }  // namespace fabric

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <string>
 
+#include "common/crc32.hpp"
+#include "common/integrity.hpp"
 #include "common/logging.hpp"
 
 namespace minilci {
@@ -28,6 +30,10 @@ enum class MsgKind : std::uint8_t {
 struct RdvHello {
   std::uint64_t size;
   std::uint32_t sender_id;
+  // CRC-32 over the full payload that will travel by RDMA write; 0 when
+  // integrity mode is off. The receiver verifies it when the FIN lands —
+  // the only software detection point the one-sided path has.
+  std::uint32_t crc;
 };
 
 struct CtsPayload {
@@ -77,6 +83,8 @@ Device::Device(fabric::Fabric& fabric, Rank rank, Config config,
       rank_(rank),
       config_(config),
       remote_put_cq_(remote_put_cq),
+      rel_(fabric, rank, "lci"),
+      integrity_on_(fabric.config().faults.integrity_on()),
       packet_pool_(config.packet_pool_size, config.eager_threshold,
                    config.packet_cache_size),
       ctr_progress_calls_(
@@ -91,7 +99,9 @@ Device::Device(fabric::Fabric& fabric, Rank rank, Config config,
           fabric.telemetry().counter(dev_metric(rank, "pool_cache_hits"))),
       hist_progress_ns_(
           fabric.telemetry().histogram(dev_metric(rank, "progress_ns"))) {
-  assert(config_.eager_threshold <= nic_.srq_buffer_size());
+  // Integrity mode appends an 8-byte trailer to every eager send.
+  assert(config_.eager_threshold + (rel_.enabled() ? 8 : 0) <=
+         nic_.srq_buffer_size());
   packet_pool_.attach_cache_hit_counter(&ctr_pool_cache_hits_);
 }
 
@@ -102,7 +112,7 @@ common::Status Device::sendm(Rank dst, Tag tag, const void* data,
                              std::uint64_t user_context) {
   if (len > config_.eager_threshold) return common::Status::kError;
   const common::Status status =
-      nic_.post_send(dst, data, len, make_imm(MsgKind::kMedium, tag));
+      rel_.send(dst, data, len, make_imm(MsgKind::kMedium, tag));
   if (status != common::Status::kOk) return status;
   CqEntry entry;
   entry.op = OpKind::kSendMedium;
@@ -118,7 +128,7 @@ common::Status Device::sendm_packet(Rank dst, Tag tag, PacketBuffer& packet,
                                     const Comp& local_comp,
                                     std::uint64_t user_context) {
   assert(packet.valid() && packet.size() <= config_.eager_threshold);
-  const common::Status status = nic_.post_send(
+  const common::Status status = rel_.send(
       dst, packet.data(), packet.size(), make_imm(MsgKind::kMedium, tag));
   if (status != common::Status::kOk) return status;
   CqEntry entry;
@@ -174,9 +184,11 @@ common::Status Device::sendl(Rank dst, Tag tag, const void* data,
     rdv.tag = tag;
     rdv.dst = dst;
   }
-  const RdvHello hello{len, id};
+  const std::uint32_t crc =
+      integrity_on_ ? common::crc32(data, len) : 0;
+  const RdvHello hello{len, id, crc};
   const common::Status status =
-      nic_.post_send(dst, &hello, sizeof(hello), make_imm(MsgKind::kRts, tag));
+      rel_.send(dst, &hello, sizeof(hello), make_imm(MsgKind::kRts, tag));
   if (status != common::Status::kOk) {
     std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
     rdv_sends_.erase(id);
@@ -202,13 +214,13 @@ common::Status Device::recvl(Rank src, Tag tag, void* buf, std::size_t maxlen,
     return common::Status::kError;
   }
   start_long_recv(src, tag, arrival->rdv_size, arrival->rdv_sender_id,
-                  std::move(recv));
+                  arrival->rdv_crc, std::move(recv));
   return common::Status::kOk;
 }
 
 void Device::start_long_recv(Rank src, Tag tag, std::size_t size,
-                             std::uint32_t sender_id, PostedRecv&& recv) {
-  (void)size;
+                             std::uint32_t sender_id, std::uint32_t crc,
+                             PostedRecv&& recv) {
   const fabric::MrKey mr = nic_.register_memory(recv.buf, recv.maxlen);
   std::uint32_t recv_id;
   {
@@ -221,6 +233,8 @@ void Device::start_long_recv(Rank src, Tag tag, std::size_t size,
     rdv.user_context = recv.user_context;
     rdv.tag = tag;
     rdv.src = src;
+    rdv.expected_crc = crc;
+    rdv.expected_size = size;
   }
   const CtsPayload cts{mr.id, recv.maxlen, sender_id, recv_id};
   send_ctrl(src, make_imm(MsgKind::kCts, 0), &cts, sizeof(cts));
@@ -282,6 +296,21 @@ void Device::handle_fin(std::uint32_t recv_id, std::size_t written) {
     rdv_recvs_.erase(it);
   }
   nic_.deregister_memory(rdv.mr);
+  // Integrity mode: the RTS carried the sender's CRC over the full payload;
+  // a mismatch here means the RDMA write itself was corrupted — there is no
+  // retransmit path for one-sided data, so fail fast with a diagnostic dump.
+  if (integrity_on_ && rdv.expected_crc != 0 &&
+      written == rdv.expected_size) {
+    const std::uint32_t actual = common::crc32(rdv.buf, written);
+    if (actual != rdv.expected_crc) {
+      common::integrity_fail(
+          "minilci: RDMA payload CRC mismatch (zero-copy path) rank=", rank_,
+          " src=", rdv.src, " tag=", rdv.tag, " recv_id=", recv_id,
+          " size=", written, " expected_crc=", rdv.expected_crc,
+          " actual_crc=", actual,
+          " — corruption past the rendezvous; no retransmit path exists");
+    }
+  }
   CqEntry entry;
   entry.op = OpKind::kRecvLong;
   entry.rank = rdv.src;
@@ -346,7 +375,7 @@ common::Status Device::put_dyn(Rank dst, Tag tag, const void* data,
                                std::uint64_t user_context) {
   if (len <= config_.eager_threshold) {
     const common::Status status =
-        nic_.post_send(dst, data, len, make_imm(MsgKind::kPutEager, tag));
+        rel_.send(dst, data, len, make_imm(MsgKind::kPutEager, tag));
     if (status != common::Status::kOk) return status;
     CqEntry entry;
     entry.op = OpKind::kPutDyn;
@@ -371,8 +400,10 @@ common::Status Device::put_dyn(Rank dst, Tag tag, const void* data,
     put.dst = dst;
     put.user_context = user_context;
   }
-  const RdvHello hello{len, id};
-  const common::Status status = nic_.post_send(
+  const std::uint32_t crc =
+      integrity_on_ ? common::crc32(data, len) : 0;
+  const RdvHello hello{len, id, crc};
+  const common::Status status = rel_.send(
       dst, &hello, sizeof(hello), make_imm(MsgKind::kPutRts, tag));
   if (status != common::Status::kOk) {
     std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
@@ -386,7 +417,7 @@ common::Status Device::put_dyn_packet(Rank dst, Tag tag, PacketBuffer& packet,
                                       const Comp& local_comp,
                                       std::uint64_t user_context) {
   assert(packet.valid() && packet.size() <= config_.eager_threshold);
-  const common::Status status = nic_.post_send(
+  const common::Status status = rel_.send(
       dst, packet.data(), packet.size(), make_imm(MsgKind::kPutEager, tag));
   if (status != common::Status::kOk) return status;
   CqEntry entry;
@@ -413,7 +444,7 @@ void Device::handle_put_eager(Rank src, Tag tag,
 }
 
 void Device::handle_put_rts(Rank src, Tag tag, std::size_t size,
-                            std::uint32_t sender_id) {
+                            std::uint32_t sender_id, std::uint32_t crc) {
   std::uint32_t recv_id;
   std::uint64_t mr_id;
   {
@@ -424,6 +455,7 @@ void Device::handle_put_rts(Rank src, Tag tag, std::size_t size,
     put.mr = nic_.register_memory(put.data.data(), size);
     put.tag = tag;
     put.src = src;
+    put.expected_crc = crc;
     mr_id = put.mr.id;
   }
   const PutCtsPayload cts{mr_id, sender_id, recv_id};
@@ -482,6 +514,18 @@ void Device::handle_put_fin(std::uint32_t recv_id) {
     put_recvs_.erase(it);
   }
   nic_.deregister_memory(put.mr);
+  if (integrity_on_ && put.expected_crc != 0) {
+    const std::uint32_t actual =
+        common::crc32(put.data.data(), put.data.size());
+    if (actual != put.expected_crc) {
+      common::integrity_fail(
+          "minilci: RDMA put payload CRC mismatch rank=", rank_,
+          " src=", put.src, " tag=", put.tag, " recv_id=", recv_id,
+          " size=", put.data.size(), " expected_crc=", put.expected_crc,
+          " actual_crc=", actual,
+          " — corruption past the rendezvous; no retransmit path exists");
+    }
+  }
   assert(remote_put_cq_ != nullptr);
   CqEntry entry;
   entry.op = OpKind::kRemotePut;
@@ -497,7 +541,7 @@ void Device::handle_put_fin(std::uint32_t recv_id) {
 void Device::send_ctrl(Rank dst, std::uint64_t imm, const void* payload,
                        std::size_t len) {
   assert(len <= kMaxCtrlPayload);
-  if (nic_.post_send(dst, payload, len, imm) == common::Status::kOk) {
+  if (rel_.send(dst, payload, len, imm) == common::Status::kOk) {
     return;
   }
   DeferredSend deferred;
@@ -525,7 +569,7 @@ void Device::retry_deferred() {
                                    msg.payload.data(), msg.payload.size(),
                                    msg.imm);
     } else {
-      status = nic_.post_send(msg.dst, msg.ctrl.data(), msg.ctrl_len, msg.imm);
+      status = rel_.send(msg.dst, msg.ctrl.data(), msg.ctrl_len, msg.imm);
     }
     if (status != common::Status::kOk) {
       std::lock_guard<common::SpinMutex> guard(deferred_mutex_);
@@ -540,7 +584,11 @@ std::size_t Device::progress() {
   ctr_progress_calls_.add();
   telemetry::ScopedTimer timer(hist_progress_ns_);
   retry_deferred();
+  rel_.progress();
   return nic_.poll_rx(config_.progress_batch, [this](fabric::RxEvent&& event) {
+    // The reliable sublayer strips its trailer, dedups, and swallows acks;
+    // only fresh verified datagrams reach the protocol handlers.
+    if (!rel_.on_recv(event)) return;
     handle_event(std::move(event));
   });
 }
@@ -574,13 +622,14 @@ void Device::handle_medium_arrival(Rank src, Tag tag,
 }
 
 void Device::handle_rts(Rank src, Tag tag, std::size_t size,
-                        std::uint32_t sender_id) {
+                        std::uint32_t sender_id, std::uint32_t crc) {
   Arrival arrival;
   arrival.is_rts = true;
   arrival.src = src;
   arrival.tag = tag;
   arrival.rdv_size = size;
   arrival.rdv_sender_id = sender_id;
+  arrival.rdv_crc = crc;
   auto posted = matching_.insert_arrival(src, tag, std::move(arrival));
   (posted ? ctr_match_hits_ : ctr_match_misses_).add();
   if (!posted) return;
@@ -589,7 +638,7 @@ void Device::handle_rts(Rank src, Tag tag, std::size_t size,
                      ")");
     return;
   }
-  start_long_recv(src, tag, size, sender_id, std::move(*posted));
+  start_long_recv(src, tag, size, sender_id, crc, std::move(*posted));
 }
 
 void Device::handle_event(fabric::RxEvent&& event) {
@@ -627,13 +676,14 @@ void Device::handle_event(fabric::RxEvent&& event) {
       break;
     case MsgKind::kRts: {
       const auto hello = from_bytes<RdvHello>(data, event.size);
-      handle_rts(event.src, imm_arg(event.imm), hello.size, hello.sender_id);
+      handle_rts(event.src, imm_arg(event.imm), hello.size, hello.sender_id,
+                 hello.crc);
       break;
     }
     case MsgKind::kPutRts: {
       const auto hello = from_bytes<RdvHello>(data, event.size);
       handle_put_rts(event.src, imm_arg(event.imm), hello.size,
-                     hello.sender_id);
+                     hello.sender_id, hello.crc);
       break;
     }
     case MsgKind::kCts:

@@ -17,6 +17,7 @@
 #include "common/spinlock.hpp"
 #include "common/status.hpp"
 #include "fabric/nic.hpp"
+#include "fabric/reliable.hpp"
 #include "minilci/completion.hpp"
 #include "minilci/matching_table.hpp"
 #include "minilci/packet_pool.hpp"
@@ -135,6 +136,10 @@ class Device {
     std::uint64_t user_context = 0;
     Tag tag = 0;
     Rank src = 0;
+    // Integrity mode: the sender's CRC over the full payload (from the RTS)
+    // and its size, verified once the RDMA write lands (see handle_fin).
+    std::uint32_t expected_crc = 0;
+    std::size_t expected_size = 0;
   };
 
   struct PutSend {  // large dynamic put awaiting CTS
@@ -150,6 +155,7 @@ class Device {
     fabric::MrKey mr;
     Tag tag = 0;
     Rank src = 0;
+    std::uint32_t expected_crc = 0;  // integrity mode only (see RdvRecv)
   };
 
   // Largest control-message payload (CtsPayload); deferred control sends
@@ -176,14 +182,15 @@ class Device {
   void handle_medium_arrival(Rank src, Tag tag,
                              std::vector<std::byte>&& data);
   void handle_rts(Rank src, Tag tag, std::size_t size,
-                  std::uint32_t sender_id);
+                  std::uint32_t sender_id, std::uint32_t crc);
   void start_long_recv(Rank src, Tag tag, std::size_t size,
-                       std::uint32_t sender_id, PostedRecv&& recv);
+                       std::uint32_t sender_id, std::uint32_t crc,
+                       PostedRecv&& recv);
   void handle_cts(Rank src, const std::byte* payload, std::size_t len);
   void handle_fin(std::uint32_t recv_id, std::size_t written);
   void handle_put_eager(Rank src, Tag tag, std::vector<std::byte>&& data);
   void handle_put_rts(Rank src, Tag tag, std::size_t size,
-                      std::uint32_t sender_id);
+                      std::uint32_t sender_id, std::uint32_t crc);
   void handle_put_cts(Rank src, const std::byte* payload, std::size_t len);
   void handle_put_fin(std::uint32_t recv_id);
   void handle_get_done(std::uint32_t get_id);
@@ -199,6 +206,12 @@ class Device {
   const Rank rank_;
   const Config config_;
   CompQueue* const remote_put_cq_;
+  // Retransmit/dedup/CRC sublayer for every two-sided send (eager payloads
+  // AND the RTS/CTS control plane); a passthrough when the fabric's fault
+  // config is clean. One-sided RDMA integrity is handled end-to-end instead:
+  // the RTS carries the payload CRC, verified when the FIN lands.
+  fabric::ReliableEndpoint rel_;
+  const bool integrity_on_;
 
   PacketPool packet_pool_;
   MatchingTable matching_;

@@ -33,6 +33,7 @@ struct Arrival {
   std::vector<std::byte> payload;     // medium payload copy
   std::size_t rdv_size = 0;           // RTS only
   std::uint32_t rdv_sender_id = 0;    // RTS only
+  std::uint32_t rdv_crc = 0;          // RTS only: payload CRC (integrity mode)
   Rank src = 0;
   Tag tag = 0;
 };

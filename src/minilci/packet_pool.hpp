@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/cache.hpp"
@@ -97,6 +99,18 @@ class PacketPool {
         magazine.value.items.reserve(cache_size_);
       }
     }
+    PoolRegistry& reg = registry();
+    std::lock_guard<common::SpinMutex> lock(reg.mutex);
+    reg.live.insert(this);
+  }
+
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  ~PacketPool() {
+    PoolRegistry& reg = registry();
+    std::lock_guard<common::SpinMutex> lock(reg.mutex);
+    reg.live.erase(this);
   }
 
   /// Empty optional == pool exhausted (caller should retry later).
@@ -197,8 +211,59 @@ class PacketPool {
 
   static constexpr std::size_t kNumMagazines = 16;  // power of two
 
+  // Thread-exit accounting. shard_slot() hands out monotonically increasing
+  // per-thread ids, so a short-lived thread can be the *only* thread mapping
+  // to its magazine slot: packets it cached would stay invisible to every
+  // other slot until someone called flush_caches() by hand. Each thread
+  // therefore records the (pool, slot) pairs it touched in a thread_local
+  // flusher whose destructor returns those magazines to the shared free list
+  // — but only for pools still registered as alive, since the pool may be
+  // destroyed before the thread exits.
+  struct PoolRegistry {
+    common::SpinMutex mutex;
+    std::unordered_set<PacketPool*> live;
+  };
+
+  static PoolRegistry& registry() {
+    // Function-static so it outlives every pool and (by construction order:
+    // a pool registers itself before any thread notes a slot) every
+    // main-thread flusher.
+    static PoolRegistry instance;
+    return instance;
+  }
+
+  struct ThreadFlusher {
+    std::vector<std::pair<PacketPool*, unsigned>> used;
+
+    void note(PacketPool* pool, unsigned slot) {
+      for (const auto& entry : used) {
+        if (entry.first == pool && entry.second == slot) return;
+      }
+      used.emplace_back(pool, slot);
+    }
+
+    ~ThreadFlusher() {
+      PoolRegistry& reg = registry();
+      std::lock_guard<common::SpinMutex> lock(reg.mutex);
+      for (const auto& [pool, slot] : used) {
+        if (reg.live.count(pool) == 0) continue;  // pool already destroyed
+        pool->flush_magazine(slot);
+      }
+    }
+  };
+
+  void flush_magazine(unsigned slot) {
+    Magazine& magazine = magazines_[slot].value;
+    std::lock_guard<common::SpinMutex> lock(magazine.mutex);
+    for (std::byte* data : magazine.items) push_shared(data);
+    magazine.items.clear();
+  }
+
   Magazine& local_magazine() {
-    return magazines_[telemetry::shard_slot() & (kNumMagazines - 1)].value;
+    const unsigned slot = telemetry::shard_slot() & (kNumMagazines - 1);
+    thread_local ThreadFlusher flusher;
+    flusher.note(this, slot);
+    return magazines_[slot].value;
   }
 
   void note_cache_hit() {

@@ -4,7 +4,10 @@
 #include <cassert>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/crc32.hpp"
+#include "common/integrity.hpp"
 #include "common/logging.hpp"
 
 namespace minimpi {
@@ -23,6 +26,9 @@ enum class MsgKind : std::uint8_t {
 struct RtsPayload {
   std::uint64_t size;
   std::uint32_t sender_id;
+  // CRC-32 over the payload that will travel by RDMA write; 0 when integrity
+  // mode is off. Verified by the receiver when the FIN lands.
+  std::uint32_t crc;
 };
 
 struct CtsPayload {
@@ -82,6 +88,8 @@ Comm::Comm(fabric::Fabric& fabric, Rank rank, Config config)
       nic_(fabric.nic(rank)),
       rank_(rank),
       config_(config),
+      rel_(fabric, rank, "mpi"),
+      integrity_on_(fabric.config().faults.integrity_on()),
       reorder_(fabric.num_ranks()),
       tx_seq_(fabric.num_ranks()),
       ctr_completed_(
@@ -90,7 +98,9 @@ Comm::Comm(fabric::Fabric& fabric, Rank rank, Config config)
           fabric.telemetry().counter(comm_metric(rank, "unexpected_msgs"))),
       hist_lock_wait_ns_(fabric.telemetry().histogram(
           comm_metric(rank, "progress_lock_wait_ns"))) {
-  assert(config_.eager_threshold <= nic_.srq_buffer_size());
+  // Integrity mode appends an 8-byte trailer to every eager send.
+  assert(config_.eager_threshold + (rel_.enabled() ? 8 : 0) <=
+         nic_.srq_buffer_size());
 }
 
 void Comm::mark_done(const std::shared_ptr<detail::ReqState>& req) {
@@ -108,7 +118,7 @@ Request Comm::isend(const void* buf, std::size_t len, Rank dst, Tag tag) {
 
   if (len <= config_.eager_threshold) {
     const std::uint64_t imm = make_imm(MsgKind::kEager, tag, seq);
-    if (nic_.post_send(dst, buf, len, imm) == common::Status::kOk) {
+    if (rel_.send(dst, buf, len, imm) == common::Status::kOk) {
       mark_done(req);
     } else {
       // TX window full: buffer the eager payload and retry from progress.
@@ -124,7 +134,9 @@ Request Comm::isend(const void* buf, std::size_t len, Rank dst, Tag tag) {
       rdv_sends_[id] =
           RdvSend{static_cast<const std::byte*>(buf), len, req};
     }
-    RtsPayload rts{len, id};
+    const std::uint32_t crc =
+        integrity_on_ ? common::crc32(buf, len) : 0;
+    RtsPayload rts{len, id, crc};
     std::vector<std::byte> payload(sizeof(rts));
     std::memcpy(payload.data(), &rts, sizeof(rts));
     send_ctrl(dst, make_imm(MsgKind::kRts, tag, seq), std::move(payload));
@@ -154,7 +166,7 @@ Request Comm::irecv(void* buf, std::size_t maxlen, int src, Tag tag) {
       unexpected_.erase(it);
       if (msg.is_rts) {
         start_recv_rendezvous(req, msg.src, msg.tag, msg.rdv_size,
-                              msg.rdv_sender_id);
+                              msg.rdv_sender_id, msg.rdv_crc);
       } else {
         complete_recv_eager(req, msg.src, msg.tag, msg.payload.data(),
                             msg.payload.size());
@@ -186,8 +198,12 @@ void Comm::progress_locked() {
     if (!progress_mutex_.try_lock()) return;
   }
   retry_deferred();
+  rel_.progress();
   constexpr std::size_t kBatch = 64;
   nic_.poll_rx(kBatch, [this](fabric::RxEvent&& event) {
+    // The reliable sublayer strips its trailer, dedups, and swallows acks;
+    // only fresh verified datagrams reach the protocol handlers.
+    if (!rel_.on_recv(event)) return;
     handle_event(std::move(event));
   });
   if (config_.lock_mode == LockMode::kFineGrained) {
@@ -198,7 +214,7 @@ void Comm::progress_locked() {
 void Comm::send_ctrl(Rank dst, std::uint64_t imm,
                      std::vector<std::byte> payload,
                      std::shared_ptr<detail::ReqState> complete_on_send) {
-  if (nic_.post_send(dst, payload.data(), payload.size(), imm) ==
+  if (rel_.send(dst, payload.data(), payload.size(), imm) ==
       common::Status::kOk) {
     if (complete_on_send) mark_done(complete_on_send);
     return;
@@ -209,15 +225,23 @@ void Comm::send_ctrl(Rank dst, std::uint64_t imm,
 }
 
 void Comm::retry_deferred() {
-  // Retry queued control/eager messages in FIFO order; stop at the first
-  // rejection to preserve the per-destination sequencing already assigned.
-  for (;;) {
-    DeferredCtrl msg;
-    {
-      std::lock_guard<common::SpinMutex> guard(deferred_mutex_);
-      if (deferred_.empty()) return;
-      msg = std::move(deferred_.front());
-      deferred_.pop_front();
+  // Retry queued control/eager messages per destination. Sequencing only
+  // has to hold within one directed channel, so a rejection (TX window full
+  // towards one backed-up peer) blocks further retries to THAT destination
+  // only — it must not head-of-line-stall deferred traffic to everyone
+  // else, which the old stop-at-first-rejection loop did.
+  std::deque<DeferredCtrl> work;
+  {
+    std::lock_guard<common::SpinMutex> guard(deferred_mutex_);
+    if (deferred_.empty()) return;
+    work.swap(deferred_);
+  }
+  std::vector<bool> blocked(fabric_.num_ranks(), false);
+  std::deque<DeferredCtrl> kept;
+  for (DeferredCtrl& msg : work) {
+    if (blocked[msg.dst]) {
+      kept.push_back(std::move(msg));
+      continue;
     }
     common::Status status;
     if (msg.is_write) {
@@ -226,15 +250,23 @@ void Comm::retry_deferred() {
                                    msg.payload.data(), msg.payload.size(),
                                    msg.imm);
     } else {
-      status = nic_.post_send(msg.dst, msg.payload.data(), msg.payload.size(),
-                              msg.imm);
+      status = rel_.send(msg.dst, msg.payload.data(), msg.payload.size(),
+                         msg.imm);
     }
     if (status != common::Status::kOk) {
-      std::lock_guard<common::SpinMutex> guard(deferred_mutex_);
-      deferred_.push_front(std::move(msg));
-      return;
+      blocked[msg.dst] = true;
+      kept.push_back(std::move(msg));
+      continue;
     }
     if (msg.complete_on_send) mark_done(msg.complete_on_send);
+  }
+  if (!kept.empty()) {
+    // Anything enqueued while we worked is younger than every kept entry;
+    // re-inserting at the front preserves per-channel FIFO order.
+    std::lock_guard<common::SpinMutex> guard(deferred_mutex_);
+    deferred_.insert(deferred_.begin(),
+                     std::make_move_iterator(kept.begin()),
+                     std::make_move_iterator(kept.end()));
   }
 }
 
@@ -246,6 +278,8 @@ void Comm::handle_event(fabric::RxEvent&& event) {
     const std::uint32_t recv_id = imm_arg(event.imm);
     std::shared_ptr<detail::ReqState> req;
     fabric::MrKey mr;
+    std::size_t rdv_size = 0;
+    std::uint32_t expected_crc = 0;
     {
       std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
       auto it = rdv_recvs_.find(recv_id);
@@ -255,9 +289,25 @@ void Comm::handle_event(fabric::RxEvent&& event) {
       }
       req = it->second.req;
       mr = it->second.mr;
+      rdv_size = it->second.size;
+      expected_crc = it->second.expected_crc;
       rdv_recvs_.erase(it);
     }
     nic_.deregister_memory(mr);
+    // Integrity mode: verify the sender's CRC from the RTS against the bytes
+    // the RDMA write actually landed. One-sided data has no retransmit path,
+    // so a mismatch fail-fasts with a diagnostic dump. Skipped when the
+    // receive buffer truncated the message (sizes differ by design then).
+    if (integrity_on_ && expected_crc != 0 && event.size == rdv_size) {
+      const std::uint32_t actual = common::crc32(req->buf, event.size);
+      if (actual != expected_crc) {
+        common::integrity_fail(
+            "minimpi: RDMA payload CRC mismatch rank=", rank_,
+            " src=", event.src, " recv_id=", recv_id, " size=", event.size,
+            " expected_crc=", expected_crc, " actual_crc=", actual,
+            " — corruption past the rendezvous; no retransmit path exists");
+      }
+    }
     req->size = event.size;
     mark_done(req);
     return;
@@ -275,6 +325,7 @@ void Comm::handle_event(fabric::RxEvent&& event) {
         std::memcpy(&rts, event.payload.data(), sizeof(rts));
         msg.rdv_size = rts.size;
         msg.rdv_sender_id = rts.sender_id;
+        msg.rdv_crc = rts.crc;
       } else if (event.size > 0) {
         msg.payload = std::move(event.payload);
       }
@@ -358,7 +409,7 @@ void Comm::match_or_stash_unexpected(Rank src, StashedMsg&& msg) {
       posted_recvs_.erase(it);
       if (msg.is_rts) {
         start_recv_rendezvous(matched, src, msg.tag, msg.rdv_size,
-                              msg.rdv_sender_id);
+                              msg.rdv_sender_id, msg.rdv_crc);
       } else {
         complete_recv_eager(matched, src, msg.tag, msg.payload.data(),
                             msg.payload.size());
@@ -373,6 +424,7 @@ void Comm::match_or_stash_unexpected(Rank src, StashedMsg&& msg) {
   unexpected.payload = std::move(msg.payload);
   unexpected.rdv_size = msg.rdv_size;
   unexpected.rdv_sender_id = msg.rdv_sender_id;
+  unexpected.rdv_crc = msg.rdv_crc;
   unexpected_.push_back(std::move(unexpected));
   ctr_unexpected_.add();
 }
@@ -394,7 +446,7 @@ void Comm::complete_recv_eager(const std::shared_ptr<detail::ReqState>& req,
 
 void Comm::start_recv_rendezvous(
     const std::shared_ptr<detail::ReqState>& req, Rank src, Tag tag,
-    std::size_t size, std::uint32_t sender_id) {
+    std::size_t size, std::uint32_t sender_id, std::uint32_t crc) {
   req->src = static_cast<int>(src);
   req->tag = tag;
   const fabric::MrKey mr = nic_.register_memory(req->buf, req->maxlen);
@@ -402,7 +454,7 @@ void Comm::start_recv_rendezvous(
   {
     std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
     recv_id = next_rdv_id_++;
-    rdv_recvs_[recv_id] = RdvRecv{req, mr, size};
+    rdv_recvs_[recv_id] = RdvRecv{req, mr, size, crc};
   }
   CtsPayload cts{mr.id, req->maxlen, sender_id, recv_id};
   std::vector<std::byte> payload(sizeof(cts));

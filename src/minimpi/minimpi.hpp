@@ -36,6 +36,7 @@
 #include "common/spinlock.hpp"
 #include "common/status.hpp"
 #include "fabric/nic.hpp"
+#include "fabric/reliable.hpp"
 
 namespace minimpi {
 
@@ -133,6 +134,7 @@ class Comm {
     std::vector<std::byte> payload;   // eager data
     std::size_t rdv_size = 0;         // RTS only
     std::uint32_t rdv_sender_id = 0;  // RTS only
+    std::uint32_t rdv_crc = 0;        // RTS only: payload CRC (integrity)
   };
 
   struct StashedMsg {  // out-of-order arrival awaiting its turn
@@ -141,6 +143,7 @@ class Comm {
     std::vector<std::byte> payload;
     std::size_t rdv_size = 0;
     std::uint32_t rdv_sender_id = 0;
+    std::uint32_t rdv_crc = 0;
   };
 
   struct RdvSend {  // sender-side pending rendezvous
@@ -153,6 +156,7 @@ class Comm {
     std::shared_ptr<detail::ReqState> req;
     fabric::MrKey mr;
     std::size_t size;
+    std::uint32_t expected_crc = 0;  // sender's payload CRC (integrity mode)
   };
 
   struct DeferredCtrl {  // message that hit TX back-pressure
@@ -173,7 +177,7 @@ class Comm {
                            std::size_t len);
   void start_recv_rendezvous(const std::shared_ptr<detail::ReqState>& req,
                              Rank src, Tag tag, std::size_t size,
-                             std::uint32_t sender_id);
+                             std::uint32_t sender_id, std::uint32_t crc);
   void send_ctrl(Rank dst, std::uint64_t imm, std::vector<std::byte> payload,
                  std::shared_ptr<detail::ReqState> complete_on_send = nullptr);
   void retry_deferred();
@@ -183,6 +187,12 @@ class Comm {
   fabric::Nic& nic_;
   const Rank rank_;
   const Config config_;
+  // Retransmit/dedup/CRC sublayer for every two-sided datagram (eager AND
+  // the RTS/CTS control plane); passthrough when the fault config is clean.
+  // The one-sided FIN write is covered end-to-end instead: the RTS carries
+  // the payload CRC, verified when the write lands.
+  fabric::ReliableEndpoint rel_;
+  const bool integrity_on_;
 
   // The coarse blocking lock (LockMode::kCoarseBlocking): a UCX-style pure
   // spin lock, matching the ucp_progress lock the paper's profiles blame.

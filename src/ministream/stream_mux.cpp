@@ -22,8 +22,11 @@ StreamMux::StreamMux(fabric::Fabric& fabric, Rank rank, Config config)
     : fabric_(fabric),
       nic_(fabric.nic(rank)),
       rank_(rank),
-      config_(config) {
-  assert(config_.max_segment <= nic_.srq_buffer_size());
+      config_(config),
+      rel_(fabric, rank, "stream") {
+  // Integrity mode appends an 8-byte trailer to every segment.
+  assert(config_.max_segment + (rel_.enabled() ? 8 : 0) <=
+         nic_.srq_buffer_size());
   tx_.reserve(fabric.num_ranks());
   rx_.reserve(fabric.num_ranks());
   for (Rank r = 0; r < fabric.num_ranks(); ++r) {
@@ -61,8 +64,8 @@ bool StreamMux::flush_tx(Rank dst) {
     std::vector<std::byte> segment(tx.buffer.begin(),
                                    tx.buffer.begin() +
                                        static_cast<std::ptrdiff_t>(seg_len));
-    if (nic_.post_send(dst, segment.data(), segment.size(),
-                       make_imm(tx.next_seq)) != common::Status::kOk) {
+    if (rel_.send(dst, segment.data(), segment.size(),
+                  make_imm(tx.next_seq)) != common::Status::kOk) {
       break;  // TX back-pressure: leave the bytes queued
     }
     tx.buffer.erase(tx.buffer.begin(),
@@ -125,11 +128,15 @@ bool StreamMux::progress() {
     }
     if (nonempty) moved |= flush_tx(dst);
   }
+  rel_.progress();
   moved |= nic_.poll_rx(64, [this](fabric::RxEvent&& event) {
              if (event.kind != fabric::RxEvent::Kind::kRecv) {
                AMTNET_LOG_ERROR("ministream: unexpected event kind");
                return;
              }
+             // The reliable sublayer strips its trailer, dedups, and
+             // swallows acks; only fresh verified segments pass.
+             if (!rel_.on_recv(event)) return;
              handle_segment(event.src, imm_seq(event.imm),
                             std::move(event.payload));
            }) > 0;

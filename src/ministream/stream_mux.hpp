@@ -30,6 +30,7 @@
 #include "common/spinlock.hpp"
 #include "common/status.hpp"
 #include "fabric/nic.hpp"
+#include "fabric/reliable.hpp"
 
 namespace ministream {
 
@@ -93,6 +94,9 @@ class StreamMux {
   fabric::Nic& nic_;
   const Rank rank_;
   const Config config_;
+  // Retransmit/dedup/CRC sublayer for every segment; passthrough when the
+  // fabric's fault config is clean.
+  fabric::ReliableEndpoint rel_;
 
   std::vector<std::unique_ptr<TxStream>> tx_;  // indexed by destination
   std::vector<std::unique_ptr<RxStream>> rx_;  // indexed by source

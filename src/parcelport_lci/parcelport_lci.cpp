@@ -8,6 +8,7 @@
 
 #include "common/affinity.hpp"
 #include "common/clock.hpp"
+#include "common/integrity.hpp"
 #include "common/logging.hpp"
 
 namespace pplci {
@@ -51,6 +52,8 @@ LciParcelport::LciParcelport(const amt::ParcelportContext& context)
       pipeline_depth_(resolve_pipeline_depth(context.config)),
       device_(*context.fabric, context.rank, make_device_config(context),
               &remote_put_cq_),
+      header_seq_tx_(context.fabric->num_ranks()),
+      header_seq_rx_(context.fabric->num_ranks()),
       ctr_delivered_(context.fabric->telemetry().counter(
           pp_metric(context.rank, "messages_delivered"))),
       ctr_send_retries_(context.fabric->telemetry().counter(
@@ -165,10 +168,27 @@ void LciParcelport::recycle(ReceiverConnection* connection) {
 }
 
 std::uint32_t LciParcelport::alloc_tags(std::size_t count) {
-  // Distinct tag per follow-up message (no in-order delivery in LCI). Wraps
-  // after 2^32 messages; same reuse assumption as the paper's §3.2.1.
-  return static_cast<std::uint32_t>(
-      next_tag_.fetch_add(count, std::memory_order_relaxed));
+  // Distinct tag per follow-up message (no in-order delivery in LCI). The
+  // 32-bit tag space wraps mid-run on long workloads; a range must never
+  // start at — or wrap through — the reserved header tag 0, or follow-up
+  // traffic would collide with sr-protocol headers. Receivers route pieces
+  // with u32 subtraction (entry.tag - tag_base), which stays correct across
+  // the wrap as long as the range itself is contiguous mod 2^32, which the
+  // restart below guarantees.
+  assert(count > 0 && count < (1u << 16));
+  std::uint64_t cur = next_tag_.load(std::memory_order_relaxed);
+  for (;;) {
+    std::uint32_t base = static_cast<std::uint32_t>(cur);
+    if (base == kHeaderTag ||
+        static_cast<std::uint64_t>(base) + count > (1ull << 32)) {
+      base = 1;  // skip the reserved tag / the wrap point
+    }
+    const std::uint64_t next = static_cast<std::uint64_t>(base) + count;
+    if (next_tag_.compare_exchange_weak(cur, next,
+                                        std::memory_order_relaxed)) {
+      return base;
+    }
+  }
 }
 
 void LciParcelport::send_backoff(unsigned& round) {
@@ -238,8 +258,11 @@ void LciParcelport::send(amt::Rank dst, amt::OutMessage msg,
     }
     send_backoff(backoff_round);
   }
-  const std::size_t header_size = amt::encode_header_to(
-      msg, plan, connection->tag_base, packet->data(), packet->capacity());
+  const std::uint16_t header_seq =
+      header_seq_tx_[dst].value.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t header_size =
+      amt::encode_header_to(msg, plan, connection->tag_base, header_seq,
+                            packet->data(), packet->capacity());
   packet->set_size(header_size);
   connection->msg = std::move(msg);
 
@@ -300,7 +323,7 @@ bool LciParcelport::SenderConnection::post_one(LciParcelport& port) {
   }
   if (post_piece(port, index) == common::Status::kRetry) {
     std::lock_guard<common::SpinMutex> guard(port.retry_mutex_);
-    port.retry_.push_back(RetryEntry{this, index});
+    port.retry_.push_back(RetryEntry{this, index, 0});
   }
   return true;
 }
@@ -350,6 +373,10 @@ bool LciParcelport::retry_senders() {
     // guaranteed alive here.
     if (entry.connection->post_piece(*this, entry.piece) ==
         common::Status::kRetry) {
+      // Count every retry round under pplci/*/send_retries, same as the
+      // send()-path backoff, and escalate only this piece's own round.
+      ++entry.round;
+      ctr_send_retries_.add();
       std::lock_guard<common::SpinMutex> guard(retry_mutex_);
       retry_.push_front(entry);
       break;
@@ -442,6 +469,18 @@ void LciParcelport::ReceiverConnection::reset() {
 void LciParcelport::handle_header(amt::Rank src, const std::byte* data,
                                   std::size_t size) {
   amt::DecodedHeader decoded = amt::decode_header(data, size);
+  {
+    // A duplicated header would double-deliver a parcel: fail fast.
+    HeaderSeqRx& rx = header_seq_rx_[src].value;
+    std::lock_guard<common::SpinMutex> guard(rx.mutex);
+    if (!rx.tracker.accept(decoded.fields.seq)) {
+      common::integrity_fail("pplci: duplicated wire header rank=",
+                             context_.rank, " src=", src,
+                             " seq=", decoded.fields.seq,
+                             " tag=", decoded.fields.tag,
+                             " — a duplicate would double-deliver a parcel");
+    }
+  }
 
   ReceiverConnection* connection = acquire_receiver();
   connection->src = src;

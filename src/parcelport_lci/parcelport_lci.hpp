@@ -73,6 +73,12 @@ class LciParcelport final : public amt::Parcelport {
   /// Effective follow-up pipeline depth (0 = unbounded).
   std::size_t pipeline_depth() const { return pipeline_depth_; }
 
+  /// Test hook: positions the follow-up tag counter (e.g. just below the
+  /// 32-bit wrap) to exercise alloc_tags' wraparound handling.
+  void set_next_tag(std::uint64_t value) {
+    next_tag_.store(value, std::memory_order_relaxed);
+  }
+
  private:
   // user_context values in completion entries: either a Connection* or this
   // sentinel marking an sr-protocol header receive.
@@ -190,10 +196,13 @@ class LciParcelport final : public amt::Parcelport {
   // sr mode: one always-posted header receive per peer (reposted by the
   // completion handler; no state needed beyond the sentinel context).
 
-  // Claimed sender pieces that hit resource back-pressure.
+  // Claimed sender pieces that hit resource back-pressure. Each entry keeps
+  // its own backoff round so retry pressure is tracked per piece — a fresh
+  // piece must not inherit another piece's escalated round.
   struct RetryEntry {
     SenderConnection* connection = nullptr;
     std::size_t piece = 0;
+    unsigned round = 0;
   };
   common::SpinMutex retry_mutex_;
   std::deque<RetryEntry> retry_;
@@ -203,6 +212,16 @@ class LciParcelport final : public amt::Parcelport {
   queues::MpmcQueue<minilci::Synchronizer*> sync_pool_{4096};
 
   std::atomic<std::uint64_t> next_tag_{1};  // 0 is the sr header tag
+
+  // End-to-end header integrity: per-destination generation counters stamped
+  // into every WireHeader, and per-source trackers that fail fast on a
+  // duplicated header (which would double-deliver a parcel).
+  std::vector<common::CachePadded<std::atomic<std::uint16_t>>> header_seq_tx_;
+  struct HeaderSeqRx {
+    common::SpinMutex mutex;
+    amt::HeaderSeqTracker tracker;
+  };
+  std::vector<common::CachePadded<HeaderSeqRx>> header_seq_rx_;
 
   std::thread progress_thread_;  // pin mode ("rp" resource partitioner)
   std::atomic<bool> progress_stop_{false};

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/clock.hpp"
+#include "common/integrity.hpp"
 #include "common/logging.hpp"
 
 namespace ppmpi {
@@ -32,6 +33,8 @@ MpiParcelport::MpiParcelport(const amt::ParcelportContext& context)
                            : std::max(context.zero_copy_threshold,
                                       sizeof(amt::WireHeader))),
       comm_(*context.fabric, context.rank, make_comm_config(context)),
+      header_seq_tx_(context.fabric->num_ranks()),
+      header_seq_rx_(context.fabric->num_ranks()),
       ctr_delivered_(context.fabric->telemetry().counter(
           pp_metric(context.rank, "messages_delivered"))),
       hist_send_ns_(context.fabric->telemetry().histogram(
@@ -95,8 +98,10 @@ void MpiParcelport::send(amt::Rank dst, amt::OutMessage msg,
   connection->done = std::move(done);
   connection->tag =
       plan.num_followups(msg) > 0 ? alloc_tag() : 0;
+  const std::uint16_t header_seq =
+      header_seq_tx_[dst].value.fetch_add(1, std::memory_order_relaxed);
   amt::encode_header(msg, plan, static_cast<std::uint32_t>(connection->tag),
-                     connection->header_buf);
+                     header_seq, connection->header_buf);
 
   // Follow-up pieces in wire order (paper §3.1): non-zero-copy chunk,
   // transmission chunk, zero-copy chunks.
@@ -210,6 +215,18 @@ void MpiParcelport::ReceiverConnection::finish(MpiParcelport& port) {
 void MpiParcelport::handle_header(amt::Rank src, const std::byte* data,
                                   std::size_t size) {
   amt::DecodedHeader decoded = amt::decode_header(data, size);
+  {
+    // A duplicated header would double-deliver a parcel: fail fast.
+    HeaderSeqRx& rx = header_seq_rx_[src].value;
+    std::lock_guard<common::SpinMutex> guard(rx.mutex);
+    if (!rx.tracker.accept(decoded.fields.seq)) {
+      common::integrity_fail("ppmpi: duplicated wire header rank=",
+                             context_.rank, " src=", src,
+                             " seq=", decoded.fields.seq,
+                             " tag=", decoded.fields.tag,
+                             " — a duplicate would double-deliver a parcel");
+    }
+  }
 
   auto connection = std::make_unique<ReceiverConnection>();
   connection->src = src;

@@ -27,6 +27,7 @@
 
 #include "amt/parcelport.hpp"
 #include "amt/wire_header.hpp"
+#include "common/cache.hpp"
 #include "common/spinlock.hpp"
 #include "minimpi/minimpi.hpp"
 
@@ -119,6 +120,16 @@ class MpiParcelport final : public amt::Parcelport {
   std::vector<minimpi::Tag> free_tags_;
 
   std::atomic<std::uint64_t> next_tag_{0};
+
+  // End-to-end header integrity: per-destination generation counters stamped
+  // into every WireHeader, and per-source trackers that fail fast on a
+  // duplicated header (which would double-deliver a parcel).
+  std::vector<common::CachePadded<std::atomic<std::uint16_t>>> header_seq_tx_;
+  struct HeaderSeqRx {
+    common::SpinMutex mutex;
+    amt::HeaderSeqTracker tracker;
+  };
+  std::vector<common::CachePadded<HeaderSeqRx>> header_seq_rx_;
 
   common::SpinMutex pending_mutex_;
   std::deque<std::unique_ptr<Connection>> pending_;

@@ -6,13 +6,22 @@
 #include <string>
 
 #include "common/clock.hpp"
+#include "common/crc32.hpp"
+#include "common/integrity.hpp"
 #include "common/logging.hpp"
 
 namespace pptcp {
 
 namespace {
+// Frame prefix: [u64 main_size][u32 num_zchunks][u32 frame_seq][u32 crc].
+// frame_seq is a strict per-stream counter; crc is CRC-32 over everything
+// after the prefix (zsizes + main + zchunks), 0 when the sender runs with
+// integrity checking off.
 constexpr std::size_t kPrefixSize =
+    sizeof(std::uint64_t) + 3 * sizeof(std::uint32_t);
+constexpr std::size_t kSeqOffset =
     sizeof(std::uint64_t) + sizeof(std::uint32_t);
+constexpr std::size_t kCrcOffset = kSeqOffset + sizeof(std::uint32_t);
 
 std::string pp_metric(amt::Rank rank, const char* leaf) {
   return "pptcp/loc" + std::to_string(rank) + "/" + leaf;
@@ -21,6 +30,7 @@ std::string pp_metric(amt::Rank rank, const char* leaf) {
 
 TcpParcelport::TcpParcelport(const amt::ParcelportContext& context)
     : context_(context),
+      integrity_on_(context.fabric->config().faults.integrity_on()),
       mux_(*context.fabric, context.rank),
       ctr_delivered_(context.fabric->telemetry().counter(
           pp_metric(context.rank, "messages_delivered"))),
@@ -65,6 +75,17 @@ void TcpParcelport::send(amt::Rank dst, amt::OutMessage msg,
                     i * sizeof(std::uint64_t),
                 &zsize, sizeof(zsize));
   }
+  if (integrity_on_) {
+    // CRC everything after the prefix: the zsize array just encoded plus
+    // every payload byte. One extra pass over the data, only in fault mode.
+    std::uint32_t crc = common::crc32(frame.header.data() + kPrefixSize,
+                                      frame.header.size() - kPrefixSize);
+    crc = common::crc32(msg.main_chunk.data(), msg.main_chunk.size(), crc);
+    for (const amt::ZChunk& chunk : msg.zchunks) {
+      crc = common::crc32(chunk.data, chunk.size, crc);
+    }
+    std::memcpy(frame.header.data() + kCrcOffset, &crc, sizeof(crc));
+  }
 
   frame.pieces.emplace_back(frame.header.data(), frame.header.size());
   frame.pieces.emplace_back(msg.main_chunk.data(), msg.main_chunk.size());
@@ -76,6 +97,10 @@ void TcpParcelport::send(amt::Rank dst, amt::OutMessage msg,
   {
     TxQueue& queue = *tx_queues_[dst];
     std::lock_guard<common::SpinMutex> guard(queue.mutex);
+    // Stamp the sequence under the queue lock so it matches the order the
+    // frame enters the stream.
+    const std::uint32_t seq = queue.next_seq++;
+    std::memcpy(frame.header.data() + kSeqOffset, &seq, sizeof(seq));
     queue.frames.push_back(std::move(frame));
   }
   pump_tx(dst);
@@ -106,12 +131,31 @@ bool TcpParcelport::pump_tx(amt::Rank dst) {
 }
 
 void TcpParcelport::finish_frame(amt::Rank src, RxState& rx) {
+  if (rx.frame_crc != 0) {
+    // Recompute the CRC over everything after the prefix, exactly as the
+    // sender did: zsize array bytes, main chunk, then each zchunk.
+    std::uint32_t crc = common::crc32(
+        rx.zsizes.data(), rx.zsizes.size() * sizeof(std::uint64_t));
+    crc = common::crc32(rx.main.data(), rx.main.size(), crc);
+    for (const auto& chunk : rx.zchunks) {
+      crc = common::crc32(chunk.data(), chunk.size(), crc);
+    }
+    if (crc != rx.frame_crc) {
+      common::integrity_fail(
+          "pptcp: frame CRC mismatch rank=", context_.rank, " src=", src,
+          " seq=", rx.frame_seq, " main_size=", rx.main.size(),
+          " num_zchunks=", rx.zchunks.size(), " stored=", rx.frame_crc,
+          " computed=", crc, " — corrupted bytes survived the stream layer");
+    }
+  }
   amt::InMessage in;
   in.source = src;
   in.main_chunk = std::move(rx.main);
   in.zchunks = std::move(rx.zchunks);
   ctr_delivered_.add();
-  rx = RxState{};  // reset for the next frame
+  RxState fresh;  // reset for the next frame; the seq expectation survives
+  fresh.next_seq = rx.frame_seq + 1;
+  rx = std::move(fresh);
   context_.deliver(std::move(in));
 }
 
@@ -136,6 +180,19 @@ bool TcpParcelport::pump_rx(amt::Rank src) {
         std::memcpy(&rx.num_zchunks,
                     rx.scratch.data() + sizeof(rx.main_size),
                     sizeof(rx.num_zchunks));
+        std::memcpy(&rx.frame_seq, rx.scratch.data() + kSeqOffset,
+                    sizeof(rx.frame_seq));
+        std::memcpy(&rx.frame_crc, rx.scratch.data() + kCrcOffset,
+                    sizeof(rx.frame_crc));
+        if (integrity_on_ && rx.frame_seq != rx.next_seq) {
+          // The stream is ordered, so the frame counter must advance in
+          // lockstep; a gap means frame desync or corrupted framing.
+          common::integrity_fail("pptcp: frame sequence mismatch rank=",
+                                 context_.rank, " src=", src,
+                                 " expected=", rx.next_seq,
+                                 " got=", rx.frame_seq,
+                                 " — stream framing desynchronised");
+        }
         rx.filled = 0;
         rx.stage = rx.num_zchunks > 0 ? RxState::Stage::kZSizes
                                       : RxState::Stage::kMain;

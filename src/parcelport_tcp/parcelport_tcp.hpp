@@ -60,6 +60,11 @@ class TcpParcelport final : public amt::Parcelport {
     std::vector<std::byte> scratch;  // bytes of the current fixed section
     std::uint64_t main_size = 0;
     std::uint32_t num_zchunks = 0;
+    // Frame integrity (prefix fields): strict per-stream frame counter and
+    // CRC-32 over everything after the prefix (0 = sender sent unchecked).
+    std::uint32_t frame_seq = 0;
+    std::uint32_t frame_crc = 0;
+    std::uint32_t next_seq = 0;  // expected frame_seq; survives frame resets
     std::vector<std::uint64_t> zsizes;
     std::vector<std::byte> main;
     std::size_t filled = 0;  // bytes of the current variable section
@@ -72,11 +77,15 @@ class TcpParcelport final : public amt::Parcelport {
   void finish_frame(amt::Rank src, RxState& rx);
 
   const amt::ParcelportContext context_;
+  const bool integrity_on_;
   ministream::StreamMux mux_;
 
   struct TxQueue {
     common::SpinMutex mutex;
     std::deque<OutFrame> frames;
+    // Stamped into the frame prefix under `mutex`, so the sequence matches
+    // the order frames actually enter the (ordered) stream.
+    std::uint32_t next_seq = 0;
   };
   std::vector<std::unique_ptr<TxQueue>> tx_queues_;   // per destination
   std::vector<std::unique_ptr<RxState>> rx_states_;   // per source

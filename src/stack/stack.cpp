@@ -40,6 +40,8 @@ amt::RuntimeConfig make_runtime_config(const StackOptions& options) {
   config.parcelport = amt::ParcelportConfig::parse(options.parcelport);
   config.fabric = platform_config(options.platform, options.num_localities);
   if (options.fabric_rails != 0) config.fabric.num_rails = options.fabric_rails;
+  config.fabric.faults = options.faults;
+  fabric::apply_fault_env(config.fabric.faults);
   return config;
 }
 

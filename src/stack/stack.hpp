@@ -7,6 +7,7 @@
 #include <string>
 
 #include "amt/runtime.hpp"
+#include "fabric/fault.hpp"
 
 namespace amtnet {
 
@@ -22,6 +23,9 @@ struct StackOptions {
   std::size_t zero_copy_threshold = amt::kDefaultZeroCopyThreshold;
   std::size_t max_connections = 8192;  // HPX connection-cache cap
   unsigned fabric_rails = 0;           // 0 = keep the platform default
+  // Fault-injection seeds/probabilities; AMTNET_FAULT_* env knobs are layered
+  // on top of these in make_runtime_config (env wins over code defaults).
+  fabric::FaultConfig faults;
 };
 
 /// Resolves a platform name to a fabric profile (Table 2 / Table 3).

@@ -362,6 +362,56 @@ TEST(ConnectionCacheTest, CapsConcurrentConnections) {
   EXPECT_EQ(cache.in_use(), 0u);
 }
 
+TEST(ConnectionCacheTest, ContendedAcquireNeverOvershootsOrStarves) {
+  // Regression for the optimistic fetch_add reserve: N concurrent losers
+  // could push in_use() past the cap transiently, and with a cap of 1 two
+  // acquirers could both fail even though a slot was free the whole time.
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 20000;
+  ConnectionCache cache(1);
+  std::atomic<std::size_t> max_observed{0};
+  std::atomic<std::uint64_t> acquired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        if (cache.try_acquire()) {
+          const std::size_t seen = cache.in_use();
+          std::size_t prev = max_observed.load();
+          while (seen > prev && !max_observed.compare_exchange_weak(prev, seen)) {
+          }
+          acquired.fetch_add(1);
+          cache.release();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cache.in_use(), 0u);
+  EXPECT_LE(max_observed.load(), 1u) << "in_use() overshot the cap";
+  EXPECT_GT(acquired.load(), 0u);
+}
+
+TEST(ConnectionCacheTest, CapOneTwoThreadsOneMustWin) {
+  // The sharpest form of the race: with a free slot and exactly two
+  // acquirers, at least one must succeed on every round.
+  ConnectionCache cache(1);
+  for (int round = 0; round < 5000; ++round) {
+    std::atomic<int> wins{0};
+    std::thread a([&] {
+      if (cache.try_acquire()) wins.fetch_add(1);
+    });
+    std::thread b([&] {
+      if (cache.try_acquire()) wins.fetch_add(1);
+    });
+    a.join();
+    b.join();
+    ASSERT_GE(wins.load(), 1) << "both acquirers failed with a free slot";
+    ASSERT_LE(wins.load(), 1) << "cap of one admitted two connections";
+    for (int i = 0; i < wins.load(); ++i) cache.release();
+  }
+}
+
 // ---------------- actions over the loopback parcelport ----------------
 
 namespace actions {

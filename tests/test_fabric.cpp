@@ -383,3 +383,252 @@ TEST(Fabric, ConcurrentSendersAndPollersDeliverEverything) {
   EXPECT_EQ(received.load(), kTotal);
   EXPECT_EQ(checksum.load(), expected);
 }
+
+// ---------------- deterministic fault injection ----------------
+
+#include <set>
+
+#include "fabric/reliable.hpp"
+
+namespace {
+
+fabric::Config chaos_config(fabric::Rank num_ranks) {
+  fabric::Config config = Profile::loopback(num_ranks);
+  config.num_rails = 1;
+  return config;
+}
+
+/// Posts `count` 8-byte datagrams 0 -> 1, spinning through kRetry, and
+/// returns the imm sequence the receiver observed once the fabric drained.
+std::vector<std::uint64_t> run_lossy_exchange(const fabric::Config& config,
+                                              std::uint64_t count) {
+  Fabric fabric(config);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    while (fabric.nic(0).post_send(1, &i, sizeof(i), i) !=
+           common::Status::kOk) {
+      fabric.nic(1).poll_rx(64, [](RxEvent&&) {});
+    }
+  }
+  const auto sender = fabric.nic(0).stats();
+  const std::uint64_t expected =
+      count - sender.faults_dropped + sender.faults_duplicated;
+  std::vector<std::uint64_t> received;
+  testutil::pump_until(
+      [&] { return received.size() >= expected; },
+      [&] {
+        fabric.nic(1).poll_rx(64,
+                              [&](RxEvent&& e) { received.push_back(e.imm); });
+      });
+  return received;
+}
+
+}  // namespace
+
+TEST(FaultInjection, ZeroProbabilitiesInjectNothing) {
+  Fabric fabric(chaos_config(2));
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(fabric.nic(0).post_send(1, &i, sizeof(i), i),
+              common::Status::kOk);
+  }
+  auto events = poll_all(fabric.nic(1), 100);
+  EXPECT_EQ(events.size(), 100u);
+  const auto stats = fabric.nic(0).stats();
+  EXPECT_EQ(stats.faults_dropped, 0u);
+  EXPECT_EQ(stats.faults_duplicated, 0u);
+  EXPECT_EQ(stats.faults_corrupted, 0u);
+  EXPECT_EQ(stats.faults_delayed, 0u);
+  EXPECT_EQ(stats.brownout_rejects, 0u);
+  EXPECT_EQ(stats.rnr_storms, 0u);
+}
+
+TEST(FaultInjection, DropAndDupPatternReplaysFromSeed) {
+  fabric::Config config = chaos_config(2);
+  config.faults.drop = 0.2;
+  config.faults.duplicate = 0.1;
+  config.faults.seed = 0xfeedULL;
+  const auto first = run_lossy_exchange(config, 300);
+  const auto second = run_lossy_exchange(config, 300);
+  EXPECT_EQ(first, second) << "same seed must replay the same fault pattern";
+  EXPECT_LT(first.size(), 330u);  // some datagrams really were dropped
+
+  config.faults.seed = 0xbeefULL;
+  const auto other = run_lossy_exchange(config, 300);
+  EXPECT_NE(first, other) << "a different seed should reshuffle the faults";
+}
+
+TEST(FaultInjection, BrownoutSurfacesAsRetry) {
+  fabric::Config config = chaos_config(2);
+  config.faults.brownout = 1.0;
+  config.faults.brownout_posts = 8;
+  Fabric fabric(config);
+  std::uint64_t value = 7;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fabric.nic(0).post_send(1, &value, sizeof(value), 0),
+              common::Status::kRetry);
+  }
+  EXPECT_EQ(fabric.nic(0).stats().brownout_rejects, 10u);
+}
+
+TEST(FaultInjection, CorruptionFlipsOneBit) {
+  fabric::Config config = chaos_config(2);
+  config.faults.corrupt = 1.0;
+  Fabric fabric(config);
+  const auto data = testutil::make_pattern(3, 64);
+  ASSERT_EQ(fabric.nic(0).post_send(1, data.data(), data.size(), 0),
+            common::Status::kOk);
+  auto events = poll_all(fabric.nic(1), 1);
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].size, 64u);
+  EXPECT_FALSE(testutil::check_pattern(events[0].data(), 3, 64));
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    flipped_bits += __builtin_popcount(
+        static_cast<unsigned>(events[0].data()[i] ^ data[i]));
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  EXPECT_EQ(fabric.nic(0).stats().faults_corrupted, 1u);
+}
+
+TEST(FaultInjection, CorruptMinSizeSparesSmallPayloads) {
+  fabric::Config config = chaos_config(2);
+  config.faults.corrupt = 1.0;
+  config.faults.corrupt_min_size = 1024;
+  Fabric fabric(config);
+  const auto data = testutil::make_pattern(4, 64);  // below the floor
+  ASSERT_EQ(fabric.nic(0).post_send(1, data.data(), data.size(), 0),
+            common::Status::kOk);
+  auto events = poll_all(fabric.nic(1), 1);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(testutil::check_pattern(events[0].data(), 4, 64));
+  EXPECT_EQ(fabric.nic(0).stats().faults_corrupted, 0u);
+}
+
+TEST(FaultInjection, DelaySpikesAreCountedAndStillDelivered) {
+  fabric::Config config = chaos_config(2);
+  config.faults.delay = 1.0;
+  config.faults.delay_us = 100.0;
+  Fabric fabric(config);
+  std::uint64_t value = 9;
+  ASSERT_EQ(fabric.nic(0).post_send(1, &value, sizeof(value), 9),
+            common::Status::kOk);
+  auto events = poll_all(fabric.nic(1), 1);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].imm, 9u);
+  EXPECT_EQ(fabric.nic(0).stats().faults_delayed, 1u);
+}
+
+TEST(FaultInjection, RnrStormRefusesBufferedDeliveries) {
+  fabric::Config config = chaos_config(2);
+  config.faults.rnr_storm = 0.5;
+  config.faults.rnr_storm_polls = 4;
+  Fabric fabric(config);
+  // Burn poll indices until a storm has statistically certainly triggered.
+  for (int i = 0; i < 64; ++i) fabric.nic(1).poll_rx(8, [](RxEvent&&) {});
+  EXPECT_GE(fabric.nic(1).stats().rnr_storms, 1u);
+  // A buffered datagram still gets through once a storm-free poll lands.
+  std::uint64_t value = 5;
+  ASSERT_EQ(fabric.nic(0).post_send(1, &value, sizeof(value), 5),
+            common::Status::kOk);
+  auto events = poll_all(fabric.nic(1), 1);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].imm, 5u);
+}
+
+// ---------------- the reliability sublayer over a lossy fabric ----------
+
+namespace {
+
+/// Drives two ReliableEndpoints until `expected` distinct datagrams arrived
+/// at rank 1 and the sender has nothing outstanding.
+struct ReliablePair {
+  Fabric fabric;
+  fabric::ReliableEndpoint tx;
+  fabric::ReliableEndpoint rx;
+  std::vector<std::uint64_t> received;
+
+  explicit ReliablePair(const fabric::Config& config)
+      : fabric(config),
+        tx(fabric, 0, "test"),
+        rx(fabric, 1, "test") {}
+
+  void pump() {
+    tx.progress();
+    rx.progress();
+    fabric.nic(1).poll_rx(64, [&](RxEvent&& event) {
+      if (!rx.on_recv(event)) return;
+      EXPECT_TRUE(
+          testutil::check_pattern(event.data(), event.imm, event.size));
+      received.push_back(event.imm);
+    });
+    fabric.nic(0).poll_rx(64, [&](RxEvent&& event) {
+      EXPECT_FALSE(tx.on_recv(event)) << "sender expects only acks";
+    });
+  }
+
+  bool run(std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto data = testutil::make_pattern(i, 32);
+      while (tx.send(1, data.data(), data.size(), i) !=
+             common::Status::kOk) {
+        pump();
+      }
+    }
+    return testutil::pump_until(
+        [&] { return received.size() >= count && tx.pending() == 0; },
+        [&] { pump(); }, std::chrono::milliseconds(20000));
+  }
+};
+
+}  // namespace
+
+TEST(ReliableEndpoint, RetransmitsThroughDrops) {
+  fabric::Config config = chaos_config(2);
+  config.faults.drop = 0.25;
+  config.faults.seed = 41;
+  ReliablePair pair(config);
+  ASSERT_TRUE(pair.tx.enabled());
+  constexpr std::uint64_t kCount = 60;
+  ASSERT_TRUE(pair.run(kCount));
+  std::set<std::uint64_t> unique(pair.received.begin(), pair.received.end());
+  EXPECT_EQ(pair.received.size(), kCount) << "no duplicate deliveries";
+  EXPECT_EQ(unique.size(), kCount) << "every message delivered exactly once";
+  const auto snap = pair.fabric.telemetry().snapshot();
+  EXPECT_GT(snap.counter("reliable/test0/retransmits"), 0u);
+}
+
+TEST(ReliableEndpoint, DedupsDuplicatedDatagrams) {
+  fabric::Config config = chaos_config(2);
+  config.faults.duplicate = 0.5;
+  config.faults.seed = 42;
+  ReliablePair pair(config);
+  constexpr std::uint64_t kCount = 60;
+  ASSERT_TRUE(pair.run(kCount));
+  EXPECT_EQ(pair.received.size(), kCount);
+  const auto snap = pair.fabric.telemetry().snapshot();
+  EXPECT_GT(snap.counter("reliable/test1/dup_dropped"), 0u);
+}
+
+TEST(ReliableEndpoint, DropsCorruptDatagramsAndRecovers) {
+  fabric::Config config = chaos_config(2);
+  config.faults.corrupt = 0.3;
+  config.faults.seed = 43;
+  ReliablePair pair(config);
+  constexpr std::uint64_t kCount = 60;
+  ASSERT_TRUE(pair.run(kCount));
+  EXPECT_EQ(pair.received.size(), kCount);
+  const auto snap = pair.fabric.telemetry().snapshot();
+  EXPECT_GT(snap.counter("reliable/test1/crc_dropped"), 0u);
+}
+
+TEST(ReliableEndpoint, PassthroughWhenFaultsOff) {
+  Fabric fabric(chaos_config(2));
+  fabric::ReliableEndpoint tx(fabric, 0, "test");
+  EXPECT_FALSE(tx.enabled());
+  std::uint64_t value = 11;
+  ASSERT_EQ(tx.send(1, &value, sizeof(value), 11), common::Status::kOk);
+  auto events = poll_all(fabric.nic(1), 1);
+  ASSERT_EQ(events.size(), 1u);
+  // Passthrough: no trailer appended, payload arrives byte-identical.
+  EXPECT_EQ(events[0].size, sizeof(value));
+  EXPECT_EQ(tx.pending(), 0u);
+}

@@ -663,3 +663,90 @@ INSTANTIATE_TEST_SUITE_P(Sweep, LciProgressStress,
                                            LciStressParam{2, 1},
                                            LciStressParam{2, 2},
                                            LciStressParam{4, 2}));
+
+// ---------------- magazine thread-exit accounting ----------------
+
+TEST(LciPacketPool, ThreadExitFlushesMagazines) {
+  PacketPool pool(128, 32, /*cache_size=*/16);
+  // Worker threads stock their magazine slots, then exit. shard_slot() hands
+  // out fresh per-thread ids, so without the thread-exit flush the cached
+  // packets would be stranded in slots no surviving thread maps to.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&pool] {
+      for (int i = 0; i < 500; ++i) {
+        auto packet = pool.try_alloc();
+        if (packet.has_value()) packet->release();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // No flush_caches() here: the exits themselves must have rebalanced the
+  // pool. Every packet must be allocatable from this thread.
+  std::vector<minilci::PacketBuffer> held;
+  for (int i = 0; i < 128; ++i) {
+    auto packet = pool.try_alloc();
+    ASSERT_TRUE(packet.has_value())
+        << "packet " << i << " stranded in an exited thread's magazine";
+    held.push_back(std::move(*packet));
+  }
+  EXPECT_FALSE(pool.try_alloc().has_value());
+}
+
+TEST(LciPacketPool, ThreadExitAfterPoolDestructionIsSafe) {
+  // The reverse order: the pool dies while a thread that used it is still
+  // running. The thread's exit-time flusher must skip the dead pool.
+  std::thread worker;
+  {
+    PacketPool pool(8, 32, /*cache_size=*/4);
+    std::atomic<bool> used{false};
+    worker = std::thread([&pool, &used] {
+      auto packet = pool.try_alloc();
+      if (packet.has_value()) packet->release();
+      used.store(true);
+      while (!used.load()) std::this_thread::yield();
+    });
+    while (!used.load()) std::this_thread::yield();
+  }  // pool destroyed here, before the worker exits
+  worker.join();  // must not touch the dead pool
+}
+
+// ---------------- two-sided traffic through a lossy fabric ----------------
+
+TEST(LciDevice, MediumSurvivesDropsViaRetransmit) {
+  fabric::Config fab = fabric::Profile::loopback(2);
+  fab.faults.drop = 0.15;
+  fab.faults.seed = 77;
+  Pair pair(fab);
+  constexpr std::uint32_t kCount = 30;
+  CompQueue cq;
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(pair.dev1.recvm(0, i, Comp::queue(&cq), i),
+              common::Status::kOk);
+  }
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    const auto data = testutil::make_pattern(i, 200);
+    while (pair.dev0.sendm(1, i, data.data(), data.size(), Comp::none()) !=
+           common::Status::kOk) {
+      pair.pump();
+    }
+  }
+  std::vector<bool> seen(kCount, false);
+  std::uint32_t received = 0;
+  ASSERT_TRUE(pair.pump_until(
+      [&] {
+        while (auto entry = cq.poll()) {
+          EXPECT_FALSE(seen[entry->tag]) << "duplicate tag " << entry->tag;
+          EXPECT_TRUE(testutil::check_pattern(entry->data.data(), entry->tag,
+                                              entry->size));
+          seen[entry->tag] = true;
+          ++received;
+        }
+        return received == kCount;
+      },
+      std::chrono::milliseconds(20000)))
+      << "delivered " << received << "/" << kCount << " through the drops";
+  const auto snap = pair.fabric.telemetry().snapshot();
+  EXPECT_GT(snap.counter("reliable/lci0/retransmits"), 0u)
+      << "drops at 15% must have forced at least one retransmit";
+}

@@ -64,10 +64,11 @@ TEST(WireHeader, EncodeDecodeRoundTrip) {
   const auto msg = make_msg(64, {9000});
   const auto plan = amt::HeaderPlan::decide(msg, 8192);
   std::vector<std::byte> wire;
-  amt::encode_header(msg, plan, 1234, wire);
+  amt::encode_header(msg, plan, 1234, /*seq=*/7, wire);
   EXPECT_LE(wire.size(), 8192u);
   const auto decoded = amt::decode_header(wire.data(), wire.size());
   EXPECT_EQ(decoded.fields.tag, 1234u);
+  EXPECT_EQ(decoded.fields.seq, 7u);
   EXPECT_EQ(decoded.fields.num_zchunks, 1u);
   EXPECT_EQ(decoded.fields.main_size, 64u);
   ASSERT_TRUE(decoded.fields.piggy_main);
@@ -432,4 +433,99 @@ TEST(ParcelportScaling, FourLocalitiesAllToAll) {
         << name << " delivered " << e2e::counter.load() << "/16";
     runtime->stop();
   }
+}
+
+// ---------------- header integrity: CRC + generation tracking ----------
+
+TEST(WireHeaderDeathTest, CorruptedHeaderFailsFastAtDecode) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto msg = make_msg(64, {9000});
+  const auto plan = amt::HeaderPlan::decide(msg, 8192);
+  std::vector<std::byte> wire;
+  amt::encode_header(msg, plan, 77, /*seq=*/3, wire);
+  // Flip one payload bit: the decode-time CRC must catch it and abort
+  // rather than deserialize garbage sizes.
+  wire[wire.size() / 2] ^= std::byte{0x10};
+  EXPECT_DEATH(amt::decode_header(wire.data(), wire.size()),
+               "wire header CRC mismatch");
+}
+
+TEST(WireHeaderDeathTest, TruncatedHeaderFailsFast) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::vector<std::byte> wire(8, std::byte{0});
+  EXPECT_DEATH(amt::decode_header(wire.data(), wire.size()),
+               "wire header truncated");
+}
+
+TEST(HeaderSeqTracker, AcceptsMonotonicRejectsDuplicates) {
+  amt::HeaderSeqTracker tracker;
+  for (std::uint16_t seq = 0; seq < 200; ++seq) {
+    EXPECT_TRUE(tracker.accept(seq)) << "fresh seq " << seq;
+  }
+  EXPECT_FALSE(tracker.accept(199));
+  EXPECT_FALSE(tracker.accept(180));
+  EXPECT_TRUE(tracker.accept(200));
+}
+
+TEST(HeaderSeqTracker, ToleratesReorderingWithinWindow) {
+  amt::HeaderSeqTracker tracker;
+  // Multi-rail style arrival order: newest first, stragglers after.
+  EXPECT_TRUE(tracker.accept(10));
+  EXPECT_TRUE(tracker.accept(8));
+  EXPECT_TRUE(tracker.accept(9));
+  EXPECT_FALSE(tracker.accept(8));  // straggler arriving twice = duplicate
+  EXPECT_TRUE(tracker.accept(11));
+  EXPECT_FALSE(tracker.accept(10));
+}
+
+TEST(HeaderSeqTracker, SurvivesU16Wraparound) {
+  amt::HeaderSeqTracker tracker;
+  std::uint16_t seq = 0;
+  for (std::uint32_t i = 0; i < 70000; ++i) {  // crosses 65535 -> 0
+    ASSERT_TRUE(tracker.accept(seq)) << "generation " << i;
+    ++seq;
+  }
+  EXPECT_FALSE(tracker.accept(static_cast<std::uint16_t>(seq - 1)));
+}
+
+// ---------------- LCI follow-up tag counter wraparound ----------------
+
+#include "parcelport_lci/parcelport_lci.hpp"
+
+TEST(LciTagWraparound, FollowupsSurviveThe32BitTagWrap) {
+  // Position both tag counters just below 2^32 so follow-up tag ranges are
+  // allocated across the wrap mid-test. A range that started at the reserved
+  // header tag 0 — or wrapped through it — would collide follow-up pieces
+  // with sr/psr headers; the receiver-side tag routing must also stay
+  // consistent across the restart.
+  StackOptions options;
+  options.parcelport = "lci_psr_cq_mt_i";
+  options.num_localities = 2;
+  options.threads_per_locality = 2;
+  options.platform = "loopback";
+  options.zero_copy_threshold = 1024;  // 4 KiB vectors become zchunks
+  auto runtime = amtnet::make_runtime(options);
+  for (amt::Rank r = 0; r < 2; ++r) {
+    auto* port = dynamic_cast<pplci::LciParcelport*>(
+        runtime->locality(r).parcelport());
+    ASSERT_NE(port, nullptr);
+    port->set_next_tag((1ull << 32) - 25);
+  }
+  Latch done(1);
+  bool all_ok = false;
+  runtime->locality(0).spawn([&] {
+    bool ok = true;
+    // 2 zchunk tags per round trip: 30 rounds sweep the counter from
+    // 2^32-25 through the wrap and out the other side.
+    for (int round = 0; round < 30; ++round) {
+      std::vector<double> a(512, double(round)), b(512, 2.0);
+      const double got = amt::here().async<&e2e::dot>(1, a, b).get();
+      ok = ok && got == 512.0 * 2.0 * round;
+    }
+    all_ok = ok;
+    done.count_down();
+  });
+  done.wait(runtime->locality(0).scheduler());
+  EXPECT_TRUE(all_ok) << "a parcel was lost or corrupted across the tag wrap";
+  runtime->stop();
 }
