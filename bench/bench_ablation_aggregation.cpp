@@ -1,48 +1,9 @@
-// Ablation: message aggregation via the parcel queue + connection cache
-// (paper §3.2.2 and the "message aggregation yields mixed results" lesson of
-// §7.1). Three regimes for the same 8B flood:
-//   * send-immediate (_i): no aggregation at all,
-//   * default cache (8192 connections): aggregation only under back-pressure,
-//   * a single connection: maximal aggregation (every flush batches all
-//     queued parcels into one HPX message).
-#include "harness.hpp"
+// Thin wrapper over the "ablation_aggregation" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Ablation: parcel aggregation (send-immediate vs connection-cache "
-      "limits)",
-      "aggregation reduces per-message pressure on the network stack (helps "
-      "mpi and throughput) but adds queue/cache locking and batching delay "
-      "(hurts latency) — the paper's mixed-results trade-off",
-      env);
-  std::printf(
-      "variant,config,attempted_K/s,achieved_injection_K/s,"
-      "message_rate_K/s,stddev_K/s\n");
-
-  struct Variant {
-    const char* label;
-    const char* config;
-    std::size_t max_connections;
-  };
-  const Variant variants[] = {
-      {"immediate", "lci_psr_cq_pin_i", 8192},
-      {"cache8192", "lci_psr_cq_pin", 8192},
-      {"cache1", "lci_psr_cq_pin", 1},
-      {"immediate", "mpi_i", 8192},
-      {"cache8192", "mpi", 8192},
-      {"cache1", "mpi", 1},
-  };
-  for (const auto& variant : variants) {
-    bench::RateParams params;
-    params.parcelport = variant.config;
-    params.msg_size = 8;
-    params.batch = 100;
-    params.total_msgs = static_cast<std::size_t>(5000 * env.scale);
-    params.workers = env.workers;
-    params.max_connections = variant.max_connections;
-    std::printf("%s,", variant.label);
-    bench::report_rate_point(params, env.runs);
-  }
-  return 0;
+  return bench::suites::run_suite_main("ablation_aggregation", argc, argv);
 }

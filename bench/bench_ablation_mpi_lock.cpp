@@ -1,46 +1,9 @@
-// Ablation (§7.1 main lesson): the coarse blocking progress lock inside the
-// MPI/UCX layer vs a fine-grained-locking variant of the same library
-// (config token `fine`). The paper's profiles blame the coarse lock for the
-// MPI parcelport's collapse under concurrent messages; here the two minimpi
-// lock disciplines are compared directly under the same parcelport.
-#include "harness.hpp"
+// Thin wrapper over the "ablation_mpi_lock" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Ablation: coarse vs fine-grained progress lock in the MPI layer",
-      "the fine-grained variant sustains higher 16KiB message rates and "
-      "lower windowed latency; the gap grows with concurrency (worker "
-      "threads convoy on the blocking lock in MPI_Test)",
-      env);
-
-  std::printf("# 16KiB message rate (unlimited injection)\n");
-  std::printf(
-      "config,attempted_K/s,achieved_injection_K/s,message_rate_K/s,"
-      "stddev_K/s\n");
-  for (const char* config : {"mpi_i", "mpi_fine_i"}) {
-    bench::RateParams params;
-    params.parcelport = config;
-    params.msg_size = 16 * 1024;
-    params.batch = 10;
-    params.total_msgs = static_cast<std::size_t>(1200 * env.scale);
-    params.attempted_rate = 0.0;
-    params.workers = env.workers;
-    bench::report_rate_point(params, env.runs);
-  }
-
-  std::printf("# 8B latency vs window\n");
-  std::printf("config,msg_size,window,latency_us,stddev_us\n");
-  for (const char* config : {"mpi_i", "mpi_fine_i"}) {
-    for (unsigned window : {1u, 8u, 32u}) {
-      bench::LatencyParams params;
-      params.parcelport = config;
-      params.msg_size = 8;
-      params.window = window;
-      params.steps = static_cast<unsigned>(40 * env.scale);
-      params.workers = env.workers;
-      bench::report_latency_point(params, env.runs);
-    }
-  }
-  return 0;
+  return bench::suites::run_suite_main("ablation_mpi_lock", argc, argv);
 }

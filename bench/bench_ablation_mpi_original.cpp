@@ -1,52 +1,9 @@
-// Ablation (§3.1 "the original version"): the pre-optimisation MPI
-// parcelport — static 512 B header that cannot piggyback the transmission
-// chunk, plus the tag-release protocol with a lock-protected free-tag list —
-// against the improved MPI parcelport the paper evaluates. The paper credits
-// the two optimisations with ~20% application speedup, dominated by the
-// header-buffer change.
-#include <cstdio>
-#include <map>
-#include <string>
-
-#include "harness.hpp"
+// Thin wrapper over the "ablation_mpi_original" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Ablation: original vs improved MPI parcelport (paper end of §3.1)",
-      "improved ('mpi') beats original ('mpi_orig') on the proxy app and on "
-      "latency for messages that now fit the dynamic header (~20% app-level "
-      "in the paper)",
-      env);
-
-  std::printf("# proxy application, Expanse profile\n");
-  std::printf("config,localities,steps_per_s,stddev\n");
-  std::map<std::string, double> app;
-  for (const char* config : {"mpi_orig", "mpi"}) {
-    bench::OctoParams params;
-    params.parcelport = config;
-    params.platform = "expanse";
-    params.localities = 4;
-    params.level = 3;
-    params.steps = static_cast<int>(2 * env.scale);
-    params.workers = 2;
-    app[config] = bench::report_octo_point(params, env.runs);
-  }
-  std::printf("# improved/original app speedup: %.3f\n",
-              app["mpi"] / app["mpi_orig"]);
-
-  std::printf("# latency, messages around the 512B header boundary\n");
-  std::printf("config,msg_size,window,latency_us,stddev_us\n");
-  for (const char* config : {"mpi_orig", "mpi", "mpi_orig_i", "mpi_i"}) {
-    for (std::size_t size : {256u, 2048u, 4096u}) {
-      bench::LatencyParams params;
-      params.parcelport = config;
-      params.msg_size = size;
-      params.window = 4;
-      params.steps = static_cast<unsigned>(40 * env.scale);
-      params.workers = env.workers;
-      bench::report_latency_point(params, env.runs);
-    }
-  }
-  return 0;
+  return bench::suites::run_suite_main("ablation_mpi_original", argc, argv);
 }

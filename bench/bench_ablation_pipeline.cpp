@@ -1,72 +1,9 @@
-// Ablation: follow-up pipeline depth — how many follow-up pieces a sender
-// connection keeps in flight at once (pd1 reproduces the old serialized
-// one-op-at-a-time walk, no suffix = unbounded). Swept on the paper's 16 KiB
-// message-rate shape (header + one zero-copy follow-up) and on multi-zchunk
-// payloads (header + 2 or 4 follow-ups) over a 4-rail fabric, where eager
-// posting lets independent pieces ride different rails concurrently.
-#include "harness.hpp"
+// Thin wrapper over the "ablation_pipeline" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Ablation: LCI follow-up pipeline depth (pd1/pd4/pd16/unbounded)",
-      "unbounded depth sustains a rate >= depth 1, and the gap grows with "
-      "the number of zero-copy chunks per message (more independent pieces "
-      "to overlap)",
-      env);
-  std::printf(
-      "depth,zchunks,config,attempted_K/s,achieved_injection_K/s,"
-      "message_rate_K/s,stddev_K/s\n");
-
-  struct Depth {
-    const char* label;   // CSV column
-    const char* config;  // parcelport name carrying the pd token
-  };
-  const Depth depths[] = {
-      {"1", "lci_psr_cq_pin_pd1_i"},
-      {"4", "lci_psr_cq_pin_pd4_i"},
-      {"16", "lci_psr_cq_pin_pd16_i"},
-      {"inf", "lci_psr_cq_pin_i"},
-  };
-
-  // 16 KiB per chunk (over the 8 KiB zero-copy threshold); zchunks=1 is the
-  // Figure 4 shape, 2 and 4 stress out-of-order piece completion.
-  for (const std::size_t zchunks : {std::size_t{1}, std::size_t{2},
-                                    std::size_t{4}}) {
-    for (const Depth& depth : depths) {
-      bench::RateParams params;
-      params.parcelport = depth.config;
-      params.msg_size = 16 * 1024;
-      params.zchunk_count = zchunks;
-      params.batch = 10;
-      params.total_msgs = static_cast<std::size_t>(800 * env.scale);
-      params.workers = env.workers;
-      params.fabric_rails = 4;
-      std::printf("%s,%zu,", depth.label, zchunks);
-      bench::report_rate_point(params, env.runs);
-    }
-  }
-
-  // Per-message view: single-chain ping-pong with multi-zchunk hops. The
-  // flood above hides per-connection serialization behind cross-message
-  // parallelism; one chain exposes it directly — with depth 1 each hop pays
-  // one piece round after another, with unbounded depth the pieces overlap
-  // across the four rails.
-  std::printf(
-      "\ndepth,zchunks,config,msg_size,window,latency_us,stddev_us\n");
-  for (const std::size_t zchunks : {std::size_t{2}, std::size_t{4}}) {
-    for (const Depth& depth : depths) {
-      bench::LatencyParams params;
-      params.parcelport = depth.config;
-      params.msg_size = 16 * 1024;
-      params.zchunk_count = zchunks;
-      params.window = 1;
-      params.steps = static_cast<unsigned>(150 * env.scale);
-      params.workers = env.workers;
-      params.fabric_rails = 4;
-      std::printf("%s,%zu,", depth.label, zchunks);
-      bench::report_latency_point(params, env.runs);
-    }
-  }
-  return 0;
+  return bench::suites::run_suite_main("ablation_pipeline", argc, argv);
 }

@@ -1,33 +1,9 @@
-// Ablation: fabric rails per directed link — the simulator-level analogue of
-// replicating low-level network resources (multiple QPs / network contexts),
-// which the paper's §7.2 identifies as the main future-work lever for
-// message rate. More rails = more independent bandwidth-serialised channels
-// and more receive-side channel try-locks to spread pollers across.
-#include "harness.hpp"
+// Thin wrapper over the "ablation_rails" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Ablation: fabric rails per link (multi-QP striping, paper §7.2)",
-      "more rails relieve per-channel serialisation for 16KiB floods; with "
-      "one rail every message of a flow funnels through one channel lock",
-      env);
-  std::printf(
-      "rails,config,attempted_K/s,achieved_injection_K/s,message_rate_K/s,"
-      "stddev_K/s\n");
-
-  for (const unsigned rails : {1u, 2u, 4u, 8u}) {
-    for (const char* config : {"lci_psr_cq_pin_i", "mpi_i"}) {
-      bench::RateParams params;
-      params.parcelport = config;
-      params.msg_size = 16 * 1024;
-      params.batch = 10;
-      params.total_msgs = static_cast<std::size_t>(800 * env.scale);
-      params.workers = env.workers;
-      params.fabric_rails = rails;
-      std::printf("%u,", rails);
-      bench::report_rate_point(params, env.runs);
-    }
-  }
-  return 0;
+  return bench::suites::run_suite_main("ablation_rails", argc, argv);
 }

@@ -1,52 +1,9 @@
-// Ablation: the HPX zero-copy serialization threshold (paper §2.2; kept at
-// its 8192-byte default throughout the paper's evaluation). The threshold
-// decides whether an argument is copied inline into the non-zero-copy chunk
-// (one message, one extra copy) or shipped as a zero-copy chunk (an extra
-// follow-up message under its own tag, rendezvous when large). Sweeping it
-// around the message size shows the inline-vs-rendezvous crossover the
-// default is meant to straddle.
-#include "harness.hpp"
+// Thin wrapper over the "ablation_zc_threshold" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Ablation: zero-copy serialization threshold (HPX default 8192)",
-      "for 4KiB payloads: a tiny threshold forces needless rendezvous "
-      "(worse latency); for 16KiB payloads: a huge threshold forces inline "
-      "copies of large data through the eager path",
-      env);
-  std::printf("# 4KiB-message latency, window 4\n");
-  std::printf("config_zc,msg_size,window,latency_us,stddev_us\n");
-  for (const std::size_t threshold : {512u, 8192u, 65536u}) {
-    for (const char* config : {"lci_psr_cq_pin_i", "mpi_i"}) {
-      bench::LatencyParams params;
-      params.parcelport = std::string(config) + "(zc=" +
-                          std::to_string(threshold) + ")";
-      params.parcelport = config;  // parsed name stays canonical
-      params.msg_size = 4096;
-      params.window = 4;
-      params.steps = static_cast<unsigned>(40 * env.scale);
-      params.workers = env.workers;
-      params.zero_copy_threshold = threshold;
-      std::printf("zc=%zu:", threshold);
-      bench::report_latency_point(params, env.runs);
-    }
-  }
-
-  std::printf("# 16KiB message rate (unlimited injection)\n");
-  std::printf(
-      "config_zc,attempted_K/s,achieved_injection_K/s,message_rate_K/s,"
-      "stddev_K/s\n");
-  for (const std::size_t threshold : {2048u, 8192u, 65536u}) {
-    bench::RateParams params;
-    params.parcelport = "lci_psr_cq_pin_i";
-    params.msg_size = 16 * 1024;
-    params.batch = 10;
-    params.total_msgs = static_cast<std::size_t>(800 * env.scale);
-    params.workers = env.workers;
-    params.zero_copy_threshold = threshold;
-    std::printf("zc=%zu:", threshold);
-    bench::report_rate_point(params, env.runs);
-  }
-  return 0;
+  return bench::suites::run_suite_main("ablation_zc_threshold", argc, argv);
 }

@@ -1,58 +1,9 @@
-// Extra (beyond the paper's figures): the TCP parcelport — HPX's original
-// backend, which the paper mentions but does not plot — against the MPI and
-// LCI parcelports. Quantifies why stream transports were abandoned for AMT
-// workloads: one ordered pipe per peer means head-of-line blocking and no
-// concurrent-message parallelism.
-#include "harness.hpp"
+// Thin wrapper over the "extra_tcp_comparison" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Extra: TCP parcelport vs MPI vs LCI",
-      "tcp trails both on message rate (every message funnels through one "
-      "ordered stream) and degrades worst as the window grows "
-      "(head-of-line blocking)",
-      env);
-
-  std::printf("# 8B message rate\n");
-  std::printf(
-      "config,attempted_K/s,achieved_injection_K/s,message_rate_K/s,"
-      "stddev_K/s\n");
-  for (const char* config : {"tcp_i", "mpi_i", "lci_psr_cq_pin_i"}) {
-    bench::RateParams params;
-    params.parcelport = config;
-    params.msg_size = 8;
-    params.batch = 100;
-    params.total_msgs = static_cast<std::size_t>(5000 * env.scale);
-    params.workers = env.workers;
-    bench::report_rate_point(params, env.runs);
-  }
-
-  std::printf("# 16KiB latency vs window\n");
-  std::printf("config,msg_size,window,latency_us,stddev_us\n");
-  for (const char* config : {"tcp_i", "mpi_i", "lci_psr_cq_pin_i"}) {
-    for (unsigned window : {1u, 8u, 32u}) {
-      bench::LatencyParams params;
-      params.parcelport = config;
-      params.msg_size = 16 * 1024;
-      params.window = window;
-      params.steps = static_cast<unsigned>(25 * env.scale);
-      params.workers = env.workers;
-      bench::report_latency_point(params, env.runs);
-    }
-  }
-
-  std::printf("# Octo-Tiger proxy, Expanse profile, 4 localities\n");
-  std::printf("config,localities,steps_per_s,stddev\n");
-  for (const char* config : {"tcp_i", "mpi_i", "lci_psr_cq_pin_i"}) {
-    bench::OctoParams params;
-    params.parcelport = config;
-    params.platform = "expanse";
-    params.localities = 4;
-    params.level = 3;
-    params.steps = static_cast<int>(2 * env.scale);
-    params.workers = 2;
-    bench::report_octo_point(params, env.runs);
-  }
-  return 0;
+  return bench::suites::run_suite_main("extra_tcp_comparison", argc, argv);
 }

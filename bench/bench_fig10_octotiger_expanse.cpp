@@ -1,48 +1,9 @@
-// Figure 10: Octo-Tiger proxy strong scaling on the Expanse-like platform
-// profile (HDR InfiniBand, Table 2) — mpi, mpi_i, and the default LCI
-// configuration. Prints steps/s plus the lci/mpi speedup columns the paper
-// plots on the right axis.
-#include <cstdio>
-#include <map>
-#include <string>
-
-#include "harness.hpp"
+// Thin wrapper over the "fig10_octotiger_expanse" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Figure 10: Octo-Tiger proxy strong scaling, Expanse profile (level "
-      "6 -> proxy level 3, 5 steps -> scaled)",
-      "lci >= mpi >= mpi_i at every node count, gap growing with nodes; "
-      "mpi_i disproportionately bad on the high-core-count platform "
-      "(blocking-lock convoy; paper: up to 13.6x)",
-      env);
-  std::printf("config,localities,steps_per_s,stddev\n");
-
-  const std::uint32_t locality_counts[] = {2, 4, 6, 8};
-  std::map<std::string, std::map<std::uint32_t, double>> results;
-  for (const char* config : {"mpi", "mpi_i", "lci_psr_cq_pin_i"}) {
-    for (std::uint32_t localities : locality_counts) {
-      bench::OctoParams params;
-      params.parcelport = config;
-      params.platform = "expanse";
-      params.localities = localities;
-      params.level = 3;
-      params.steps = static_cast<int>(2 * env.scale);
-      params.workers = 2;
-      results[config][localities] =
-          bench::report_octo_point(params, env.runs);
-    }
-  }
-
-  std::printf("# speedup columns (right axis of the paper's figure)\n");
-  std::printf("localities,lci_over_mpi,lci_over_mpi_i\n");
-  for (std::uint32_t localities : locality_counts) {
-    std::printf("%u,%.3f,%.3f\n", localities,
-                results["lci_psr_cq_pin_i"][localities] /
-                    results["mpi"][localities],
-                results["lci_psr_cq_pin_i"][localities] /
-                    results["mpi_i"][localities]);
-  }
-  return 0;
+  return bench::suites::run_suite_main("fig10_octotiger_expanse", argc, argv);
 }

@@ -1,45 +1,9 @@
-// Figure 11: Octo-Tiger proxy strong scaling on the Rostam-like platform
-// profile (FDR InfiniBand, Table 3) — mpi, mpi_i, lci, with speedups.
-#include <cstdio>
-#include <map>
-#include <string>
-
-#include "harness.hpp"
+// Thin wrapper over the "fig11_octotiger_rostam" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Figure 11: Octo-Tiger proxy strong scaling, Rostam profile (level 5 "
-      "-> proxy level 2, 5 steps -> scaled)",
-      "smaller gaps than on Expanse (fewer cores, fewer nodes): lci ~1.04x "
-      "over mpi and ~1.08x over mpi_i at the largest node count",
-      env);
-  std::printf("config,localities,steps_per_s,stddev\n");
-
-  const std::uint32_t locality_counts[] = {2, 4, 8};
-  std::map<std::string, std::map<std::uint32_t, double>> results;
-  for (const char* config : {"mpi", "mpi_i", "lci_psr_cq_pin_i"}) {
-    for (std::uint32_t localities : locality_counts) {
-      bench::OctoParams params;
-      params.parcelport = config;
-      params.platform = "rostam";
-      params.localities = localities;
-      params.level = 2;
-      params.steps = static_cast<int>(3 * env.scale);
-      params.workers = 2;
-      results[config][localities] =
-          bench::report_octo_point(params, env.runs);
-    }
-  }
-
-  std::printf("# speedup columns (right axis of the paper's figure)\n");
-  std::printf("localities,lci_over_mpi,lci_over_mpi_i\n");
-  for (std::uint32_t localities : locality_counts) {
-    std::printf("%u,%.3f,%.3f\n", localities,
-                results["lci_psr_cq_pin_i"][localities] /
-                    results["mpi"][localities],
-                results["lci_psr_cq_pin_i"][localities] /
-                    results["mpi_i"][localities]);
-  }
-  return 0;
+  return bench::suites::run_suite_main("fig11_octotiger_rostam", argc, argv);
 }

@@ -1,33 +1,9 @@
-// Figure 1: achieved message rate of 8 B messages vs attempted injection
-// rate — MPI vs LCI, with and without the send-immediate optimisation.
-#include "harness.hpp"
+// Thin wrapper over the "fig1_msgrate_8b" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Figure 1: 8B message rate vs injection rate (mpi, mpi_i, "
-      "lci_psr_cq_pin, lci_psr_cq_pin_i)",
-      "rates first track the injection rate then plateau; mpi (without "
-      "send-immediate) degrades past its peak; lci plateaus highest",
-      env);
-  std::printf(
-      "config,attempted_K/s,achieved_injection_K/s,message_rate_K/s,"
-      "stddev_K/s\n");
-
-  const double rates_kps[] = {2, 4, 8, 16, 32, 64, 0 /*unlimited*/};
-  for (const char* config :
-       {"mpi", "mpi_i", "lci_psr_cq_pin", "lci_psr_cq_pin_i"}) {
-    for (double rate : rates_kps) {
-      bench::RateParams params;
-      params.parcelport = config;
-      params.msg_size = 8;
-      params.batch = 100;  // paper's batch size for 8B
-      params.total_msgs =
-          static_cast<std::size_t>(6000 * env.scale);
-      params.attempted_rate = rate * 1e3;
-      params.workers = env.workers;
-      bench::report_rate_point(params, env.runs);
-    }
-  }
-  return 0;
+  return bench::suites::run_suite_main("fig1_msgrate_8b", argc, argv);
 }

@@ -1,33 +1,9 @@
-// Figure 2: achieved message rate of 8 B messages vs attempted injection
-// rate — the eight LCI variant combinations, all with send-immediate.
-#include "harness.hpp"
+// Thin wrapper over the "fig2_msgrate_8b_lci" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Figure 2: 8B message rate vs injection rate (8 LCI variants, _i)",
-      "pin > mt (dedicated progress thread wins, up to 2.6x); psr > sr "
-      "(one-sided put header wins, up to 3.5x); cq vs sy minor at 8B",
-      env);
-  std::printf(
-      "config,attempted_K/s,achieved_injection_K/s,message_rate_K/s,"
-      "stddev_K/s\n");
-
-  const double rates_kps[] = {4, 16, 64, 0};
-  for (const char* config :
-       {"lci_psr_cq_pin_i", "lci_psr_cq_mt_i", "lci_psr_sy_pin_i",
-        "lci_psr_sy_mt_i", "lci_sr_cq_pin_i", "lci_sr_cq_mt_i",
-        "lci_sr_sy_pin_i", "lci_sr_sy_mt_i"}) {
-    for (double rate : rates_kps) {
-      bench::RateParams params;
-      params.parcelport = config;
-      params.msg_size = 8;
-      params.batch = 100;
-      params.total_msgs = static_cast<std::size_t>(6000 * env.scale);
-      params.attempted_rate = rate * 1e3;
-      params.workers = env.workers;
-      bench::report_rate_point(params, env.runs);
-    }
-  }
-  return 0;
+  return bench::suites::run_suite_main("fig2_msgrate_8b_lci", argc, argv);
 }

@@ -1,38 +1,9 @@
-// Figure 3: highest achieved 8 B message rate across injection rates, for
-// all eleven configurations of the paper.
-#include <cstdio>
-
-#include "harness.hpp"
+// Thin wrapper over the "fig3_peak_8b" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Figure 3: peak 8B message rate across injection rates (11 configs)",
-      "lci_psr_cq_pin_i highest; all mt variants clustered well below the "
-      "pin variants; mpi variants lowest",
-      env);
-  std::printf("config,peak_message_rate_K/s\n");
-
-  const double rates_kps[] = {8, 32, 0};
-  for (const char* config :
-       {"lci_psr_cq_pin", "lci_psr_cq_pin_i", "lci_psr_cq_mt_i",
-        "lci_psr_sy_pin_i", "lci_psr_sy_mt_i", "lci_sr_cq_pin_i",
-        "lci_sr_cq_mt_i", "lci_sr_sy_pin_i", "lci_sr_sy_mt_i", "mpi",
-        "mpi_i"}) {
-    double peak = 0.0;
-    for (double rate : rates_kps) {
-      bench::RateParams params;
-      params.parcelport = config;
-      params.msg_size = 8;
-      params.batch = 100;
-      params.total_msgs = static_cast<std::size_t>(5000 * env.scale);
-      params.attempted_rate = rate * 1e3;
-      params.workers = env.workers;
-      std::printf("# ");
-      peak = std::max(peak, bench::report_rate_point(params, env.runs));
-    }
-    std::printf("%s,%.1f\n", config, peak);
-    std::fflush(stdout);
-  }
-  return 0;
+  return bench::suites::run_suite_main("fig3_peak_8b", argc, argv);
 }

@@ -1,34 +1,9 @@
-// Figure 4: achieved message rate of 16 KiB messages vs attempted injection
-// rate — MPI vs LCI, with/without send-immediate. 16 KiB exceeds the 8 KiB
-// zero-copy threshold, so each parcel travels as header + one follow-up.
-#include "harness.hpp"
+// Thin wrapper over the "fig4_msgrate_16k" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Figure 4: 16KiB message rate vs injection rate (mpi, mpi_i, "
-      "lci_psr_cq_pin, lci_psr_cq_pin_i)",
-      "lci sustains its plateau (paper: up to 30x mpi); both mpi variants' "
-      "achieved rate decays as injection pressure grows; aggregation (no _i) "
-      "does not help lci at this size",
-      env);
-  std::printf(
-      "config,attempted_K/s,achieved_injection_K/s,message_rate_K/s,"
-      "stddev_K/s\n");
-
-  const double rates_kps[] = {1, 2, 4, 8, 16, 0};
-  for (const char* config :
-       {"mpi", "mpi_i", "lci_psr_cq_pin", "lci_psr_cq_pin_i"}) {
-    for (double rate : rates_kps) {
-      bench::RateParams params;
-      params.parcelport = config;
-      params.msg_size = 16 * 1024;
-      params.batch = 10;  // paper's batch size for 16KiB
-      params.total_msgs = static_cast<std::size_t>(1200 * env.scale);
-      params.attempted_rate = rate * 1e3;
-      params.workers = env.workers;
-      bench::report_rate_point(params, env.runs);
-    }
-  }
-  return 0;
+  return bench::suites::run_suite_main("fig4_msgrate_16k", argc, argv);
 }

@@ -1,33 +1,9 @@
-// Figure 5: achieved 16 KiB message rate vs injection rate — the eight LCI
-// variants with send-immediate.
-#include "harness.hpp"
+// Thin wrapper over the "fig5_msgrate_16k_lci" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Figure 5: 16KiB message rate vs injection rate (8 LCI variants, _i)",
-      "cq variants plateau smoothly and ~25-30% above sy variants (which "
-      "oscillate); pin beats mt by 17-50%",
-      env);
-  std::printf(
-      "config,attempted_K/s,achieved_injection_K/s,message_rate_K/s,"
-      "stddev_K/s\n");
-
-  const double rates_kps[] = {2, 8, 0};
-  for (const char* config :
-       {"lci_psr_cq_pin_i", "lci_psr_cq_mt_i", "lci_psr_sy_pin_i",
-        "lci_psr_sy_mt_i", "lci_sr_cq_pin_i", "lci_sr_cq_mt_i",
-        "lci_sr_sy_pin_i", "lci_sr_sy_mt_i"}) {
-    for (double rate : rates_kps) {
-      bench::RateParams params;
-      params.parcelport = config;
-      params.msg_size = 16 * 1024;
-      params.batch = 10;
-      params.total_msgs = static_cast<std::size_t>(1200 * env.scale);
-      params.attempted_rate = rate * 1e3;
-      params.workers = env.workers;
-      bench::report_rate_point(params, env.runs);
-    }
-  }
-  return 0;
+  return bench::suites::run_suite_main("fig5_msgrate_16k_lci", argc, argv);
 }

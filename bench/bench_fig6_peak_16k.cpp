@@ -1,39 +1,9 @@
-// Figure 6: highest achieved 16 KiB message rate across injection rates,
-// all eleven configurations.
-#include <cstdio>
-
-#include "harness.hpp"
+// Thin wrapper over the "fig6_peak_16k" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Figure 6: peak 16KiB message rate across injection rates (11 "
-      "configs)",
-      "cq+pin variants on top; sy variants ~25-30% lower; mt variants "
-      "capped by progress contention; mpi variants at the bottom",
-      env);
-  std::printf("config,peak_message_rate_K/s\n");
-
-  const double rates_kps[] = {4, 0};
-  for (const char* config :
-       {"lci_psr_cq_pin", "lci_psr_cq_pin_i", "lci_psr_cq_mt_i",
-        "lci_psr_sy_pin_i", "lci_psr_sy_mt_i", "lci_sr_cq_pin_i",
-        "lci_sr_cq_mt_i", "lci_sr_sy_pin_i", "lci_sr_sy_mt_i", "mpi",
-        "mpi_i"}) {
-    double peak = 0.0;
-    for (double rate : rates_kps) {
-      bench::RateParams params;
-      params.parcelport = config;
-      params.msg_size = 16 * 1024;
-      params.batch = 10;
-      params.total_msgs = static_cast<std::size_t>(1000 * env.scale);
-      params.attempted_rate = rate * 1e3;
-      params.workers = env.workers;
-      std::printf("# ");
-      peak = std::max(peak, bench::report_rate_point(params, env.runs));
-    }
-    std::printf("%s,%.1f\n", config, peak);
-    std::fflush(stdout);
-  }
-  return 0;
+  return bench::suites::run_suite_main("fig6_peak_16k", argc, argv);
 }

@@ -1,33 +1,9 @@
-// Figure 7: single-chain (window 1) ping-pong latency vs message size, all
-// eleven configurations. The zero-copy serialization threshold stays at its
-// 8192-byte default, so sizes above 8 KiB add a rendezvous follow-up.
-#include "harness.hpp"
+// Thin wrapper over the "fig7_latency_size" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Figure 7: one-way latency vs message size, window 1 (11 configs)",
-      "lci_psr_cq_pin(_i) lowest across sizes; mpi_i competitive below 1KB "
-      "then 3-5x worse for large messages; send-immediate always helps lci "
-      "latency",
-      env);
-  std::printf("config,msg_size,window,latency_us,stddev_us\n");
-
-  const std::size_t sizes[] = {8, 64, 512, 4096, 16384, 65536};
-  for (const char* config :
-       {"lci_psr_cq_pin", "lci_psr_cq_pin_i", "lci_psr_cq_mt_i",
-        "lci_psr_sy_pin_i", "lci_psr_sy_mt_i", "lci_sr_cq_pin_i",
-        "lci_sr_cq_mt_i", "lci_sr_sy_pin_i", "lci_sr_sy_mt_i", "mpi",
-        "mpi_i"}) {
-    for (std::size_t size : sizes) {
-      bench::LatencyParams params;
-      params.parcelport = config;
-      params.msg_size = size;
-      params.window = 1;
-      params.steps = static_cast<unsigned>(60 * env.scale);
-      params.workers = env.workers;
-      bench::report_latency_point(params, env.runs);
-    }
-  }
-  return 0;
+  return bench::suites::run_suite_main("fig7_latency_size", argc, argv);
 }

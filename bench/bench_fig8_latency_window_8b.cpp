@@ -1,32 +1,9 @@
-// Figure 8: 8 B message latency vs window size (number of concurrent
-// ping-pong chains), all eleven configurations.
-#include "harness.hpp"
+// Thin wrapper over the "fig8_latency_window_8b" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Figure 8: 8B one-way latency vs window size (11 configs)",
-      "latency grows with window everywhere; lci_psr_cq_pin_i stays lowest; "
-      "mpi_i beats mpi at small windows but crosses over (paper: window 8) "
-      "as concurrency grows",
-      env);
-  std::printf("config,msg_size,window,latency_us,stddev_us\n");
-
-  const unsigned windows[] = {1, 2, 4, 8, 16, 32, 64};
-  for (const char* config :
-       {"lci_psr_cq_pin", "lci_psr_cq_pin_i", "lci_psr_cq_mt_i",
-        "lci_psr_sy_pin_i", "lci_psr_sy_mt_i", "lci_sr_cq_pin_i",
-        "lci_sr_cq_mt_i", "lci_sr_sy_pin_i", "lci_sr_sy_mt_i", "mpi",
-        "mpi_i"}) {
-    for (unsigned window : windows) {
-      bench::LatencyParams params;
-      params.parcelport = config;
-      params.msg_size = 8;
-      params.window = window;
-      params.steps = static_cast<unsigned>(40 * env.scale);
-      params.workers = env.workers;
-      bench::report_latency_point(params, env.runs);
-    }
-  }
-  return 0;
+  return bench::suites::run_suite_main("fig8_latency_window_8b", argc, argv);
 }

@@ -1,31 +1,9 @@
-// Figure 9: 16 KiB message latency vs window size, all eleven
-// configurations. Each message uses header + rendezvous follow-up.
-#include "harness.hpp"
+// Thin wrapper over the "fig9_latency_window_16k" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  const auto env = bench::Env::from_args(argc, argv);
-  bench::print_header(
-      "Figure 9: 16KiB one-way latency vs window size (11 configs)",
-      "the mpi/lci gap widens with the window (paper: mpi_i vs "
-      "lci_psr_cq_pin_i grows from 2x at window 1 to 9.6x at window 64)",
-      env);
-  std::printf("config,msg_size,window,latency_us,stddev_us\n");
-
-  const unsigned windows[] = {1, 2, 4, 8, 16, 32, 64};
-  for (const char* config :
-       {"lci_psr_cq_pin", "lci_psr_cq_pin_i", "lci_psr_cq_mt_i",
-        "lci_psr_sy_pin_i", "lci_psr_sy_mt_i", "lci_sr_cq_pin_i",
-        "lci_sr_cq_mt_i", "lci_sr_sy_pin_i", "lci_sr_sy_mt_i", "mpi",
-        "mpi_i"}) {
-    for (unsigned window : windows) {
-      bench::LatencyParams params;
-      params.parcelport = config;
-      params.msg_size = 16 * 1024;
-      params.window = window;
-      params.steps = static_cast<unsigned>(25 * env.scale);
-      params.workers = env.workers;
-      bench::report_latency_point(params, env.runs);
-    }
-  }
-  return 0;
+  return bench::suites::run_suite_main("fig9_latency_window_16k", argc, argv);
 }

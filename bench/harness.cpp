@@ -31,11 +31,23 @@ void append_json_record(std::string record) {
   std::fclose(f);
 }
 
+// Snapshot sink: captures the runtime's telemetry registry right before a
+// benchmark run tears it down (the registry dies with the runtime).
+std::function<void(const telemetry::Snapshot&)> g_snapshot_sink;
+
+void capture_snapshot(const amt::Runtime& runtime) {
+  if (g_snapshot_sink) g_snapshot_sink(runtime.telemetry().snapshot());
+}
+
 }  // namespace
 
 void set_json_output(const std::string& path) {
   g_json_path = path;
   g_json_records.clear();
+}
+
+void set_snapshot_sink(std::function<void(const telemetry::Snapshot&)> sink) {
+  g_snapshot_sink = std::move(sink);
 }
 
 Env Env::from_environment() {
@@ -132,8 +144,11 @@ RateResult run_message_rate(const RateParams& params) {
   options.fabric_rails = params.fabric_rails;
   auto runtime = amtnet::make_runtime(options);
 
-  const std::size_t n_tasks =
-      (params.total_msgs + params.batch - 1) / params.batch;
+  // Guard against total_msgs == 0 (tiny AMTNET_BENCH_SCALE rounding a
+  // count down to nothing): zero expected messages would never trip the
+  // receiver ack and the benchmark would hang forever.
+  const std::size_t wanted = params.total_msgs == 0 ? 1 : params.total_msgs;
+  const std::size_t n_tasks = (wanted + params.batch - 1) / params.batch;
   const std::size_t total = n_tasks * params.batch;
 
   g_rate_received.store(0);
@@ -185,6 +200,7 @@ RateResult run_message_rate(const RateParams& params) {
   runtime->locality(0).scheduler().wait_until(
       [] { return g_rate_done.load(std::memory_order_acquire); });
   const common::Nanos t_done = common::now_ns();
+  capture_snapshot(*runtime);
   runtime->stop();
 
   RateResult result;
@@ -331,6 +347,7 @@ double run_latency_us(const LatencyParams& params) {
     return g_chains_done.load(std::memory_order_acquire) >= params.window;
   });
   const double elapsed_us = timer.elapsed_us();
+  capture_snapshot(*runtime);
   runtime->stop();
   return elapsed_us / (2.0 * steps);
 }
@@ -369,6 +386,7 @@ double run_octo_steps_per_second(const OctoParams& params) {
   sim.level = params.level;
   sim.steps = params.steps;
   const auto report = octo::run_simulation(*runtime, sim);
+  capture_snapshot(*runtime);
   runtime->stop();
   return report.steps_per_second;
 }

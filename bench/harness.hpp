@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/registry.hpp"
+
 namespace bench {
 
 struct Env {
@@ -133,5 +135,11 @@ void print_header(const char* figure, const char* expectation,
 /// Installs (or, with an empty path, removes) the JSON record sink used by
 /// the report_* functions. Usually set via Env::from_args / --json.
 void set_json_output(const std::string& path);
+
+/// Installs a callback that receives the telemetry registry snapshot of each
+/// benchmark run, captured just before the runtime stops. The experiment
+/// driver uses it to pull per-point counters (suite telemetry probes); pass
+/// nullptr to remove. Not thread-safe vs a running benchmark.
+void set_snapshot_sink(std::function<void(const telemetry::Snapshot&)> sink);
 
 }  // namespace bench

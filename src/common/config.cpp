@@ -82,4 +82,110 @@ bool KvConfig::contains(const std::string& key) const {
   return kv_.count(key) != 0;
 }
 
+const std::vector<Knob>& knob_registry() {
+  using Kind = Knob::Kind;
+  static const std::vector<Knob> knobs = {
+      // -- benchmark / driver environment --
+      {Kind::kEnv, "AMTNET_BENCH_SCALE", "1.0",
+       "multiplies every suite's message/step counts (scaled counts are "
+       "clamped to >= 1)",
+       "all bench_* binaries, bench_suite"},
+      {Kind::kEnv, "AMTNET_BENCH_RUNS", "2",
+       "recorded repetitions per data point; the driver reports the median "
+       "of N plus mean/stddev",
+       "bench_suite --run"},
+      {Kind::kEnv, "AMTNET_BENCH_WARMUP", "1",
+       "discarded leading runs per data point (cold-start: first runtime "
+       "construction, allocator warm-up)",
+       "bench_suite --run"},
+      {Kind::kEnv, "AMTNET_BENCH_WORKERS", "8",
+       "worker threads per locality for suite points that do not pin their "
+       "own count",
+       "all bench_* binaries"},
+      {Kind::kEnv, "AMTNET_LOG", "warn",
+       "stack log level: error|warn|info|debug", "any binary"},
+      // -- telemetry --
+      {Kind::kEnv, "AMTNET_TELEMETRY", "1",
+       "0/off/false: kill switch for timing instrumentation (no clock "
+       "reads, no tracing; counters stay on)",
+       "bench_overhead_probe"},
+      {Kind::kEnv, "AMTNET_TRACE_FILE", "bench_profile_trace.json",
+       "where bench_profile writes its Chrome trace", "bench_profile"},
+      // -- LCI parcelport --
+      {Kind::kEnv, "AMTNET_LCI_PIPELINE_DEPTH", "0 (unbounded)",
+       "max in-flight follow-up pieces per connection when the config name "
+       "carries no pd<N> token",
+       "ablation_pipeline"},
+      {Kind::kEnv, "AMTNET_LCI_PACKET_CACHE", "32",
+       "per-thread packet-pool magazine capacity in minilci (0: every "
+       "allocation hits the shared free list)",
+       "bench_micro_ops"},
+      // -- fault injection (see docs/ and README for the full model) --
+      {Kind::kEnv, "AMTNET_FAULT_DROP", "0",
+       "P(drop) per two-sided datagram", "bench_chaos_sweep, test_chaos"},
+      {Kind::kEnv, "AMTNET_FAULT_DUP", "0",
+       "P(duplicate delivery) per datagram", "bench_chaos_sweep"},
+      {Kind::kEnv, "AMTNET_FAULT_CORRUPT", "0",
+       "P(single bit-flip) per payload", "bench_chaos_sweep"},
+      {Kind::kEnv, "AMTNET_FAULT_CORRUPT_MIN", "0",
+       "only corrupt payloads >= this size (bytes)", "test_chaos"},
+      {Kind::kEnv, "AMTNET_FAULT_DELAY", "0",
+       "P(latency spike) per packet", "bench_chaos_sweep"},
+      {Kind::kEnv, "AMTNET_FAULT_DELAY_US", "50",
+       "latency-spike magnitude (microseconds)", "bench_chaos_sweep"},
+      {Kind::kEnv, "AMTNET_FAULT_BROWNOUT", "0",
+       "P(entering a brownout) per post", "bench_chaos_sweep"},
+      {Kind::kEnv, "AMTNET_FAULT_BROWNOUT_POSTS", "64",
+       "posts rejected (kRetry) per brownout", "test_chaos"},
+      {Kind::kEnv, "AMTNET_FAULT_RNR", "0",
+       "P(entering an RNR storm) per poll", "bench_chaos_sweep"},
+      {Kind::kEnv, "AMTNET_FAULT_RNR_POLLS", "32",
+       "polls stalled per RNR storm", "test_chaos"},
+      {Kind::kEnv, "AMTNET_FAULT_SEED", "fixed constant",
+       "seed of the deterministic fault streams (any u64)", "test_chaos"},
+      {Kind::kEnv, "AMTNET_FAULT_INTEGRITY", "0",
+       "1: arm the CRC/sequence integrity layer with all fault "
+       "probabilities 0",
+       "bench_chaos_sweep"},
+      {Kind::kEnv, "AMTNET_CHAOS_SEEDS", "1..8 in CI",
+       "comma-separated seed sweep for the chaos test harness",
+       "test_chaos"},
+      // -- parcelport config-name tokens (Table 1 + ablations) --
+      {Kind::kConfigToken, "mpi | lci | tcp", "lci",
+       "backend selection prefix of the configuration name",
+       "fig1_msgrate_8b"},
+      {Kind::kConfigToken, "psr | sr", "psr",
+       "LCI header protocol: one-sided dynamic put vs two-sided send/recv",
+       "fig2_msgrate_8b_lci"},
+      {Kind::kConfigToken, "cq | sy", "cq",
+       "LCI completion mechanism: completion queue vs synchronizer",
+       "fig5_msgrate_16k_lci"},
+      {Kind::kConfigToken, "pin | mt", "pin",
+       "progress engine: dedicated pinned thread vs idle worker threads "
+       "(paper alias: rp = pin)",
+       "fig2_msgrate_8b_lci"},
+      {Kind::kConfigToken, "_i", "off",
+       "send-immediate: bypass the parcel queue and connection cache",
+       "ablation_aggregation"},
+      {Kind::kConfigToken, "pd<N>", "unbounded",
+       "LCI follow-up pipeline depth (pd1 = serialized one-op walk, "
+       "pdinf/no token = unbounded)",
+       "ablation_pipeline"},
+      {Kind::kConfigToken, "fine", "off (coarse)",
+       "fine-grained progress lock in the MPI/UCX layer",
+       "ablation_mpi_lock"},
+      {Kind::kConfigToken, "orig", "off (improved)",
+       "pre-optimisation MPI parcelport (static 512B header, tag-release "
+       "protocol)",
+       "ablation_mpi_original"},
+      // -- CMake options --
+      {Kind::kCMake, "AMTNET_TELEMETRY_DISABLED", "OFF",
+       "compile every telemetry primitive to an inline no-op",
+       "bench_overhead_probe"},
+      {Kind::kCMake, "AMTNET_SANITIZE", "off",
+       "thread|address sanitizer build", "CI tsan job"},
+  };
+  return knobs;
+}
+
 }  // namespace common

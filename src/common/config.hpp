@@ -34,4 +34,28 @@ class KvConfig {
 /// Splits on a delimiter, trimming whitespace from each piece.
 std::vector<std::string> split_trim(const std::string& text, char delim);
 
+// ---- introspectable knob registry -----------------------------------------
+//
+// Every tuning surface of the stack — AMTNET_* environment variables,
+// parcelport config-name tokens, CMake options — is declared here once, with
+// its default, what it does, and which benchmark demonstrates it. The
+// experiment driver enumerates this table to build config matrices and
+// `bench_suite --render` generates the knob tables in docs/tuning.md from
+// it, so the documentation cannot drift from the knobs the code reads
+// (tests/test_expdriver.cpp asserts every AMTNET_* getenv in the tree is
+// registered).
+
+struct Knob {
+  enum class Kind { kEnv, kConfigToken, kCMake };
+  Kind kind;
+  std::string name;           // "AMTNET_BENCH_SCALE", "pd<N>", ...
+  std::string default_value;  // human-readable default
+  std::string description;
+  std::string demo;           // benchmark / suite that demonstrates it
+};
+
+/// The full knob table, in stable documentation order (env vars, then
+/// config tokens, then CMake options).
+const std::vector<Knob>& knob_registry();
+
 }  // namespace common

@@ -1,0 +1,122 @@
+#include "expdriver/compare.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace expdriver {
+
+namespace {
+
+std::string labels_to_string(const Labels& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) out += ' ';
+    out += key + "=" + value;
+  }
+  return out;
+}
+
+const PointResult* find_point(const SuiteResult& result,
+                              const Labels& labels) {
+  for (const auto& point : result.points) {
+    if (point.labels == labels) return &point;
+  }
+  return nullptr;
+}
+
+MetricSpec policy_for(const SuiteSpec* spec, const std::string& name) {
+  if (spec != nullptr) return metric_spec_for(*spec, name);
+  static const SuiteSpec empty;
+  return metric_spec_for(empty, name);
+}
+
+}  // namespace
+
+CompareReport compare_results(const SuiteSpec* spec,
+                              const SuiteResult& baseline,
+                              const SuiteResult& current,
+                              const CompareOptions& options) {
+  CompareReport report;
+  char buf[512];
+
+  if (baseline.schema != current.schema) {
+    std::snprintf(buf, sizeof(buf), "schema mismatch: baseline %s vs %s",
+                  baseline.schema.c_str(), current.schema.c_str());
+    report.regressions.push_back(buf);
+    return report;
+  }
+  if (baseline.suite != current.suite) {
+    std::snprintf(buf, sizeof(buf), "suite mismatch: baseline %s vs %s",
+                  baseline.suite.c_str(), current.suite.c_str());
+    report.regressions.push_back(buf);
+    return report;
+  }
+  // Comparing runs at different scales or worker counts compares different
+  // experiments; repetitions may differ (the median absorbs that).
+  if (baseline.env.scale != current.env.scale ||
+      baseline.env.workers != current.env.workers) {
+    std::snprintf(buf, sizeof(buf),
+                  "run environment mismatch: baseline scale=%g workers=%u vs "
+                  "scale=%g workers=%u",
+                  baseline.env.scale, baseline.env.workers, current.env.scale,
+                  current.env.workers);
+    report.regressions.push_back(buf);
+    return report;
+  }
+
+  for (const PointResult& base_point : baseline.points) {
+    const PointResult* cur_point = find_point(current, base_point.labels);
+    if (cur_point == nullptr) {
+      std::snprintf(buf, sizeof(buf), "[%s] point disappeared",
+                    labels_to_string(base_point.labels).c_str());
+      report.regressions.push_back(buf);
+      continue;
+    }
+    for (const auto& [name, base_metric] : base_point.metrics) {
+      const MetricSpec policy = policy_for(spec, name);
+      if (!policy.gate) continue;
+      const MetricResult* cur_metric = cur_point->metric(name);
+      if (cur_metric == nullptr) {
+        std::snprintf(buf, sizeof(buf), "[%s] metric %s disappeared",
+                      labels_to_string(base_point.labels).c_str(),
+                      name.c_str());
+        report.regressions.push_back(buf);
+        continue;
+      }
+      const double tolerance = policy.rel_tolerance * options.tolerance_scale;
+      const double base = base_metric.median;
+      const double cur = cur_metric->median;
+      if (!(std::isfinite(base) && std::isfinite(cur)) || base == 0.0) {
+        std::snprintf(buf, sizeof(buf),
+                      "[%s] %s not comparable (baseline %.3f, current %.3f)",
+                      labels_to_string(base_point.labels).c_str(), name.c_str(),
+                      base, cur);
+        report.notes.push_back(buf);
+        continue;
+      }
+      const double ratio = cur / base;
+      const bool worse = policy.lower_is_better ? ratio > 1.0 + tolerance
+                                                : ratio < 1.0 - tolerance;
+      const bool better = policy.lower_is_better ? ratio < 1.0 - tolerance
+                                                 : ratio > 1.0 + tolerance;
+      if (worse) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "[%s] %s regressed: median %.3f -> %.3f (%+.1f%%, tolerance "
+            "±%.0f%%)",
+            labels_to_string(base_point.labels).c_str(), name.c_str(), base,
+            cur, (ratio - 1.0) * 100.0, tolerance * 100.0);
+        report.regressions.push_back(buf);
+      } else if (better) {
+        std::snprintf(buf, sizeof(buf),
+                      "[%s] %s improved: median %.3f -> %.3f (%+.1f%%)",
+                      labels_to_string(base_point.labels).c_str(),
+                      name.c_str(), base, cur, (ratio - 1.0) * 100.0);
+        report.notes.push_back(buf);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace expdriver

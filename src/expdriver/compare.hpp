@@ -1,0 +1,34 @@
+// Noise-aware baseline comparator behind `bench_suite --check`: medians of
+// the current run vs a committed baseline, per-metric relative tolerance
+// bands, direction-aware (only changes in the *worse* direction fail).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expdriver/experiment.hpp"
+
+namespace expdriver {
+
+struct CompareOptions {
+  /// Multiplies every metric's tolerance band; CI gates run wide (machine-
+  /// to-machine variance), local checks run at 1.0.
+  double tolerance_scale = 1.0;
+};
+
+struct CompareReport {
+  std::vector<std::string> regressions;   // non-empty => gate fails
+  std::vector<std::string> notes;         // improvements, skipped metrics
+  bool failed() const { return !regressions.empty(); }
+};
+
+/// Compares `current` against `baseline` for the suite described by `spec`
+/// (nullptr: per-kind default metric policy only). Schema or run-environment
+/// mismatches and disappearing points are regressions — a gate that
+/// silently compares different experiments is worse than one that fails.
+CompareReport compare_results(const SuiteSpec* spec,
+                              const SuiteResult& baseline,
+                              const SuiteResult& current,
+                              const CompareOptions& options = {});
+
+}  // namespace expdriver

@@ -1,0 +1,27 @@
+// Suite execution: the uniform warmup + median-of-N repetition policy every
+// registered benchmark shares (previously each bench main hand-rolled its
+// own loop, with diverging counts and no warmup at all).
+#pragma once
+
+#include "expdriver/experiment.hpp"
+
+namespace expdriver {
+
+struct DriveOptions {
+  bool print_csv = true;  // per-point CSV rows grouped by benchmark shape
+};
+
+/// Runs every point of `spec` through `runner`: `env.warmup` discarded
+/// runs, then `env.repetitions` recorded samples per point. The returned
+/// result carries median/mean/stddev plus the raw samples per metric and
+/// injects a "kind" label into every point.
+SuiteResult run_suite(const SuiteSpec& spec, const RunEnv& env,
+                      const PointRunner& runner,
+                      const DriveOptions& options = {});
+
+/// Scales a base count by env.scale, clamped to >= 1 (a scale small enough
+/// to round a count to zero previously hung the rate benchmark and divided
+/// by zero in the proxy app).
+std::size_t scaled_count(std::size_t base, double scale);
+
+}  // namespace expdriver

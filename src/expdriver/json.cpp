@@ -1,0 +1,302 @@
+#include "expdriver/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace expdriver {
+
+Json Json::boolean(bool value) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::number(double value) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = value;
+  return j;
+}
+
+Json Json::string(std::string value) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(value);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::set(std::string key, Json value) {
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string json_number_to_string(double value) {
+  char buf[64];
+  // Integral values (the common case: counts, sizes) print as integers so
+  // the emitted files stay human-diffable; everything else keeps 17
+  // significant digits for exact round-tripping.
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  return buf;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void dump_value(const Json& j, std::string& out) {
+  switch (j.type()) {
+    case Json::Type::kNull: out += "null"; break;
+    case Json::Type::kBool: out += j.as_bool() ? "true" : "false"; break;
+    case Json::Type::kNumber: out += json_number_to_string(j.as_number()); break;
+    case Json::Type::kString:
+      out += '"';
+      append_escaped(out, j.as_string());
+      out += '"';
+      break;
+    case Json::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& item : j.items()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case Json::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : j.members()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        append_escaped(out, key);
+        out += "\":";
+        dump_value(value, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+struct Parser {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool literal(const char* word) {
+    const char* q = word;
+    const char* save = p;
+    while (*q != '\0') {
+      if (p >= end || *p != *q) {
+        p = save;
+        return false;
+      }
+      ++p;
+      ++q;
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    out.clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return false;
+        switch (*p) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (end - p < 5) return false;
+            char hex[5] = {p[1], p[2], p[3], p[4], '\0'};
+            const long code = std::strtol(hex, nullptr, 16);
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else {  // good enough for the control chars we escape
+              out += '?';
+            }
+            p += 4;
+            break;
+          }
+          default: return false;
+        }
+        ++p;
+      } else {
+        out += *p++;
+      }
+    }
+    if (p >= end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(Json& out) {
+    skip_ws();
+    if (p >= end) return false;
+    if (*p == '{') {
+      ++p;
+      out = Json::object();
+      skip_ws();
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (p >= end || *p != ':') return false;
+        ++p;
+        Json value;
+        if (!parse_value(value)) return false;
+        out.set(std::move(key), std::move(value));
+        skip_ws();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (*p == '[') {
+      ++p;
+      out = Json::array();
+      skip_ws();
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        Json value;
+        if (!parse_value(value)) return false;
+        out.push_back(std::move(value));
+        skip_ws();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        if (p < end && *p == ']') {
+          ++p;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (*p == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = Json::string(std::move(s));
+      return true;
+    }
+    if (literal("true")) {
+      out = Json::boolean(true);
+      return true;
+    }
+    if (literal("false")) {
+      out = Json::boolean(false);
+      return true;
+    }
+    if (literal("null")) {
+      out = Json::null();
+      return true;
+    }
+    // number
+    char* num_end = nullptr;
+    const double value = std::strtod(p, &num_end);
+    if (num_end == p || num_end > end) return false;
+    p = num_end;
+    out = Json::number(value);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+std::optional<Json> Json::parse(const std::string& text) {
+  Parser parser{text.data(), text.data() + text.size()};
+  Json value;
+  if (!parser.parse_value(value)) return std::nullopt;
+  parser.skip_ws();
+  if (parser.p != parser.end) return std::nullopt;
+  return value;
+}
+
+}  // namespace expdriver

@@ -1,0 +1,66 @@
+// Minimal JSON value + recursive-descent parser for the experiment driver.
+// Covers exactly the subset the driver emits (objects, arrays, strings,
+// doubles, bools, null); object members preserve insertion order so a
+// parse→serialize pass is deterministic. Not a general-purpose library —
+// no surrogate-pair decoding, numbers are always doubles.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace expdriver {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  static Json null() { return Json(); }
+  static Json boolean(bool value);
+  static Json number(double value);
+  static Json string(std::string value);
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  // Accessors return a neutral fallback on type mismatch; callers that need
+  // to distinguish check type() first.
+  bool as_bool() const { return type_ == Type::kBool && bool_; }
+  double as_number() const { return type_ == Type::kNumber ? number_ : 0.0; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<Json>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  void push_back(Json value) { items_.push_back(std::move(value)); }
+  void set(std::string key, Json value);
+
+  /// Compact single-line serialization. Doubles use %.17g so every value
+  /// survives a parse→serialize round trip bit-exactly.
+  std::string dump() const;
+
+  /// Parses `text`; std::nullopt on any syntax error or trailing garbage.
+  static std::optional<Json> parse(const std::string& text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Formats a double the way the driver serializes it (%.17g, with integral
+/// values printed without exponent/decimals where possible).
+std::string json_number_to_string(double value);
+
+}  // namespace expdriver

@@ -1,0 +1,33 @@
+// Process-wide suite registry. Suites are registered once (idempotently, by
+// name) in registration order, which the docs renderer preserves so
+// generated tables follow the paper's figure numbering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expdriver/experiment.hpp"
+
+namespace expdriver {
+
+class SuiteRegistry {
+ public:
+  static SuiteRegistry& instance();
+
+  /// Registers (or replaces, matching by name) one suite.
+  void add(SuiteSpec spec);
+
+  /// nullptr when unknown.
+  const SuiteSpec* find(const std::string& name) const;
+
+  /// All suites in registration order.
+  std::vector<const SuiteSpec*> all() const;
+
+  /// The pinned CI regression-gate subset (spec.smoke == true).
+  std::vector<const SuiteSpec*> smoke() const;
+
+ private:
+  std::vector<SuiteSpec> suites_;
+};
+
+}  // namespace expdriver

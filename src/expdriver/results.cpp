@@ -1,0 +1,143 @@
+#include "expdriver/results.hpp"
+
+#include <cstdio>
+
+#include "expdriver/json.hpp"
+
+namespace expdriver {
+
+std::string results_file_name(const std::string& suite_name) {
+  return "BENCH_" + suite_name + ".json";
+}
+
+namespace {
+
+Json point_to_json(const PointResult& point) {
+  Json j = Json::object();
+  Json labels = Json::object();
+  for (const auto& [key, value] : point.labels) {
+    labels.set(key, Json::string(value));
+  }
+  j.set("labels", std::move(labels));
+  Json metrics = Json::object();
+  for (const auto& [name, metric] : point.metrics) {
+    Json m = Json::object();
+    m.set("median", Json::number(metric.median));
+    m.set("mean", Json::number(metric.mean));
+    m.set("stddev", Json::number(metric.stddev));
+    Json samples = Json::array();
+    for (double s : metric.samples) samples.push_back(Json::number(s));
+    m.set("samples", std::move(samples));
+    metrics.set(name, std::move(m));
+  }
+  j.set("metrics", std::move(metrics));
+  return j;
+}
+
+}  // namespace
+
+std::string results_to_json(const SuiteResult& result) {
+  std::string out = "{\n";
+  out += "  \"schema\": " + Json::string(result.schema).dump() + ",\n";
+  out += "  \"suite\": " + Json::string(result.suite).dump() + ",\n";
+  out += "  \"figure\": " + Json::string(result.figure).dump() + ",\n";
+  out += "  \"env\": {\"scale\": " + json_number_to_string(result.env.scale) +
+         ", \"repetitions\": " + std::to_string(result.env.repetitions) +
+         ", \"warmup\": " + std::to_string(result.env.warmup) +
+         ", \"workers\": " + std::to_string(result.env.workers) + "},\n";
+  out += "  \"points\": [";
+  bool first = true;
+  for (const PointResult& point : result.points) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += point_to_json(point).dump();
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::optional<SuiteResult> results_from_json(const std::string& text) {
+  const auto parsed = Json::parse(text);
+  if (!parsed || parsed->type() != Json::Type::kObject) return std::nullopt;
+  const Json* schema = parsed->find("schema");
+  if (schema == nullptr || schema->as_string() != kResultSchema) {
+    return std::nullopt;
+  }
+  SuiteResult result;
+  result.schema = schema->as_string();
+  if (const Json* suite = parsed->find("suite")) {
+    result.suite = suite->as_string();
+  }
+  if (const Json* figure = parsed->find("figure")) {
+    result.figure = figure->as_string();
+  }
+  if (const Json* env = parsed->find("env")) {
+    if (const Json* v = env->find("scale")) result.env.scale = v->as_number();
+    if (const Json* v = env->find("repetitions")) {
+      result.env.repetitions = static_cast<int>(v->as_number());
+    }
+    if (const Json* v = env->find("warmup")) {
+      result.env.warmup = static_cast<int>(v->as_number());
+    }
+    if (const Json* v = env->find("workers")) {
+      result.env.workers = static_cast<unsigned>(v->as_number());
+    }
+  }
+  const Json* points = parsed->find("points");
+  if (points == nullptr || points->type() != Json::Type::kArray) {
+    return std::nullopt;
+  }
+  for (const Json& point_json : points->items()) {
+    PointResult point;
+    if (const Json* labels = point_json.find("labels")) {
+      for (const auto& [key, value] : labels->members()) {
+        point.labels[key] = value.as_string();
+      }
+    }
+    if (const Json* metrics = point_json.find("metrics")) {
+      for (const auto& [name, metric_json] : metrics->members()) {
+        MetricResult metric;
+        if (const Json* v = metric_json.find("median")) {
+          metric.median = v->as_number();
+        }
+        if (const Json* v = metric_json.find("mean")) {
+          metric.mean = v->as_number();
+        }
+        if (const Json* v = metric_json.find("stddev")) {
+          metric.stddev = v->as_number();
+        }
+        if (const Json* samples = metric_json.find("samples")) {
+          for (const Json& s : samples->items()) {
+            metric.samples.push_back(s.as_number());
+          }
+        }
+        point.metrics.emplace_back(name, std::move(metric));
+      }
+    }
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string content;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  return content;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return written == content.size();
+}
+
+}  // namespace expdriver

@@ -1,0 +1,25 @@
+// SuiteResult <-> schema-versioned JSON (the BENCH_<suite>.json files), plus
+// the small file helpers every consumer shares.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "expdriver/experiment.hpp"
+
+namespace expdriver {
+
+/// Pretty-printed (one point per line), deterministic serialization:
+/// serializing the parse of a serialized result reproduces it byte-for-byte.
+std::string results_to_json(const SuiteResult& result);
+
+/// std::nullopt on malformed JSON or a schema this build does not speak.
+std::optional<SuiteResult> results_from_json(const std::string& text);
+
+/// Canonical file name for a suite's results.
+std::string results_file_name(const std::string& suite_name);
+
+std::optional<std::string> read_file(const std::string& path);
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace expdriver

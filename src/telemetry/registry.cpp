@@ -96,6 +96,27 @@ std::string Snapshot::to_csv() const {
   return out;
 }
 
+std::string Snapshot::to_json(
+    const std::map<std::string, std::string>& tags) const {
+  std::string out = "{\"schema\":\"";
+  out += kJsonSchema;
+  out += "\",\"tags\":{";
+  bool first = true;
+  for (const auto& [key, value] : tags) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, key);
+    out += "\":\"";
+    append_json_escaped(out, value);
+    out += '"';
+  }
+  out += "},\"metrics\":";
+  out += to_json();
+  out += '}';
+  return out;
+}
+
 std::string Snapshot::to_json() const {
   std::string out = "{\"counters\":{";
   char buf[128];

@@ -53,6 +53,12 @@ struct Snapshot {
   std::string to_csv() const;
   /// Single JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string to_json() const;
+  /// Schema-versioned export for downstream tooling (the experiment driver
+  /// stores one per benchmark point): {"schema":"amtnet-telemetry-v1",
+  /// "tags":{...},"counters":...}. Tags identify the run that produced the
+  /// snapshot (suite, point labels, seed, ...).
+  static constexpr const char* kJsonSchema = "amtnet-telemetry-v1";
+  std::string to_json(const std::map<std::string, std::string>& tags) const;
 };
 
 #ifndef AMTNET_TELEMETRY_DISABLED
