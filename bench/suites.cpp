@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -166,6 +167,46 @@ void print_mpi_original_speedup(const SuiteResult& result) {
                 improved / original);
     std::fflush(stdout);
   }
+}
+
+/// Progress-engine ablation view: per config (completion x tickets x
+/// shards), the rate_kps median at each pinned worker count — the scaling
+/// curves the ablation argues over.
+void print_progress_scaling(const SuiteResult& result) {
+  // variant -> workers -> rate, insertion-ordered by first appearance.
+  std::vector<std::pair<std::string, std::map<int, double>>> rows;
+  for (const auto& point : result.points) {
+    const auto config = point.labels.find("config");
+    const auto workers = point.labels.find("workers");
+    const auto* rate = point.metric("rate_kps");
+    if (config == point.labels.end() || workers == point.labels.end() ||
+        rate == nullptr) {
+      continue;
+    }
+    auto it = std::find_if(rows.begin(), rows.end(), [&](const auto& row) {
+      return row.first == config->second;
+    });
+    if (it == rows.end()) {
+      rows.push_back({config->second, {}});
+      it = rows.end() - 1;
+    }
+    it->second[std::atoi(workers->second.c_str())] = rate->median;
+  }
+  std::printf("\n# 16KiB flood rate (K/s) by progress-pool width\n");
+  std::printf("config,w1,w2,w4,w8\n");
+  for (const auto& [config, by_workers] : rows) {
+    std::printf("%s", config.c_str());
+    for (int workers : {1, 2, 4, 8}) {
+      const auto rate = by_workers.find(workers);
+      if (rate == by_workers.end()) {
+        std::printf(",-");
+      } else {
+        std::printf(",%.1f", rate->second);
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
 }
 
 // ---- suite definitions ----------------------------------------------------
@@ -548,6 +589,66 @@ SuiteSpec ablation_pipeline() {
   return s;
 }
 
+SuiteSpec ablation_progress() {
+  SuiteSpec s;
+  s.name = "ablation_progress";
+  s.binary = "bench_ablation_progress";
+  s.figure = "progress-engine scaling ablation";
+  s.title =
+      "mt progress scaling: rendezvous shards x progress tickets x workers";
+  s.expectation =
+      "with sharded rendezvous state the 16KiB flood rate holds or improves "
+      "as idle workers join the mt progress pool, while the rs1 single-table "
+      "baseline flattens first; a small ticket bound (pt1/pt2) keeps most of "
+      "the unbounded rate without the full polling herd (progress_skips "
+      "counts the turned-away pollers)";
+  s.smoke = true;
+  struct Tickets {
+    const char* label;
+    const char* token;  // appended after _mt; "" = unbounded (no token)
+  };
+  const std::vector<Tickets> tickets = {{"1", "_pt1"},
+                                        {"2", "_pt2"},
+                                        {"inf", ""}};
+  for (const char* comp : {"cq", "sy"}) {
+    for (const Tickets& ticket : tickets) {
+      for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        const std::string config =
+            std::string("lci_psr_") + comp + "_mt" + ticket.token + "_i";
+        PointSpec p = rate_point(config, 16 * 1024, 10, k16kFloodMsgs, 0.0);
+        p.workers = workers;
+        p.fabric_rails = 4;
+        // Four zero-copy chunks per message: every parcel drives four
+        // concurrent rendezvous handshakes through the shared tables, so
+        // the point measures progress-path contention, not fabric copies.
+        p.zchunk_count = 4;
+        p.labels["comp"] = comp;
+        p.labels["tickets"] = ticket.label;
+        p.labels["workers"] = std::to_string(workers);
+        s.points.push_back(std::move(p));
+      }
+    }
+  }
+  // The pre-sharding baseline: one global rendezvous table (rs1), every
+  // idle worker polling (ptinf). The scaling gap against the rows above is
+  // the ablation's headline.
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    PointSpec p =
+        rate_point("lci_psr_cq_mt_rs1_i", 16 * 1024, 10, k16kFloodMsgs, 0.0);
+    p.workers = workers;
+    p.fabric_rails = 4;
+    p.zchunk_count = 4;
+    p.labels["comp"] = "cq";
+    p.labels["tickets"] = "inf";
+    p.labels["shards"] = "1";
+    p.labels["workers"] = std::to_string(workers);
+    s.points.push_back(std::move(p));
+  }
+  s.probes = {{"progress_skips", "pplci/", "/progress_skips"}};
+  s.post_summary = print_progress_scaling;
+  return s;
+}
+
 SuiteSpec extra_tcp_comparison() {
   SuiteSpec s;
   s.name = "extra_tcp_comparison";
@@ -595,6 +696,7 @@ void register_all() {
     registry.add(ablation_aggregation());
     registry.add(ablation_rails());
     registry.add(ablation_pipeline());
+    registry.add(ablation_progress());
     registry.add(extra_tcp_comparison());
     return true;
   }();

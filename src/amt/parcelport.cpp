@@ -43,6 +43,25 @@ ParcelportConfig ParcelportConfig::parse(const std::string& name) {
             "pipeline depth must be >= 1 (use pdinf for unbounded): " + name);
       }
       config.lci_pipeline_depth = depth;
+    } else if (token == "ptinf") {
+      config.lci_progress_threads = 0;
+    } else if (token.size() > 2 && token.compare(0, 2, "pt") == 0 &&
+               token.find_first_not_of("0123456789", 2) == std::string::npos) {
+      const unsigned long threads = std::stoul(token.substr(2));
+      if (threads == 0) {
+        throw std::invalid_argument(
+            "progress-ticket bound must be >= 1 (use ptinf for unbounded): " +
+            name);
+      }
+      config.lci_progress_threads = threads;
+    } else if (token.size() > 2 && token.compare(0, 2, "rs") == 0 &&
+               token.find_first_not_of("0123456789", 2) == std::string::npos) {
+      const unsigned long shards = std::stoul(token.substr(2));
+      if (shards == 0) {
+        throw std::invalid_argument(
+            "rendezvous shard count must be >= 1: " + name);
+      }
+      config.lci_rdv_shards = shards;
     } else if (token == "fine") {
       config.mpi_coarse_lock = false;
     } else if (token == "orig") {
@@ -74,6 +93,12 @@ std::string ParcelportConfig::name() const {
     out += (progress == ProgressType::kPinned) ? "_pin" : "_mt";
     if (lci_pipeline_depth > 0) {
       out += "_pd" + std::to_string(lci_pipeline_depth);
+    }
+    if (lci_progress_threads > 0) {
+      out += "_pt" + std::to_string(lci_progress_threads);
+    }
+    if (lci_rdv_shards > 0) {
+      out += "_rs" + std::to_string(lci_rdv_shards);
     }
   }
   if (send_immediate) out += "_i";

@@ -40,6 +40,19 @@ struct ParcelportConfig {
   /// AMTNET_LCI_PIPELINE_DEPTH when the name leaves it unbounded.
   std::size_t lci_pipeline_depth = 0;
 
+  /// LCI progress-ticket bound: max threads polling the NIC concurrently in
+  /// mt mode (excess callers skip cheaply). 0 = unbounded (every idle
+  /// worker polls, the pre-ticket behaviour). Parsed from a "pt<K>" token
+  /// ("ptinf" = unbounded); overridable by AMTNET_LCI_PROGRESS_THREADS when
+  /// the name leaves it unbounded.
+  std::size_t lci_progress_threads = 0;
+
+  /// LCI rendezvous-state shard count ("rs<N>"; rounded up to a power of
+  /// two by minilci). 0 = the device default; rs1 reproduces the single
+  /// global-table baseline for the progress ablation. Overridable by
+  /// AMTNET_LCI_RDV_SHARDS when absent from the name.
+  std::size_t lci_rdv_shards = 0;
+
   // MPI-parcelport ablation knobs (beyond Table 1):
   bool mpi_coarse_lock = true;  // "fine" clears it (lock-granularity ablation)
   bool mpi_original = false;    // "orig": pre-optimisation MPI parcelport

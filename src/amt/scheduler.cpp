@@ -131,13 +131,29 @@ void Scheduler::worker_loop(unsigned index) {
   tls_worker.scheduler = this;
   tls_worker.index = index;
   common::set_current_thread_name(name_ + "-w" + std::to_string(index));
+  // Adaptive idle backoff: a worker that has gone many consecutive
+  // iterations without a task or background progress polls the background
+  // hook on only one iteration in four, yielding in between. Idle fleets
+  // stay off the parcelport's shared progress path, while the first real
+  // task or completion resets the streak immediately; no sleeping, so
+  // wakeup latency stays at one yield.
+  constexpr unsigned kIdleStreakGate = 16;
+  unsigned idle_streak = 0;
   while (!stopping_.load(std::memory_order_relaxed)) {
-    if (run_one()) continue;
-    // Idle: perform communication background work, like an HPX worker.
-    if (background_ != nullptr) {
-      ctr_background_polls_.add();
-      if (background_(index)) continue;
+    if (run_one()) {
+      idle_streak = 0;
+      continue;
     }
+    // Idle: perform communication background work, like an HPX worker.
+    if (background_ != nullptr &&
+        (idle_streak < kIdleStreakGate || (idle_streak & 3u) == 0)) {
+      ctr_background_polls_.add();
+      if (background_(index)) {
+        idle_streak = 0;
+        continue;
+      }
+    }
+    if (idle_streak < ~0u) ++idle_streak;
     std::this_thread::yield();
   }
   tls_worker.scheduler = nullptr;

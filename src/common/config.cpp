@@ -120,6 +120,18 @@ const std::vector<Knob>& knob_registry() {
        "per-thread packet-pool magazine capacity in minilci (0: every "
        "allocation hits the shared free list)",
        "bench_micro_ops"},
+      {Kind::kEnv, "AMTNET_LCI_PROGRESS_THREADS", "0 (unbounded)",
+       "max worker threads polling the NIC concurrently in mt mode (the "
+       "progress-ticket bound) when the config name carries no pt<K> token",
+       "ablation_progress"},
+      {Kind::kEnv, "AMTNET_LCI_RDV_SHARDS", "16",
+       "rendezvous-state table shards in minilci (rounded up to a power of "
+       "two; 1 = single global table) when the name carries no rs<N> token",
+       "ablation_progress"},
+      {Kind::kEnv, "AMTNET_REL_SCAN_QUANTUM", "64",
+       "progress ticks between retransmit scans in the reliability layer "
+       "(0: scan on every progress call)",
+       "bench_chaos_sweep"},
       // -- fault injection (see docs/ and README for the full model) --
       {Kind::kEnv, "AMTNET_FAULT_DROP", "0",
        "P(drop) per two-sided datagram", "bench_chaos_sweep, test_chaos"},
@@ -171,6 +183,14 @@ const std::vector<Knob>& knob_registry() {
        "LCI follow-up pipeline depth (pd1 = serialized one-op walk, "
        "pdinf/no token = unbounded)",
        "ablation_pipeline"},
+      {Kind::kConfigToken, "pt<K>", "unbounded",
+       "LCI progress-ticket bound: max concurrent NIC pollers in mt mode "
+       "(ptinf/no token = every idle worker polls)",
+       "ablation_progress"},
+      {Kind::kConfigToken, "rs<N>", "16",
+       "LCI rendezvous-state shard count (rs1 = the single global-table "
+       "baseline)",
+       "ablation_progress"},
       {Kind::kConfigToken, "fine", "off (coarse)",
        "fine-grained progress lock in the MPI/UCX layer",
        "ablation_mpi_lock"},

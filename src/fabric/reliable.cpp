@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <string>
@@ -17,6 +18,13 @@ namespace {
 
 std::string ep_metric(const char* layer, Rank rank, const char* leaf) {
   return std::string("reliable/") + layer + std::to_string(rank) + "/" + leaf;
+}
+
+std::uint64_t resolve_scan_quantum() {
+  if (const char* s = std::getenv("AMTNET_REL_SCAN_QUANTUM")) {
+    return std::strtoull(s, nullptr, 10);
+  }
+  return 64;  // kRtoBaseTicks / 8: worst case adds 12.5% to the base RTO
 }
 
 std::uint32_t trailer_crc(const void* data, std::size_t len,
@@ -40,6 +48,7 @@ ReliableEndpoint::ReliableEndpoint(Fabric& fabric, Rank rank,
       rto_ns_base_(static_cast<common::Nanos>(
                        fabric.config().latency_us * 1000.0 * 32.0) +
                    20 * 1000),
+      scan_quantum_(resolve_scan_quantum()),
       ctr_data_sent_(fabric.telemetry().counter(
           ep_metric(layer, rank, "data_sent"))),
       ctr_acked_(fabric.telemetry().counter(ep_metric(layer, rank, "acked"))),
@@ -48,7 +57,9 @@ ReliableEndpoint::ReliableEndpoint(Fabric& fabric, Rank rank,
       ctr_crc_dropped_(fabric.telemetry().counter(
           ep_metric(layer, rank, "crc_dropped"))),
       ctr_dup_dropped_(fabric.telemetry().counter(
-          ep_metric(layer, rank, "dup_dropped"))) {
+          ep_metric(layer, rank, "dup_dropped"))),
+      ctr_retransmit_scans_(fabric.telemetry().counter(
+          ep_metric(layer, rank, "retransmit_scans"))) {
   if (enabled_) {
     const std::size_t n = fabric.num_ranks();
     tx_seq_ = std::vector<common::CachePadded<std::atomic<std::uint32_t>>>(n);
@@ -100,8 +111,11 @@ void ReliableEndpoint::send_ack(Rank src, std::uint32_t seq) {
   // Zero-payload sends consume no SRQ buffer at the peer, so acks still
   // flow while the peer's receive side is RNR-stalled.
   if (nic_.post_send(src, nullptr, 0, imm) == common::Status::kRetry) {
-    std::lock_guard<common::SpinMutex> guard(ack_backlog_mutex_);
-    ack_backlog_.emplace_back(src, seq);
+    {
+      std::lock_guard<common::SpinMutex> guard(ack_backlog_mutex_);
+      ack_backlog_.emplace_back(src, seq);
+    }
+    ack_backlog_count_.fetch_add(1, std::memory_order_release);
   }
 }
 
@@ -186,13 +200,28 @@ void ReliableEndpoint::progress() {
   const std::uint64_t tick =
       tick_.fetch_add(1, std::memory_order_relaxed) + 1;
 
-  // Flush acks that hit TX back-pressure when first posted.
-  std::vector<std::pair<Rank, std::uint32_t>> backlog;
-  {
-    std::lock_guard<common::SpinMutex> guard(ack_backlog_mutex_);
-    backlog.swap(ack_backlog_);
+  // Flush acks that hit TX back-pressure when first posted; the count keeps
+  // the common (empty-backlog) case to one atomic load, no lock.
+  if (ack_backlog_count_.load(std::memory_order_acquire) > 0) {
+    std::vector<std::pair<Rank, std::uint32_t>> backlog;
+    {
+      std::lock_guard<common::SpinMutex> guard(ack_backlog_mutex_);
+      backlog.swap(ack_backlog_);
+    }
+    ack_backlog_count_.fetch_sub(backlog.size(), std::memory_order_relaxed);
+    for (const auto& [src, seq] : backlog) send_ack(src, seq);
   }
-  for (const auto& [src, seq] : backlog) send_ack(src, seq);
+
+  // Time-gate the retransmit scan: nothing can newly time out within a scan
+  // quantum, so at most one caller per quantum walks the TX maps; everyone
+  // else returns after the two atomics above.
+  std::uint64_t next = next_scan_tick_.load(std::memory_order_relaxed);
+  if (tick < next) return;
+  if (!next_scan_tick_.compare_exchange_strong(next, tick + scan_quantum_,
+                                               std::memory_order_acq_rel)) {
+    return;  // a concurrent caller won this quantum's scan
+  }
+  ctr_retransmit_scans_.add();
 
   const common::Nanos now = zero_time_ ? 0 : common::now_ns();
   for (std::size_t dst = 0; dst < tx_.size(); ++dst) {

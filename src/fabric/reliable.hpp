@@ -74,6 +74,11 @@ class ReliableEndpoint {
   bool on_recv(RxEvent& event);
 
   /// Drives acks and retransmits; call from the owning layer's progress.
+  /// The retransmit scan (walking every per-peer TX map under its lock) is
+  /// time-gated: it runs at most once per scan quantum of progress ticks
+  /// (AMTNET_REL_SCAN_QUANTUM, default kRtoBaseTicks/8), with one caller
+  /// elected per quantum — nothing can time out between quanta, so the
+  /// other progress threads skip the walk entirely.
   void progress();
 
   /// Unacked datagrams currently tracked (diagnostics / drain checks).
@@ -127,15 +132,20 @@ class ReliableEndpoint {
   std::vector<std::unique_ptr<RxState>> rx_;
 
   std::atomic<std::uint64_t> tick_{0};
+  const std::uint64_t scan_quantum_;  // ticks between retransmit scans
+                                      // (0 = scan on every progress call)
+  std::atomic<std::uint64_t> next_scan_tick_{0};
 
   common::SpinMutex ack_backlog_mutex_;
   std::vector<std::pair<Rank, std::uint32_t>> ack_backlog_;
+  std::atomic<std::size_t> ack_backlog_count_{0};
 
   telemetry::Counter& ctr_data_sent_;
   telemetry::Counter& ctr_acked_;
   telemetry::Counter& ctr_retransmits_;
   telemetry::Counter& ctr_crc_dropped_;
   telemetry::Counter& ctr_dup_dropped_;
+  telemetry::Counter& ctr_retransmit_scans_;
 };
 
 }  // namespace fabric

@@ -3,6 +3,7 @@
 // "versatile communication interface").
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <cstddef>
@@ -28,8 +29,10 @@ class CompQueue {
   }
 
   std::optional<CqEntry> poll() {
-    auto entry = queue_.try_pop(nullptr);
-    if (entry && depth_gauge_ != nullptr) depth_gauge_->sub();
+    // Route through poll_batch so the depth gauge has exactly one
+    // batch-aware update path regardless of how entries are drained.
+    std::optional<CqEntry> entry;
+    poll_batch(1, [&entry](CqEntry&& popped) { entry = std::move(popped); });
     return entry;
   }
 
@@ -57,14 +60,37 @@ class CompQueue {
 /// Synchronizer: MPI_Request-like object, with the LCI twist of allowing
 /// multiple producers (threshold > 1). test() succeeds once `threshold`
 /// signals have arrived and hands back the accumulated entries.
+///
+/// The common case — thresholds up to kInlineSlots, which covers the one
+/// the parcelport recycles by the thousand (threshold 1) — is lock-free:
+/// each producer claims a distinct inline slot with one fetch_add, writes
+/// its entry, and publishes with a release increment of the arrival count.
+/// test() observes the count with an acquire load; the release sequence on
+/// the count makes every producer's slot write visible, so neither signal()
+/// nor test() ever takes a lock. Larger thresholds fall back to the
+/// spinlocked vector.
 class Synchronizer {
  public:
+  static constexpr int kInlineSlots = 8;
+
   explicit Synchronizer(int threshold = 1) : threshold_(threshold) {
-    entries_.reserve(static_cast<std::size_t>(threshold));
+    assert(threshold >= 1);
+    if (!inline_mode()) {
+      entries_.reserve(static_cast<std::size_t>(threshold));
+    }
   }
 
-  /// Producer side; called by the progress engine or injection path.
+  /// Producer side; called by the progress engine or injection path. At
+  /// most `threshold` signals per arm/test cycle (the LCI contract: one
+  /// synchronizer serves one N-part operation at a time).
   void signal(CqEntry&& entry) {
+    if (inline_mode()) {
+      const int slot = claimed_.fetch_add(1, std::memory_order_relaxed);
+      assert(slot < threshold_ && "more signals than the armed threshold");
+      slots_[slot] = std::move(entry);
+      count_.fetch_add(1, std::memory_order_release);
+      return;
+    }
     {
       std::lock_guard<common::SpinMutex> guard(mutex_);
       entries_.push_back(std::move(entry));
@@ -76,21 +102,50 @@ class Synchronizer {
   /// and resets the synchronizer for reuse.
   bool test(std::vector<CqEntry>* out = nullptr) {
     if (count_.load(std::memory_order_acquire) < threshold_) return false;
+    if (inline_mode()) {
+      // Concurrent testers elect one consumer; losers report not-ready and
+      // retry later rather than spinning on the winner.
+      if (consuming_.exchange(true, std::memory_order_acquire)) return false;
+      if (count_.load(std::memory_order_acquire) < threshold_) {
+        consuming_.store(false, std::memory_order_release);
+        return false;
+      }
+      if (out != nullptr) {
+        out->clear();
+        for (int i = 0; i < threshold_; ++i) {
+          out->push_back(std::move(slots_[i]));
+        }
+      }
+      for (int i = 0; i < threshold_; ++i) slots_[i] = CqEntry{};
+      claimed_.store(0, std::memory_order_relaxed);
+      count_.store(0, std::memory_order_relaxed);
+      consuming_.store(false, std::memory_order_release);
+      return true;
+    }
     std::lock_guard<common::SpinMutex> guard(mutex_);
     if (count_.load(std::memory_order_relaxed) < threshold_) return false;
     if (out != nullptr) {
       *out = std::move(entries_);
     }
     entries_.clear();
+    // A moved-from vector forfeits its buffer; re-reserve so steady-state
+    // reuse of the synchronizer stays allocation-free.
+    entries_.reserve(static_cast<std::size_t>(threshold_));
     count_.fetch_sub(threshold_, std::memory_order_relaxed);
     return true;
   }
 
   int threshold() const { return threshold_; }
+  bool inline_mode() const { return threshold_ <= kInlineSlots; }
 
  private:
   const int threshold_;
   std::atomic<int> count_{0};
+  // Inline (lock-free) path: slot tickets + fixed entry array.
+  std::atomic<int> claimed_{0};
+  std::atomic<bool> consuming_{false};
+  std::array<CqEntry, kInlineSlots> slots_;
+  // Fallback path (threshold > kInlineSlots).
   common::SpinMutex mutex_;
   std::vector<CqEntry> entries_;
 };

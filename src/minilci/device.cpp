@@ -87,6 +87,12 @@ Device::Device(fabric::Fabric& fabric, Rank rank, Config config,
       integrity_on_(fabric.config().faults.integrity_on()),
       packet_pool_(config.packet_pool_size, config.eager_threshold,
                    config.packet_cache_size),
+      rdv_sends_(config.rdv_shards),
+      rdv_recvs_(config.rdv_shards),
+      put_sends_(config.rdv_shards),
+      put_recvs_(config.rdv_shards),
+      pending_gets_(config.rdv_shards),
+      deferred_lanes_(fabric.num_ranks()),
       ctr_progress_calls_(
           fabric.telemetry().counter(dev_metric(rank, "progress_calls"))),
       ctr_match_hits_(
@@ -172,26 +178,21 @@ common::Status Device::recvm(Rank src, Tag tag, const Comp& comp,
 common::Status Device::sendl(Rank dst, Tag tag, const void* data,
                              std::size_t len, const Comp& local_comp,
                              std::uint64_t user_context) {
-  std::uint32_t id;
-  {
-    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
-    id = next_rdv_id_++;
-    RdvSend& rdv = rdv_sends_[id];
-    rdv.data = static_cast<const std::byte*>(data);
-    rdv.len = len;
-    rdv.comp = local_comp;
-    rdv.user_context = user_context;
-    rdv.tag = tag;
-    rdv.dst = dst;
-  }
+  RdvSend rdv;
+  rdv.data = static_cast<const std::byte*>(data);
+  rdv.len = len;
+  rdv.comp = local_comp;
+  rdv.user_context = user_context;
+  rdv.tag = tag;
+  rdv.dst = dst;
+  const std::uint32_t id = rdv_sends_.insert(std::move(rdv));
   const std::uint32_t crc =
       integrity_on_ ? common::crc32(data, len) : 0;
   const RdvHello hello{len, id, crc};
   const common::Status status =
       rel_.send(dst, &hello, sizeof(hello), make_imm(MsgKind::kRts, tag));
   if (status != common::Status::kOk) {
-    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
-    rdv_sends_.erase(id);
+    rdv_sends_.extract(id);
     return status;
   }
   return common::Status::kOk;
@@ -222,38 +223,29 @@ void Device::start_long_recv(Rank src, Tag tag, std::size_t size,
                              std::uint32_t sender_id, std::uint32_t crc,
                              PostedRecv&& recv) {
   const fabric::MrKey mr = nic_.register_memory(recv.buf, recv.maxlen);
-  std::uint32_t recv_id;
-  {
-    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
-    recv_id = next_rdv_id_++;
-    RdvRecv& rdv = rdv_recvs_[recv_id];
-    rdv.comp = recv.comp;
-    rdv.buf = recv.buf;
-    rdv.mr = mr;
-    rdv.user_context = recv.user_context;
-    rdv.tag = tag;
-    rdv.src = src;
-    rdv.expected_crc = crc;
-    rdv.expected_size = size;
-  }
+  RdvRecv rdv;
+  rdv.comp = recv.comp;
+  rdv.buf = recv.buf;
+  rdv.mr = mr;
+  rdv.user_context = recv.user_context;
+  rdv.tag = tag;
+  rdv.src = src;
+  rdv.expected_crc = crc;
+  rdv.expected_size = size;
+  const std::uint32_t recv_id = rdv_recvs_.insert(std::move(rdv));
   const CtsPayload cts{mr.id, recv.maxlen, sender_id, recv_id};
   send_ctrl(src, make_imm(MsgKind::kCts, 0), &cts, sizeof(cts));
 }
 
 void Device::handle_cts(Rank src, const std::byte* payload, std::size_t len) {
   const auto cts = from_bytes<CtsPayload>(payload, len);
-  RdvSend rdv;
-  {
-    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
-    auto it = rdv_sends_.find(cts.sender_id);
-    if (it == rdv_sends_.end()) {
-      AMTNET_LOG_ERROR("minilci: CTS for unknown rendezvous id ",
-                       cts.sender_id);
-      return;
-    }
-    rdv = std::move(it->second);
-    rdv_sends_.erase(it);
+  std::optional<RdvSend> extracted = rdv_sends_.extract(cts.sender_id);
+  if (!extracted) {
+    AMTNET_LOG_ERROR("minilci: CTS for unknown rendezvous id ",
+                     cts.sender_id);
+    return;
   }
+  RdvSend& rdv = *extracted;
   const std::size_t to_write =
       std::min<std::size_t>(rdv.len, cts.max_len);
   CqEntry entry;
@@ -279,22 +271,16 @@ void Device::handle_cts(Rank src, const std::byte* payload, std::size_t len) {
   deferred.write_mr_id = cts.mr_id;
   deferred.comp = rdv.comp;
   deferred.entry = std::move(entry);
-  std::lock_guard<common::SpinMutex> guard(deferred_mutex_);
-  deferred_.push_back(std::move(deferred));
+  defer_send(std::move(deferred));
 }
 
 void Device::handle_fin(std::uint32_t recv_id, std::size_t written) {
-  RdvRecv rdv;
-  {
-    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
-    auto it = rdv_recvs_.find(recv_id);
-    if (it == rdv_recvs_.end()) {
-      AMTNET_LOG_ERROR("minilci: FIN for unknown rendezvous id ", recv_id);
-      return;
-    }
-    rdv = std::move(it->second);
-    rdv_recvs_.erase(it);
+  std::optional<RdvRecv> extracted = rdv_recvs_.extract(recv_id);
+  if (!extracted) {
+    AMTNET_LOG_ERROR("minilci: FIN for unknown rendezvous id ", recv_id);
+    return;
   }
+  RdvRecv& rdv = *extracted;
   nic_.deregister_memory(rdv.mr);
   // Integrity mode: the RTS carried the sender's CRC over the full payload;
   // a mismatch here means the RDMA write itself was corrupted — there is no
@@ -327,39 +313,29 @@ common::Status Device::get(const RemoteBuffer& src, std::size_t offset,
                            void* dst, std::size_t len, const Comp& comp,
                            std::uint64_t user_context) {
   if (offset + len > src.len) return common::Status::kError;
-  std::uint32_t id;
-  {
-    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
-    id = next_rdv_id_++;
-    PendingGet& pending = pending_gets_[id];
-    pending.comp = comp;
-    pending.user_context = user_context;
-    pending.src = src.mr.rank;
-    pending.len = len;
-  }
+  PendingGet pending;
+  pending.comp = comp;
+  pending.user_context = user_context;
+  pending.src = src.mr.rank;
+  pending.len = len;
+  const std::uint32_t id = pending_gets_.insert(std::move(pending));
   const common::Status status =
       nic_.post_read(src.mr.rank, src.mr, offset, dst, len,
                      make_imm(MsgKind::kGetDone, id));
   if (status != common::Status::kOk) {
-    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
-    pending_gets_.erase(id);
+    pending_gets_.extract(id);
     return status;
   }
   return common::Status::kOk;
 }
 
 void Device::handle_get_done(std::uint32_t get_id) {
-  PendingGet pending;
-  {
-    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
-    auto it = pending_gets_.find(get_id);
-    if (it == pending_gets_.end()) {
-      AMTNET_LOG_ERROR("minilci: completion for unknown get id ", get_id);
-      return;
-    }
-    pending = std::move(it->second);
-    pending_gets_.erase(it);
+  std::optional<PendingGet> extracted = pending_gets_.extract(get_id);
+  if (!extracted) {
+    AMTNET_LOG_ERROR("minilci: completion for unknown get id ", get_id);
+    return;
   }
+  PendingGet& pending = *extracted;
   CqEntry entry;
   entry.op = OpKind::kGet;
   entry.rank = pending.src;
@@ -388,26 +364,21 @@ common::Status Device::put_dyn(Rank dst, Tag tag, const void* data,
   }
   // Large put: rendezvous with target-side allocation. The payload is copied
   // so the caller's buffer is reusable on return (buffered-put semantics).
-  std::uint32_t id;
-  {
-    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
-    id = next_rdv_id_++;
-    PutSend& put = put_sends_[id];
-    put.data.assign(static_cast<const std::byte*>(data),
-                    static_cast<const std::byte*>(data) + len);
-    put.comp = local_comp;
-    put.tag = tag;
-    put.dst = dst;
-    put.user_context = user_context;
-  }
+  PutSend put;
+  put.data.assign(static_cast<const std::byte*>(data),
+                  static_cast<const std::byte*>(data) + len);
+  put.comp = local_comp;
+  put.tag = tag;
+  put.dst = dst;
+  put.user_context = user_context;
+  const std::uint32_t id = put_sends_.insert(std::move(put));
   const std::uint32_t crc =
       integrity_on_ ? common::crc32(data, len) : 0;
   const RdvHello hello{len, id, crc};
   const common::Status status = rel_.send(
       dst, &hello, sizeof(hello), make_imm(MsgKind::kPutRts, tag));
   if (status != common::Status::kOk) {
-    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
-    put_sends_.erase(id);
+    put_sends_.extract(id);
     return status;
   }
   return common::Status::kOk;
@@ -445,19 +416,16 @@ void Device::handle_put_eager(Rank src, Tag tag,
 
 void Device::handle_put_rts(Rank src, Tag tag, std::size_t size,
                             std::uint32_t sender_id, std::uint32_t crc) {
-  std::uint32_t recv_id;
-  std::uint64_t mr_id;
-  {
-    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
-    recv_id = next_rdv_id_++;
-    PutRecv& put = put_recvs_[recv_id];
-    put.data.resize(size);
-    put.mr = nic_.register_memory(put.data.data(), size);
-    put.tag = tag;
-    put.src = src;
-    put.expected_crc = crc;
-    mr_id = put.mr.id;
-  }
+  // The vector's heap buffer is registered before the insert; moves into
+  // (and rehashes inside) the table never move the registered bytes.
+  PutRecv put;
+  put.data.resize(size);
+  put.mr = nic_.register_memory(put.data.data(), size);
+  put.tag = tag;
+  put.src = src;
+  put.expected_crc = crc;
+  const std::uint64_t mr_id = put.mr.id;
+  const std::uint32_t recv_id = put_recvs_.insert(std::move(put));
   const PutCtsPayload cts{mr_id, sender_id, recv_id};
   send_ctrl(src, make_imm(MsgKind::kPutCts, 0), &cts, sizeof(cts));
 }
@@ -465,17 +433,12 @@ void Device::handle_put_rts(Rank src, Tag tag, std::size_t size,
 void Device::handle_put_cts(Rank src, const std::byte* payload,
                             std::size_t len) {
   const auto cts = from_bytes<PutCtsPayload>(payload, len);
-  PutSend put;
-  {
-    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
-    auto it = put_sends_.find(cts.sender_id);
-    if (it == put_sends_.end()) {
-      AMTNET_LOG_ERROR("minilci: put-CTS for unknown id ", cts.sender_id);
-      return;
-    }
-    put = std::move(it->second);
-    put_sends_.erase(it);
+  std::optional<PutSend> extracted = put_sends_.extract(cts.sender_id);
+  if (!extracted) {
+    AMTNET_LOG_ERROR("minilci: put-CTS for unknown id ", cts.sender_id);
+    return;
   }
+  PutSend& put = *extracted;
   CqEntry entry;
   entry.op = OpKind::kPutDyn;
   entry.rank = put.dst;
@@ -497,22 +460,16 @@ void Device::handle_put_cts(Rank src, const std::byte* payload,
   deferred.write_mr_id = cts.mr_id;
   deferred.comp = put.comp;
   deferred.entry = std::move(entry);
-  std::lock_guard<common::SpinMutex> guard(deferred_mutex_);
-  deferred_.push_back(std::move(deferred));
+  defer_send(std::move(deferred));
 }
 
 void Device::handle_put_fin(std::uint32_t recv_id) {
-  PutRecv put;
-  {
-    std::lock_guard<common::SpinMutex> guard(rdv_mutex_);
-    auto it = put_recvs_.find(recv_id);
-    if (it == put_recvs_.end()) {
-      AMTNET_LOG_ERROR("minilci: put-FIN for unknown id ", recv_id);
-      return;
-    }
-    put = std::move(it->second);
-    put_recvs_.erase(it);
+  std::optional<PutRecv> extracted = put_recvs_.extract(recv_id);
+  if (!extracted) {
+    AMTNET_LOG_ERROR("minilci: put-FIN for unknown id ", recv_id);
+    return;
   }
+  PutRecv& put = *extracted;
   nic_.deregister_memory(put.mr);
   if (integrity_on_ && put.expected_crc != 0) {
     const std::uint32_t actual =
@@ -549,34 +506,53 @@ void Device::send_ctrl(Rank dst, std::uint64_t imm, const void* payload,
   deferred.imm = imm;
   std::memcpy(deferred.ctrl.data(), payload, len);
   deferred.ctrl_len = len;
-  std::lock_guard<common::SpinMutex> guard(deferred_mutex_);
-  deferred_.push_back(std::move(deferred));
+  defer_send(std::move(deferred));
+}
+
+void Device::defer_send(DeferredSend&& deferred) {
+  // Count before publishing: a progress call that observes the element must
+  // also observe a nonzero count.
+  const Rank dst = deferred.dst;
+  deferred_count_.fetch_add(1, std::memory_order_release);
+  deferred_lanes_[dst].value.queue.push(std::move(deferred));
 }
 
 void Device::retry_deferred() {
-  for (;;) {
-    DeferredSend msg;
-    {
-      std::lock_guard<common::SpinMutex> guard(deferred_mutex_);
-      if (deferred_.empty()) return;
-      msg = std::move(deferred_.front());
-      deferred_.pop_front();
+  if (deferred_count_.load(std::memory_order_acquire) == 0) return;
+  for (auto& padded : deferred_lanes_) {
+    DeferredLane& lane = padded.value;
+    if (!lane.consumer.try_lock()) continue;  // another thread drains it
+    bool lane_blocked = false;
+    const auto try_post = [&](DeferredSend&& msg) {
+      common::Status status;
+      if (msg.is_write) {
+        status = nic_.post_write_imm(
+            msg.dst, fabric::MrKey{msg.dst, msg.write_mr_id}, 0,
+            msg.payload.data(), msg.payload.size(), msg.imm);
+      } else {
+        status = rel_.send(msg.dst, msg.ctrl.data(), msg.ctrl_len, msg.imm);
+      }
+      if (status != common::Status::kOk) {
+        // Still refused: re-park at the head so per-destination FIFO order
+        // survives, and stop hammering this destination until next time.
+        lane.stalled.push_front(std::move(msg));
+        lane_blocked = true;
+        return;
+      }
+      deferred_count_.fetch_sub(1, std::memory_order_relaxed);
+      signal_completion(msg.comp, std::move(msg.entry));
+    };
+    while (!lane_blocked && !lane.stalled.empty()) {
+      DeferredSend msg = std::move(lane.stalled.front());
+      lane.stalled.pop_front();
+      try_post(std::move(msg));
     }
-    common::Status status;
-    if (msg.is_write) {
-      status = nic_.post_write_imm(msg.dst,
-                                   fabric::MrKey{msg.dst, msg.write_mr_id}, 0,
-                                   msg.payload.data(), msg.payload.size(),
-                                   msg.imm);
-    } else {
-      status = rel_.send(msg.dst, msg.ctrl.data(), msg.ctrl_len, msg.imm);
+    while (!lane_blocked) {
+      auto msg = lane.queue.try_pop();
+      if (!msg) break;
+      try_post(std::move(*msg));
     }
-    if (status != common::Status::kOk) {
-      std::lock_guard<common::SpinMutex> guard(deferred_mutex_);
-      deferred_.push_front(std::move(msg));
-      return;
-    }
-    signal_completion(msg.comp, std::move(msg.entry));
+    lane.consumer.unlock();
   }
 }
 

@@ -10,10 +10,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
+#include "common/cache.hpp"
 #include "common/spinlock.hpp"
 #include "common/status.hpp"
 #include "fabric/nic.hpp"
@@ -21,7 +22,9 @@
 #include "minilci/completion.hpp"
 #include "minilci/matching_table.hpp"
 #include "minilci/packet_pool.hpp"
+#include "minilci/rdv_table.hpp"
 #include "minilci/types.hpp"
+#include "queues/mpsc_queue.hpp"
 
 namespace minilci {
 
@@ -223,16 +226,32 @@ class Device {
     std::size_t len = 0;
   };
 
-  common::SpinMutex rdv_mutex_;
-  std::uint32_t next_rdv_id_ = 1;
-  std::map<std::uint32_t, RdvSend> rdv_sends_;
-  std::map<std::uint32_t, RdvRecv> rdv_recvs_;
-  std::map<std::uint32_t, PutSend> put_sends_;
-  std::map<std::uint32_t, PutRecv> put_recvs_;
-  std::map<std::uint32_t, PendingGet> pending_gets_;
+  // Rendezvous state, sharded by id (the id encodes its shard — see
+  // rdv_table.hpp). Each kind keeps its own id space: a CTS can only name a
+  // rdv_sends_ id, a FIN only a rdv_recvs_ id, and so on, so the tables
+  // never alias even when ids collide numerically.
+  ShardedIdTable<RdvSend> rdv_sends_;
+  ShardedIdTable<RdvRecv> rdv_recvs_;
+  ShardedIdTable<PutSend> put_sends_;
+  ShardedIdTable<PutRecv> put_recvs_;
+  ShardedIdTable<PendingGet> pending_gets_;
 
-  common::SpinMutex deferred_mutex_;
-  std::deque<DeferredSend> deferred_;
+  // Messages that hit TX back-pressure wait in per-destination MPSC lanes:
+  // producers (any thread on the injection path) push wait-free, and
+  // progress threads drain each lane under a consumer try-lock, stopping at
+  // the first still-refused post (per-destination FIFO, no cross-destination
+  // head-of-line blocking). `stalled` re-parks the element a drain popped
+  // but could not post. The global count lets an idle progress call skip
+  // the whole sweep with one atomic load.
+  struct DeferredLane {
+    queues::MpscQueue<DeferredSend> queue;
+    common::SpinMutex consumer;
+    std::deque<DeferredSend> stalled;
+  };
+  std::vector<common::CachePadded<DeferredLane>> deferred_lanes_;
+  std::atomic<std::size_t> deferred_count_{0};
+
+  void defer_send(DeferredSend&& deferred);
 
   // Metrics under minilci/dev<rank>/... in the Fabric's registry.
   telemetry::Counter& ctr_progress_calls_;

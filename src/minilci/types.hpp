@@ -35,6 +35,10 @@ struct Config {
                                         // (0 = every alloc hits the shared
                                         // MPMC free list)
   std::size_t progress_batch = 64;      // fabric packets per progress call
+  std::size_t rdv_shards = 16;          // rendezvous-state table shards
+                                        // (rounded up to a power of two;
+                                        // 1 = single table + lock, the
+                                        // pre-sharding ablation baseline)
 };
 
 /// What completed. Mirrors LCI's request status fields.

@@ -23,7 +23,27 @@ minilci::Config make_device_config(const amt::ParcelportContext& context) {
     config.packet_cache_size =
         static_cast<std::size_t>(std::strtoul(s, nullptr, 10));
   }
+  // Rendezvous-state shard count: the config token ("rs<N>") wins, the
+  // environment fills in, the minilci default otherwise. rs1 collapses the
+  // sharded tables to one table + lock (the ablation baseline).
+  if (context.config.lci_rdv_shards > 0) {
+    config.rdv_shards = context.config.lci_rdv_shards;
+  } else if (const char* s = std::getenv("AMTNET_LCI_RDV_SHARDS")) {
+    const std::size_t shards =
+        static_cast<std::size_t>(std::strtoul(s, nullptr, 10));
+    if (shards > 0) config.rdv_shards = shards;
+  }
   return config;
+}
+
+int resolve_progress_threads(const amt::ParcelportConfig& config) {
+  if (config.lci_progress_threads > 0) {
+    return static_cast<int>(config.lci_progress_threads);
+  }
+  if (const char* s = std::getenv("AMTNET_LCI_PROGRESS_THREADS")) {
+    return static_cast<int>(std::strtoul(s, nullptr, 10));
+  }
+  return 0;  // unbounded
 }
 
 std::size_t resolve_pipeline_depth(const amt::ParcelportConfig& config) {
@@ -50,12 +70,17 @@ LciParcelport::LciParcelport(const amt::ParcelportContext& context)
           std::max(context.zero_copy_threshold, sizeof(amt::WireHeader)),
           make_device_config(context).eager_threshold)),
       pipeline_depth_(resolve_pipeline_depth(context.config)),
+      progress_threads_(resolve_progress_threads(context.config)),
       device_(*context.fabric, context.rank, make_device_config(context),
               &remote_put_cq_),
+      progress_tickets_(progress_threads_),
+      progress_backoff_(context.num_workers + 1),
       header_seq_tx_(context.fabric->num_ranks()),
       header_seq_rx_(context.fabric->num_ranks()),
       ctr_delivered_(context.fabric->telemetry().counter(
           pp_metric(context.rank, "messages_delivered"))),
+      ctr_progress_skips_(context.fabric->telemetry().counter(
+          pp_metric(context.rank, "progress_skips"))),
       ctr_send_retries_(context.fabric->telemetry().counter(
           pp_metric(context.rank, "send_retries"))),
       ctr_conn_reuses_(context.fabric->telemetry().counter(
@@ -254,7 +279,7 @@ void LciParcelport::send(amt::Rank dst, amt::OutMessage msg,
     packet = device_.try_alloc_packet();
     if (packet) break;
     if (progress_type_ == amt::ParcelportConfig::ProgressType::kWorker) {
-      device_.progress();
+      try_progress();
     }
     send_backoff(backoff_round);
   }
@@ -277,7 +302,7 @@ void LciParcelport::send(amt::Rank dst, amt::OutMessage msg,
             : device_.sendm_packet(dst, kHeaderTag, *packet, comp, ctx);
     if (status == common::Status::kOk) break;
     if (progress_type_ == amt::ParcelportConfig::ProgressType::kWorker) {
-      device_.progress();
+      try_progress();
     }
     send_backoff(backoff_round);
   }
@@ -583,11 +608,51 @@ bool LciParcelport::poll_synchronizers(unsigned worker_index) {
   return did_work;
 }
 
+std::size_t LciParcelport::try_progress(bool* ran) {
+  if (progress_threads_ == 0) {
+    if (ran != nullptr) *ran = true;
+    return device_.progress();
+  }
+  int available = progress_tickets_.load(std::memory_order_relaxed);
+  while (available > 0) {
+    if (progress_tickets_.compare_exchange_weak(available, available - 1,
+                                                std::memory_order_acquire,
+                                                std::memory_order_relaxed)) {
+      const std::size_t processed = device_.progress();
+      progress_tickets_.fetch_add(1, std::memory_order_release);
+      if (ran != nullptr) *ran = true;
+      return processed;
+    }
+  }
+  // All tickets taken: K threads are already on the NIC; skip cheaply.
+  ctr_progress_skips_.add();
+  if (ran != nullptr) *ran = false;
+  return 0;
+}
+
 bool LciParcelport::background_work(unsigned worker_index) {
   if (!started_.load(std::memory_order_relaxed)) return false;
   bool did_work = false;
   if (progress_type_ == amt::ParcelportConfig::ProgressType::kWorker) {
-    did_work |= device_.progress() > 0;
+    ProgressBackoff& backoff =
+        progress_backoff_[std::min<std::size_t>(worker_index,
+                                                progress_backoff_.size() - 1)]
+            .value;
+    if (backoff.defer > 0 && device_.looks_idle()) {
+      --backoff.defer;  // stay off the shared progress path while idle
+    } else {
+      bool ran = false;
+      const std::size_t processed = try_progress(&ran);
+      if (processed > 0) {
+        backoff.level = 0;
+        backoff.defer = 0;
+        did_work = true;
+      } else if (ran) {
+        // An empty poll: back off exponentially (1, 3, 7, ... 63 skips).
+        backoff.level = std::min(backoff.level + 1, 6u);
+        backoff.defer = (1u << backoff.level) - 1;
+      }
+    }
   }
   if (protocol_ == amt::ParcelportConfig::Protocol::kPutSendRecv) {
     did_work |= poll_remote_puts();

@@ -166,6 +166,11 @@ class LciParcelport final : public amt::Parcelport {
   bool poll_remote_puts();
   bool poll_synchronizers(unsigned worker_index);
   bool retry_senders();
+  /// Ticket-bounded Device::progress(): at most `progress_threads_` callers
+  /// poll the NIC concurrently; losers skip cheaply (counted under
+  /// pplci/*/progress_skips). Returns the packets processed, or 0 on a
+  /// skip (`*ran` reports which).
+  std::size_t try_progress(bool* ran = nullptr);
   /// Posts one follow-up receive (medium or long, by size) for `piece`.
   void post_recv_piece(ReceiverConnection* connection, std::size_t piece,
                        std::size_t size, std::vector<std::byte>& buf);
@@ -180,10 +185,24 @@ class LciParcelport final : public amt::Parcelport {
   const amt::ParcelportConfig::CompType completion_type_;
   const std::size_t max_header_size_;
   const std::size_t pipeline_depth_;  // 0 = unbounded
+  const int progress_threads_;        // ticket bound; 0 = unbounded
 
   minilci::CompQueue remote_put_cq_;  // pre-configured remote CQ for puts
   minilci::Device device_;
   minilci::CompQueue comp_cq_;        // cq mode: all op completions
+
+  // Progress tickets (mt mode): a counting try-lock over Device::progress.
+  std::atomic<int> progress_tickets_;
+
+  // Per-worker adaptive idle backoff: a worker whose progress calls keep
+  // coming back empty skips (2^level - 1) subsequent background progress
+  // polls while the device looks idle, so fully idle workers stay off the
+  // shared NIC path. Any progress or non-idle hint resets the level.
+  struct ProgressBackoff {
+    unsigned defer = 0;
+    unsigned level = 0;
+  };
+  std::vector<common::CachePadded<ProgressBackoff>> progress_backoff_;
 
   // sy mode: per-operation synchronizers on sharded pending lists, polled
   // round-robin starting at the worker's own shard (no global lock).
@@ -230,6 +249,7 @@ class LciParcelport final : public amt::Parcelport {
   // histogram measures send() entry to done-callback firing (only when
   // telemetry timing is enabled; see telemetry::timing_enabled).
   telemetry::Counter& ctr_delivered_;
+  telemetry::Counter& ctr_progress_skips_;  // ticket-layer progress skips
   telemetry::Counter& ctr_send_retries_;  // backoff rounds in send()
   telemetry::Counter& ctr_conn_reuses_;   // connections served by the pools
   telemetry::Counter& ctr_conn_allocs_;   // connections newly heap-allocated

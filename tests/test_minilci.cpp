@@ -3,13 +3,17 @@
 // matching-table properties, packet pool, and progress thread-safety.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstring>
+#include <deque>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "minilci/device.hpp"
+#include "minilci/rdv_table.hpp"
 #include "test_util.hpp"
 
 using minilci::Comp;
@@ -663,6 +667,238 @@ INSTANTIATE_TEST_SUITE_P(Sweep, LciProgressStress,
                                            LciStressParam{2, 1},
                                            LciStressParam{2, 2},
                                            LciStressParam{4, 2}));
+
+// ---------------- sharded rendezvous id table ----------------
+
+TEST(LciIdTable, InsertExtractRoundTrip) {
+  minilci::ShardedIdTable<int> table(16);
+  EXPECT_EQ(table.num_shards(), 16u);
+  std::vector<std::uint32_t> ids;
+  std::set<std::uint32_t> distinct;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(table.insert(int(i)));
+    distinct.insert(ids.back());
+    EXPECT_NE(ids.back(), 0u);  // 0 is the empty-slot sentinel
+  }
+  EXPECT_EQ(distinct.size(), ids.size());
+  EXPECT_EQ(table.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    auto value = table.extract(ids[i]);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, i);
+  }
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(LciIdTable, UnknownOrStaleIdReturnsNullopt) {
+  minilci::ShardedIdTable<int> table(4);
+  EXPECT_FALSE(table.extract(12345).has_value());
+  const std::uint32_t id = table.insert(7);
+  EXPECT_TRUE(table.extract(id).has_value());
+  EXPECT_FALSE(table.extract(id).has_value());  // second extract is stale
+}
+
+TEST(LciIdTable, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(minilci::ShardedIdTable<int>(1).num_shards(), 1u);
+  EXPECT_EQ(minilci::ShardedIdTable<int>(3).num_shards(), 4u);
+  EXPECT_EQ(minilci::ShardedIdTable<int>(16).num_shards(), 16u);
+  EXPECT_EQ(minilci::ShardedIdTable<int>(17).num_shards(), 32u);
+}
+
+TEST(LciIdTable, SingleShardSurvivesGrowthAndTombstoneChurn) {
+  // One shard (the rs1 ablation baseline) with a working set that forces
+  // both capacity growth and same-capacity tombstone sweeps.
+  minilci::ShardedIdTable<std::vector<int>> table(1);
+  std::deque<std::pair<std::uint32_t, int>> live;
+  int next = 0;
+  for (int round = 0; round < 20000; ++round) {
+    live.emplace_back(table.insert(std::vector<int>{next}), next);
+    ++next;
+    if (live.size() > 100) {
+      auto [id, expected] = live.front();
+      live.pop_front();
+      auto value = table.extract(id);
+      ASSERT_TRUE(value.has_value());
+      ASSERT_EQ(value->at(0), expected);
+    }
+  }
+  EXPECT_EQ(table.size(), live.size());
+}
+
+TEST(LciIdTable, ConcurrentInsertExtract) {
+  minilci::ShardedIdTable<std::uint64_t> table(8);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 4000;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Keep a small window of live ids so extracts interleave with other
+      // threads' inserts into the same shards.
+      std::deque<std::pair<std::uint32_t, std::uint64_t>> window;
+      for (int i = 0; i < kOps; ++i) {
+        const std::uint64_t value =
+            (static_cast<std::uint64_t>(t) << 32) | static_cast<unsigned>(i);
+        window.emplace_back(table.insert(std::uint64_t{value}), value);
+        if (window.size() > 16) {
+          auto [id, expected] = window.front();
+          window.pop_front();
+          auto out = table.extract(id);
+          if (!out.has_value() || *out != expected) mismatches.fetch_add(1);
+        }
+      }
+      while (!window.empty()) {
+        auto [id, expected] = window.front();
+        window.pop_front();
+        auto out = table.extract(id);
+        if (!out.has_value() || *out != expected) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+// ---------------- lock-free synchronizer (inline path) ----------------
+
+TEST(LciSynchronizer, InlineThresholdConcurrentProducersAndReuse) {
+  // Threshold == kInlineSlots: the lock-free slot-claim path, reused across
+  // cycles the way the parcelport recycles pooled synchronizers.
+  constexpr int kThreshold = Synchronizer::kInlineSlots;
+  constexpr int kCycles = 50;
+  Synchronizer sync(kThreshold);
+  ASSERT_TRUE(sync.inline_mode());
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    EXPECT_FALSE(sync.test());
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kThreshold; ++t) {
+      producers.emplace_back([&, t] {
+        CqEntry entry;
+        entry.tag = static_cast<std::uint32_t>(t);
+        entry.data = testutil::make_pattern(static_cast<std::uint64_t>(t), 64);
+        sync.signal(std::move(entry));
+      });
+    }
+    std::vector<CqEntry> out;
+    while (!sync.test(&out)) std::this_thread::yield();
+    for (auto& producer : producers) producer.join();
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(kThreshold));
+    std::array<int, kThreshold> seen{};
+    for (const auto& entry : out) {
+      ASSERT_LT(entry.tag, static_cast<std::uint32_t>(kThreshold));
+      ++seen[entry.tag];
+      EXPECT_TRUE(testutil::check_pattern(entry.data.data(),
+                                          static_cast<std::uint64_t>(entry.tag),
+                                          64));
+    }
+    for (int t = 0; t < kThreshold; ++t) EXPECT_EQ(seen[t], 1);
+  }
+}
+
+TEST(LciSynchronizer, FallbackThresholdKeepsCapacityAcrossReuse) {
+  // Threshold above kInlineSlots: the spinlocked vector path. The moved-out
+  // vector must be re-reserved so steady-state reuse stays allocation-free.
+  constexpr int kThreshold = Synchronizer::kInlineSlots + 4;
+  Synchronizer sync(kThreshold);
+  ASSERT_FALSE(sync.inline_mode());
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (int i = 0; i < kThreshold; ++i) sync.signal(CqEntry{});
+    std::vector<CqEntry> out;
+    ASSERT_TRUE(sync.test(&out));
+    EXPECT_EQ(out.size(), static_cast<std::size_t>(kThreshold));
+  }
+}
+
+// ---------------- rendezvous-path stress (sharded tables, deferred lanes,
+// ---------------- lock-free synchronizers with threshold>1 reuse)
+
+class LciRendezvousStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(LciRendezvousStress, EightThreadSendlRecvlSynchronizerChurn) {
+  fabric::Config fab = fabric::Profile::loopback(2);
+  fab.num_rails = 4;
+  fab.tx_window = 8;  // starve TX so writes defer through the per-dst lanes
+  Config lci;
+  lci.rdv_shards = static_cast<std::size_t>(GetParam());
+  Pair pair(fab, lci);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 40;
+  constexpr std::size_t kLongLen = 12 * 1024;  // above the eager threshold
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // One synchronizer reused across iterations: the threshold-2
+      // (inline, lock-free) arm/consume/re-arm cycle.
+      Synchronizer sync(2);
+      std::vector<std::byte> recv_buf(kLongLen);
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint32_t tag =
+            0x1000u + static_cast<std::uint32_t>(t * kIters + i);
+        const auto payload = testutil::make_pattern(tag, kLongLen);
+        if (pair.dev1.recvl(0, tag, recv_buf.data(), recv_buf.size(),
+                            Comp::sync(&sync), 1) != common::Status::kOk) {
+          failures.fetch_add(1);
+          return;
+        }
+        while (pair.dev0.sendl(1, tag, payload.data(), payload.size(),
+                               Comp::sync(&sync), 2) != common::Status::kOk) {
+          pair.pump();
+        }
+        std::vector<CqEntry> done;
+        const bool completed = testutil::pump_until(
+            [&] { return sync.test(&done); }, [&] { pair.pump(); },
+            std::chrono::milliseconds(30000));
+        if (!completed) {
+          failures.fetch_add(1);
+          return;
+        }
+        bool send_seen = false;
+        bool recv_seen = false;
+        for (const auto& entry : done) {
+          if (entry.op == OpKind::kSendLong) send_seen = true;
+          if (entry.op == OpKind::kRecvLong) recv_seen = true;
+        }
+        if (!send_seen || !recv_seen ||
+            !testutil::check_pattern(recv_buf.data(), tag, kLongLen)) {
+          failures.fetch_add(1);
+          return;
+        }
+        if ((i & 3) == 0) {
+          // Medium-message churn interleaved with the rendezvous traffic.
+          CompQueue mcq;
+          const std::uint32_t mtag = 0x80000000u + tag;
+          if (pair.dev1.recvm(0, mtag, Comp::queue(&mcq), 0) !=
+              common::Status::kOk) {
+            failures.fetch_add(1);
+            return;
+          }
+          const auto medium = testutil::make_pattern(mtag, 512);
+          while (pair.dev0.sendm(1, mtag, medium.data(), medium.size(),
+                                 Comp::none()) != common::Status::kOk) {
+            pair.pump();
+          }
+          std::optional<CqEntry> arrived;
+          const bool medium_done = testutil::pump_until(
+              [&] { return (arrived = mcq.poll()).has_value(); },
+              [&] { pair.pump(); }, std::chrono::milliseconds(30000));
+          if (!medium_done ||
+              !testutil::check_pattern(arrived->data.data(), mtag, 512)) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// 1 shard = the pre-sharding global-table baseline; 16 = the default.
+INSTANTIATE_TEST_SUITE_P(Shards, LciRendezvousStress, ::testing::Values(1, 16));
 
 // ---------------- magazine thread-exit accounting ----------------
 
