@@ -1,0 +1,12 @@
+// Thin wrapper over the "openloop" suite of the experiment registry
+// (bench/suites.cpp): open-loop serving — a seeded Poisson/bursty load
+// generator drives RPC actions through the shaped fabric past saturation,
+// mapping the tail-latency knee and what each admission policy (shed /
+// block / deadline-drop) does to it. The point matrix, repetition policy
+// and metric definitions all live in the registry; `bench_suite` runs the
+// same suite with baseline gating and docs rendering on top.
+#include "suites.hpp"
+
+int main(int argc, char** argv) {
+  return bench::suites::run_suite_main("openloop", argc, argv);
+}

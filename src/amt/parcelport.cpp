@@ -1,10 +1,59 @@
 #include "amt/parcelport.hpp"
 
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/config.hpp"
 
 namespace amt {
+
+namespace {
+
+/// Parses a "<prefix><digits>" token into an admission policy + bound.
+/// Returns false when the token is not of that shape (caller keeps going).
+bool parse_admission_token(const std::string& token, const char* prefix,
+                           AdmissionConfig::Policy policy,
+                           AdmissionConfig& admission) {
+  const std::size_t len = std::strlen(prefix);
+  if (token.size() <= len || token.compare(0, len, prefix) != 0) return false;
+  if (token.find_first_not_of("0123456789", len) != std::string::npos) {
+    return false;
+  }
+  const unsigned long bound = std::stoul(token.substr(len));
+  if (bound == 0) {
+    throw std::invalid_argument("admission bound must be >= 1: " + token);
+  }
+  admission.policy = policy;
+  admission.queue_bound = bound;
+  return true;
+}
+
+}  // namespace
+
+void apply_admission_env(AdmissionConfig& config) {
+  if (const char* s = std::getenv("AMTNET_ADMIT_POLICY")) {
+    const std::string policy(s);
+    if (policy == "off" || policy == "none") {
+      config.policy = AdmissionConfig::Policy::kNone;
+    } else if (policy == "shed") {
+      config.policy = AdmissionConfig::Policy::kShed;
+    } else if (policy == "block") {
+      config.policy = AdmissionConfig::Policy::kBlock;
+    } else if (policy == "deadline") {
+      config.policy = AdmissionConfig::Policy::kDeadline;
+    } else {
+      throw std::invalid_argument("AMTNET_ADMIT_POLICY must be "
+                                  "off|shed|block|deadline: " + policy);
+    }
+  }
+  if (const char* s = std::getenv("AMTNET_ADMIT_BOUND")) {
+    config.queue_bound = std::strtoull(s, nullptr, 10);
+  }
+  if (const char* s = std::getenv("AMTNET_ADMIT_DEADLINE_US")) {
+    config.deadline_us = std::strtod(s, nullptr);
+  }
+}
 
 ParcelportConfig ParcelportConfig::parse(const std::string& name) {
   ParcelportConfig config;
@@ -66,6 +115,16 @@ ParcelportConfig ParcelportConfig::parse(const std::string& name) {
       config.mpi_coarse_lock = false;
     } else if (token == "orig") {
       config.mpi_original = true;
+    } else if (parse_admission_token(token, "shed",
+                                     AdmissionConfig::Policy::kShed,
+                                     config.admission) ||
+               parse_admission_token(token, "block",
+                                     AdmissionConfig::Policy::kBlock,
+                                     config.admission) ||
+               parse_admission_token(token, "dl",
+                                     AdmissionConfig::Policy::kDeadline,
+                                     config.admission)) {
+      // admission-control tokens, handled by parse_admission_token
     } else if (!token.empty()) {
       throw std::invalid_argument("unknown parcelport config token: " +
                                   token);
@@ -102,6 +161,21 @@ std::string ParcelportConfig::name() const {
     }
   }
   if (send_immediate) out += "_i";
+  if (admission.on()) {
+    switch (admission.policy) {
+      case AdmissionConfig::Policy::kShed:
+        out += "_shed" + std::to_string(admission.queue_bound);
+        break;
+      case AdmissionConfig::Policy::kBlock:
+        out += "_block" + std::to_string(admission.queue_bound);
+        break;
+      case AdmissionConfig::Policy::kDeadline:
+        out += "_dl" + std::to_string(admission.queue_bound);
+        break;
+      case AdmissionConfig::Policy::kNone:
+        break;
+    }
+  }
   return out;
 }
 

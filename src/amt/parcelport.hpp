@@ -14,6 +14,38 @@
 
 namespace amt {
 
+/// Admission control for the parcel send path (the serving-side analogue of
+/// the fabric's TX-window back-pressure): a bound on per-destination
+/// in-flight parcels plus a policy for what happens to new *admissible*
+/// parcels — fire-and-forget applies — once the bound is hit. Responses and
+/// promise-bearing requests are always exempt: shedding them would strand
+/// promises (and futures) on the caller, so only best-effort traffic is
+/// ever refused. Configured by name tokens (shed<N> / block<N> / dl<N>) or
+/// the AMTNET_ADMIT_* environment knobs (env wins, see
+/// apply_admission_env).
+struct AdmissionConfig {
+  enum class Policy {
+    kNone,      // unbounded queues (the historical behaviour)
+    kShed,      // reject new admissible parcels while the bound is hit
+    kBlock,     // back-pressure the caller (runs scheduler + progress work)
+    kDeadline,  // shed at the bound AND drop queued parcels older than
+                // deadline_us at flush time (no effect on "_i" configs,
+                // which never queue)
+  };
+  Policy policy = Policy::kNone;
+  std::size_t queue_bound = 0;  // per-destination in-flight parcel cap
+  double deadline_us = 1000.0;  // kDeadline: max queue age before drop
+
+  bool on() const { return policy != Policy::kNone && queue_bound > 0; }
+};
+
+/// Overrides fields from AMTNET_ADMIT_* environment variables (unset
+/// variables leave the passed-in value untouched):
+///   AMTNET_ADMIT_POLICY       off | shed | block | deadline
+///   AMTNET_ADMIT_BOUND        per-destination in-flight parcel cap
+///   AMTNET_ADMIT_DEADLINE_US  queue-age drop threshold (deadline policy)
+void apply_admission_env(AdmissionConfig& config);
+
 /// Which backend and which design-variant knobs to use. Parsed from the
 /// paper's configuration names, e.g. "lci_psr_cq_pin_i", "mpi_i"; "tcp" is
 /// HPX's original stream backend (no variant knobs beyond "_i").
@@ -57,6 +89,10 @@ struct ParcelportConfig {
   bool mpi_coarse_lock = true;  // "fine" clears it (lock-granularity ablation)
   bool mpi_original = false;    // "orig": pre-optimisation MPI parcelport
                                 // (static 512B header, tag-release protocol)
+
+  /// Send-path admission control, from shed<N> / block<N> / dl<N> tokens
+  /// (N = per-destination bound). Applies to every backend.
+  AdmissionConfig admission;
 
   /// Parses a Table-1 style name. Unknown tokens throw std::invalid_argument.
   static ParcelportConfig parse(const std::string& name);

@@ -36,6 +36,8 @@ Locality::Locality(Runtime& runtime, Rank rank, const RuntimeConfig& config)
       rank_(rank),
       zero_copy_threshold_(config.zero_copy_threshold),
       send_immediate_(config.parcelport.send_immediate),
+      admission_(config.parcelport.admission),
+      admission_on_(config.parcelport.admission.on()),
       scheduler_(config.threads_per_locality, "loc" + std::to_string(rank),
                  &runtime.telemetry()),
       connection_cache_(config.max_connections),
@@ -50,7 +52,15 @@ Locality::Locality(Runtime& runtime, Rank rank, const RuntimeConfig& config)
       hist_serialize_ns_(
           runtime.telemetry().histogram(loc_metric(rank, "serialize_ns"))),
       hist_aggregate_batch_(runtime.telemetry().histogram(
-          loc_metric(rank, "aggregate_batch"))) {
+          loc_metric(rank, "aggregate_batch"))),
+      gauge_parcel_queue_depth_(runtime.telemetry().gauge(
+          loc_metric(rank, "parcel_queue_depth"))),
+      ctr_admit_accepted_(
+          runtime.telemetry().counter(loc_metric(rank, "admit_accepted"))),
+      ctr_admit_shed_(
+          runtime.telemetry().counter(loc_metric(rank, "admit_shed"))),
+      ctr_admit_deadline_drops_(runtime.telemetry().counter(
+          loc_metric(rank, "admit_deadline_drops"))) {
   connection_cache_.attach_counters(
       &runtime.telemetry().counter(loc_metric(rank, "conncache_hits")),
       &runtime.telemetry().counter(loc_metric(rank, "conncache_failures")));
@@ -71,7 +81,57 @@ void Locality::spawn(common::UniqueFunction<void()> fn) {
   });
 }
 
-void Locality::put_parcel(Rank dst, ParcelWriter writer) {
+bool Locality::put_parcel(Rank dst, ParcelWriter writer, bool admissible) {
+  common::Nanos parcel_deadline = 0;
+  // Admission control (remote destinations only: local delivery never
+  // queues on the network). The whole block compiles down to one branch on
+  // admission_on_ for the historical configurations.
+  if (admission_on_ && dst != rank_) {
+    DestQueue& queue = *parcel_queues_[dst];
+    const auto bound = static_cast<std::int64_t>(admission_.queue_bound);
+    if (admissible) {
+      switch (admission_.policy) {
+        case AdmissionConfig::Policy::kShed:
+        case AdmissionConfig::Policy::kDeadline:
+          if (queue.outstanding.load(std::memory_order_relaxed) >= bound) {
+            admit_shed_.fetch_add(1, std::memory_order_relaxed);
+            ctr_admit_shed_.add();
+            return false;
+          }
+          break;
+        case AdmissionConfig::Policy::kBlock:
+          if (queue.outstanding.load(std::memory_order_relaxed) >= bound) {
+            admit_block_waits_.fetch_add(1, std::memory_order_relaxed);
+            // Runs tasks + parcelport progress while waiting, so send
+            // completions keep draining even when every worker blocks here.
+            scheduler_.wait_until([&queue, bound] {
+              return queue.outstanding.load(std::memory_order_relaxed) <
+                     bound;
+            });
+          }
+          break;
+        case AdmissionConfig::Policy::kNone:
+          break;
+      }
+      if (admission_.policy == AdmissionConfig::Policy::kDeadline) {
+        parcel_deadline =
+            common::now_ns() +
+            static_cast<common::Nanos>(admission_.deadline_us * 1000.0);
+      }
+      admit_accepted_.fetch_add(1, std::memory_order_relaxed);
+      ctr_admit_accepted_.add();
+    }
+    // Every accepted parcel — admissible or exempt — occupies a queue slot
+    // until its send completes; exempt traffic fills the bound but is never
+    // refused by it.
+    const std::int64_t depth =
+        queue.outstanding.fetch_add(1, std::memory_order_relaxed) + 1;
+    gauge_parcel_queue_depth_.add();
+    std::int64_t peak = admit_peak_depth_.load(std::memory_order_relaxed);
+    while (depth > peak && !admit_peak_depth_.compare_exchange_weak(
+                               peak, depth, std::memory_order_relaxed)) {
+    }
+  }
   ctr_parcels_sent_.add();
 
   if (send_immediate_) {
@@ -91,46 +151,81 @@ void Locality::put_parcel(Rank dst, ParcelWriter writer) {
     } else {
       parcelport_->send(dst, std::move(msg), [] {});
     }
-    return;
+    return true;
   }
 
   {
     DestQueue& queue = *parcel_queues_[dst];
     std::lock_guard<common::SpinMutex> guard(queue.mutex);
-    queue.parcels.push_back(std::move(writer));
+    queue.parcels.push_back({std::move(writer), parcel_deadline});
   }
   try_flush(dst);
+  return true;
+}
+
+void Locality::admission_release(Rank dst, std::int64_t parcels) {
+  if (!admission_on_ || parcels == 0) return;
+  parcel_queues_[dst]->outstanding.fetch_sub(parcels,
+                                             std::memory_order_relaxed);
+  gauge_parcel_queue_depth_.sub(parcels);
 }
 
 void Locality::try_flush(Rank dst) {
   for (;;) {
     if (!connection_cache_.try_acquire()) return;  // parcels stay queued
-    std::vector<ParcelWriter> writers;
+    std::vector<PendingParcel> pending;
     {
       DestQueue& queue = *parcel_queues_[dst];
       std::lock_guard<common::SpinMutex> guard(queue.mutex);
-      writers.swap(queue.parcels);
+      pending.swap(queue.parcels);
     }
-    if (writers.empty()) {
+    // Deadline policy: parcels that aged past their deadline while waiting
+    // for a connection are dropped here instead of sent — stale work is the
+    // one thing an overloaded serving path should never transmit.
+    if (admission_on_ &&
+        admission_.policy == AdmissionConfig::Policy::kDeadline &&
+        !pending.empty()) {
+      const common::Nanos now = common::now_ns();
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (pending[i].deadline_ns != 0 && now > pending[i].deadline_ns) {
+          continue;
+        }
+        if (kept != i) pending[kept] = std::move(pending[i]);
+        ++kept;
+      }
+      const auto dropped =
+          static_cast<std::int64_t>(pending.size() - kept);
+      if (dropped != 0) {
+        pending.resize(kept);
+        admit_deadline_drops_.fetch_add(static_cast<std::uint64_t>(dropped),
+                                        std::memory_order_relaxed);
+        ctr_admit_deadline_drops_.add(static_cast<std::uint64_t>(dropped));
+        admission_release(dst, dropped);
+      }
+    }
+    if (pending.empty()) {
       connection_cache_.release();
       return;
     }
     // Aggregate everything queued for this destination into one HPX message.
-    hist_aggregate_batch_.record(writers.size());
+    hist_aggregate_batch_.record(pending.size());
     OutputArchive ar(zero_copy_threshold_);
-    ar << static_cast<std::uint32_t>(writers.size());
+    ar << static_cast<std::uint32_t>(pending.size());
     OutMessage msg = [&] {
       telemetry::ScopedTimer timer(hist_serialize_ns_);
-      for (auto& writer : writers) writer(ar);
+      for (auto& parcel : pending) parcel.writer(ar);
       return ar.finish();
     }();
     ctr_messages_sent_.add();
+    const auto batch = static_cast<std::int64_t>(pending.size());
 
     if (dst == rank_) {
       deliver_local(std::move(msg));
       connection_cache_.release();
       continue;  // more parcels may have queued meanwhile
     }
+    (void)batch;
     parcelport_->send(dst, std::move(msg), [this, dst] {
       connection_cache_.release();
       // The freed connection may unblock queued parcels — this or others.
@@ -170,11 +265,18 @@ void Locality::on_message(InMessage&& msg) {
   ctr_messages_received_.add();
   scheduler_.spawn([this, msg = std::move(msg)]() mutable {
     detail::ScopedHere scope(this);
-    handle_message(msg);
+    const std::uint32_t parcels = handle_message(msg);
+    // Credit return for the sender's admission window: a slot frees only
+    // once its parcel has *executed* here, so `outstanding` spans the whole
+    // serving path (sender queue, wire, destination scheduler) — send-side
+    // completions fire at injection and would hide the downstream backlog.
+    if (msg.source != rank_) {
+      runtime_.locality(msg.source).admission_release(rank_, parcels);
+    }
   });
 }
 
-void Locality::handle_message(const InMessage& msg) {
+std::uint32_t Locality::handle_message(const InMessage& msg) {
   InputArchive ar(msg);
   std::uint32_t count = 0;
   ar >> count;
@@ -189,7 +291,9 @@ void Locality::handle_message(const InMessage& msg) {
         auto it = promises_.find(promise_id);
         if (it == promises_.end()) {
           AMTNET_LOG_ERROR("response for unknown promise ", promise_id);
-          return;  // cannot resynchronise the archive; drop the rest
+          // Cannot resynchronise the archive; drop the rest (the credits
+          // still return in full — a leaked slot would wedge admission).
+          return count;
         }
         handler = std::move(it->second);
         promises_.erase(it);
@@ -202,6 +306,7 @@ void Locality::handle_message(const InMessage& msg) {
     }
     ctr_actions_executed_.add();
   }
+  return count;
 }
 
 std::uint64_t Locality::register_promise(
@@ -219,6 +324,17 @@ void Locality::send_response(Rank dst, std::uint64_t promise_id,
     ar << kResponseAction << promise_id;
     payload(ar);
   });
+}
+
+AdmissionStats Locality::admission_stats() const {
+  AdmissionStats stats;
+  stats.accepted = admit_accepted_.load(std::memory_order_relaxed);
+  stats.shed = admit_shed_.load(std::memory_order_relaxed);
+  stats.deadline_drops =
+      admit_deadline_drops_.load(std::memory_order_relaxed);
+  stats.block_waits = admit_block_waits_.load(std::memory_order_relaxed);
+  stats.peak_queue_depth = admit_peak_depth_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 LocalityStats Locality::stats() const {

@@ -162,6 +162,24 @@ const std::vector<Knob>& knob_registry() {
       {Kind::kEnv, "AMTNET_CHAOS_SEEDS", "1..8 in CI",
        "comma-separated seed sweep for the chaos test harness",
        "test_chaos"},
+      // -- serving path: admission control and the open-loop load generator --
+      {Kind::kEnv, "AMTNET_ADMIT_POLICY", "off",
+       "send-path admission policy override: off|shed|block|deadline "
+       "(config-name tokens take precedence)",
+       "openloop"},
+      {Kind::kEnv, "AMTNET_ADMIT_BOUND", "64",
+       "per-destination admission window: parcels accepted but not yet "
+       "executed at the destination (credits return from the destination's "
+       "handler, so the window spans the whole serving path)",
+       "openloop"},
+      {Kind::kEnv, "AMTNET_ADMIT_DEADLINE_US", "1000",
+       "deadline policy: max queue age in microseconds before a parcel is "
+       "dropped at flush time",
+       "openloop"},
+      {Kind::kEnv, "AMTNET_LOADGEN_SEED", "2026",
+       "overrides the open-loop arrival-schedule seed (the schedule is "
+       "bit-for-bit reproducible per seed)",
+       "openloop"},
       // -- parcelport config-name tokens (Table 1 + ablations) --
       {Kind::kConfigToken, "mpi | lci | tcp", "lci",
        "backend selection prefix of the configuration name",
@@ -191,6 +209,12 @@ const std::vector<Knob>& knob_registry() {
        "LCI rendezvous-state shard count (rs1 = the single global-table "
        "baseline)",
        "ablation_progress"},
+      {Kind::kConfigToken, "shed<N> | block<N> | dl<N>", "off",
+       "send-path admission control with per-destination window N: shed "
+       "refuses surplus fire-and-forget parcels at the bound, block "
+       "backpressures the producer task, dl admits up to N but drops "
+       "parcels whose queue age exceeds AMTNET_ADMIT_DEADLINE_US",
+       "openloop"},
       {Kind::kConfigToken, "fine", "off (coarse)",
        "fine-grained progress lock in the MPI/UCX layer",
        "ablation_mpi_lock"},

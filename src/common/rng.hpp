@@ -1,8 +1,11 @@
-// Small, fast, seedable RNG (splitmix64 + xoshiro256**). Deterministic across
-// platforms, unlike std::default_random_engine; used by tests, workload
-// generators, and the octree proxy so runs are reproducible from a seed.
+// Small, fast, seedable RNG (splitmix64 + xoshiro256**) plus the derived
+// samplers the stack's workload and fault models share (exponential and
+// Poisson draws). Deterministic across platforms, unlike
+// std::default_random_engine; used by tests, workload generators, the fault
+// injector, and the octree proxy so runs are reproducible from a seed.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace common {
@@ -12,6 +15,21 @@ inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+/// Maps 64 uniform bits to a uniform double in (0, 1] — never exactly 0, so
+/// it is safe under std::log. The complement of the usual [0, 1) mapping.
+inline double unit_open_from_bits(std::uint64_t bits) noexcept {
+  return static_cast<double>((bits >> 11) + 1) * 0x1.0p-53;
+}
+
+/// Maps 64 uniform bits to an exponential variate with the given mean.
+/// Pure function of its inputs, so counter-indexed decision streams (the
+/// fault injector's splitmix64 streams) can draw spike magnitudes without
+/// carrying sampler state. mean <= 0 yields 0.
+inline double exponential_from_bits(std::uint64_t bits, double mean) noexcept {
+  if (mean <= 0.0) return 0.0;
+  return -mean * std::log(unit_open_from_bits(bits));
 }
 
 class Xoshiro256 {
@@ -41,6 +59,27 @@ class Xoshiro256 {
   /// Uniform double in [0, 1).
   double next_double() noexcept {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponential variate with the given mean (inter-arrival gaps of a
+  /// Poisson process at rate 1/mean). mean <= 0 yields 0.
+  double next_exponential(double mean) noexcept {
+    return exponential_from_bits(next(), mean);
+  }
+
+  /// Poisson-distributed count with the given mean (Knuth's product
+  /// method; the stack only needs small means — arrival counts per slot,
+  /// fault multiplicities — where it is exact and fast).
+  std::uint64_t next_poisson(double mean) noexcept {
+    if (mean <= 0.0) return 0;
+    const double limit = std::exp(-mean);
+    std::uint64_t count = 0;
+    double product = 1.0;
+    do {
+      ++count;
+      product *= unit_open_from_bits(next());
+    } while (product > limit);
+    return count - 1;
   }
 
  private:

@@ -14,7 +14,10 @@
 //   corrupt            a single bit flip in a packet payload (any kind with
 //                      a payload, i.e. sends AND RDMA writes — bit rot in
 //                      flight is detectable by software via checksums).
-//   delay              a latency spike of delay_us added to any packet.
+//   delay              a latency spike added to any packet; magnitudes are
+//                      exponentially distributed with mean delay_us (heavy
+//                      tails, like real network hiccups), drawn from the
+//                      same deterministic stream as the decision itself.
 //   brownout           post_send returns Status::kRetry for a window of
 //                      posts (NIC send-queue stall / adapter brownout).
 //   rnr_storm          the receiving NIC refuses buffer-consuming deliveries
@@ -38,7 +41,7 @@ struct FaultConfig {
   double corrupt = 0.0;    // P(single payload bit flip)
   std::size_t corrupt_min_size = 0;  // only payloads >= this many bytes
   double delay = 0.0;      // P(latency spike on a packet)
-  double delay_us = 50.0;  // spike magnitude
+  double delay_us = 50.0;  // mean spike magnitude (exponential tail)
   double brownout = 0.0;   // P(a post starts a brownout window)
   std::uint64_t brownout_posts = 64;  // window length, in posts
   double rnr_storm = 0.0;  // P(a poll_rx call starts an RNR storm)

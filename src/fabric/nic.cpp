@@ -191,7 +191,12 @@ common::Status Nic::post_packet(Rank dst, detail::Packet packet,
       ctr_faults_corrupted_.add();
     }
     if (thr_delay_ != 0 && common::splitmix64(rng) < thr_delay_) {
-      packet.extra_latency += fault_delay_ns_;
+      // Spike magnitudes are exponential with mean delay_us (real latency
+      // spikes are heavy-tailed, not a fixed step), drawn from the same
+      // counter-indexed stream so the whole pattern replays from the seed.
+      packet.extra_latency += static_cast<common::Nanos>(
+          common::exponential_from_bits(common::splitmix64(rng),
+                                        static_cast<double>(fault_delay_ns_)));
       ctr_faults_delayed_.add();
     }
   }

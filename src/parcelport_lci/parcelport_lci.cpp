@@ -93,6 +93,8 @@ LciParcelport::LciParcelport(const amt::ParcelportContext& context)
           pp_metric(context.rank, "sync_allocs"))),
       gauge_pieces_in_flight_(context.fabric->telemetry().gauge(
           pp_metric(context.rank, "pieces_in_flight"))),
+      gauge_send_queue_depth_(context.fabric->telemetry().gauge(
+          pp_metric(context.rank, "send_queue_depth"))),
       hist_send_ns_(context.fabric->telemetry().histogram(
           pp_metric(context.rank, "send_ns"))) {
   telemetry::Registry& registry = context.fabric->telemetry();
@@ -233,6 +235,7 @@ void LciParcelport::send_backoff(unsigned& round) {
 void LciParcelport::send(amt::Rank dst, amt::OutMessage msg,
                          common::UniqueFunction<void()> done) {
   AMTNET_TRACE_SCOPE("pplci", "send");
+  gauge_send_queue_depth_.add();  // balanced in drop_ref, at done()
   if (telemetry::timing_enabled()) {
     // Time the full send path: send() entry until the done callback fires
     // from the completion chain. Per-message frequency, so cheap enough.
@@ -368,6 +371,7 @@ void LciParcelport::SenderConnection::on_completion(
 
 void LciParcelport::SenderConnection::drop_ref(LciParcelport& port) {
   if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    port.gauge_send_queue_depth_.sub();
     done();
     port.recycle(this);
   }

@@ -257,6 +257,8 @@ class LciParcelport final : public amt::Parcelport {
   telemetry::Counter& ctr_sync_allocs_;
   telemetry::Gauge& gauge_pieces_in_flight_;  // posted, not-yet-completed
                                               // follow-up pieces (sender)
+  telemetry::Gauge& gauge_send_queue_depth_;  // messages accepted by send(),
+                                              // done callback still pending
   telemetry::Histogram& hist_send_ns_;
 
   std::atomic<bool> started_{false};

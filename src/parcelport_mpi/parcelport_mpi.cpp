@@ -38,7 +38,9 @@ MpiParcelport::MpiParcelport(const amt::ParcelportContext& context)
       ctr_delivered_(context.fabric->telemetry().counter(
           pp_metric(context.rank, "messages_delivered"))),
       hist_send_ns_(context.fabric->telemetry().histogram(
-          pp_metric(context.rank, "send_ns"))) {}
+          pp_metric(context.rank, "send_ns"))),
+      gauge_send_queue_depth_(context.fabric->telemetry().gauge(
+          pp_metric(context.rank, "send_queue_depth"))) {}
 
 MpiParcelport::~MpiParcelport() = default;
 
@@ -81,6 +83,11 @@ void MpiParcelport::release_tag(minimpi::Tag tag) {
 void MpiParcelport::send(amt::Rank dst, amt::OutMessage msg,
                          common::UniqueFunction<void()> done) {
   AMTNET_TRACE_SCOPE("ppmpi", "send");
+  gauge_send_queue_depth_.add();
+  done = [this, inner = std::move(done)]() mutable {
+    gauge_send_queue_depth_.sub();
+    inner();
+  };
   if (telemetry::timing_enabled()) {
     const common::Nanos start = common::now_ns();
     done = [this, start, inner = std::move(done)]() mutable {

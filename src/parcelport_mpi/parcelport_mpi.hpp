@@ -138,6 +138,8 @@ class MpiParcelport final : public amt::Parcelport {
   // spans send() entry to done-callback firing when timing is enabled.
   telemetry::Counter& ctr_delivered_;
   telemetry::Histogram& hist_send_ns_;
+  telemetry::Gauge& gauge_send_queue_depth_;  // messages accepted by send(),
+                                              // done callback still pending
 
   std::atomic<bool> started_{false};
 };

@@ -35,7 +35,9 @@ TcpParcelport::TcpParcelport(const amt::ParcelportContext& context)
       ctr_delivered_(context.fabric->telemetry().counter(
           pp_metric(context.rank, "messages_delivered"))),
       hist_send_ns_(context.fabric->telemetry().histogram(
-          pp_metric(context.rank, "send_ns"))) {
+          pp_metric(context.rank, "send_ns"))),
+      gauge_send_queue_depth_(context.fabric->telemetry().gauge(
+          pp_metric(context.rank, "send_queue_depth"))) {
   const amt::Rank n = context.fabric->num_ranks();
   for (amt::Rank r = 0; r < n; ++r) {
     tx_queues_.push_back(std::make_unique<TxQueue>());
@@ -50,6 +52,7 @@ void TcpParcelport::stop() { started_.store(false); }
 void TcpParcelport::send(amt::Rank dst, amt::OutMessage msg,
                          common::UniqueFunction<void()> done) {
   AMTNET_TRACE_SCOPE("pptcp", "send");
+  gauge_send_queue_depth_.add();  // balanced when the frame fully streams
   if (telemetry::timing_enabled()) {
     const common::Nanos start = common::now_ns();
     done = [this, start, inner = std::move(done)]() mutable {
@@ -124,6 +127,7 @@ bool TcpParcelport::pump_tx(amt::Rank dst) {
         frame.piece_offset = 0;
       }
     }
+    gauge_send_queue_depth_.sub();
     frame.done();
     queue.frames.pop_front();
   }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -421,6 +422,13 @@ std::atomic<std::uint64_t> sum_received{0};
 
 void ping() { ping_count.fetch_add(1); }
 
+// Deliberately slow handler: holds the admission window open long enough
+// that an unpaced sender reliably overruns a small bound.
+void slow_ping() {
+  std::this_thread::sleep_for(std::chrono::microseconds(100));
+  ping_count.fetch_add(1);
+}
+
 int add(int a, int b) { return a + b; }
 
 double vector_sum(std::vector<double> values) {
@@ -691,4 +699,223 @@ TEST(ParcelportConfigTest, RejectsUnknownTokens) {
                std::invalid_argument);
   EXPECT_THROW(amt::ParcelportConfig::parse("psr_cq"),
                std::invalid_argument);
+}
+
+TEST(ParcelportConfigTest, AdmissionTokens) {
+  using amt::AdmissionConfig;
+  using amt::ParcelportConfig;
+  const auto shed = ParcelportConfig::parse("lci_psr_cq_pin_i_shed32");
+  EXPECT_EQ(shed.admission.policy, AdmissionConfig::Policy::kShed);
+  EXPECT_EQ(shed.admission.queue_bound, 32u);
+  EXPECT_TRUE(shed.admission.on());
+  EXPECT_EQ(shed.name(), "lci_psr_cq_pin_i_shed32");
+
+  const auto block = ParcelportConfig::parse("lci_psr_cq_pin_i_block16");
+  EXPECT_EQ(block.admission.policy, AdmissionConfig::Policy::kBlock);
+  EXPECT_EQ(block.admission.queue_bound, 16u);
+  EXPECT_EQ(block.name(), "lci_psr_cq_pin_i_block16");
+
+  const auto deadline = ParcelportConfig::parse("lci_psr_cq_pin_dl512");
+  EXPECT_EQ(deadline.admission.policy, AdmissionConfig::Policy::kDeadline);
+  EXPECT_EQ(deadline.admission.queue_bound, 512u);
+  EXPECT_EQ(deadline.name(), "lci_psr_cq_pin_dl512");
+
+  // The tokens compose with every parcelport kind, not just lci.
+  EXPECT_EQ(ParcelportConfig::parse("mpi_i_shed8").admission.queue_bound, 8u);
+  EXPECT_EQ(ParcelportConfig::parse("mpi_i_shed8").name(), "mpi_i_shed8");
+
+  // Admission off is the default and stays out of the canonical name.
+  EXPECT_FALSE(ParcelportConfig::parse("lci_psr_cq_pin_i").admission.on());
+
+  // A zero bound would admit nothing and wedge forever: reject it loudly.
+  EXPECT_THROW(ParcelportConfig::parse("lci_psr_cq_pin_i_shed0"),
+               std::invalid_argument);
+  EXPECT_THROW(ParcelportConfig::parse("lci_psr_cq_pin_i_shedx"),
+               std::invalid_argument);
+}
+
+// ---------------- admission control over the loopback parcelport ----------
+
+namespace {
+
+RuntimeConfig admission_config(amt::AdmissionConfig::Policy policy,
+                               std::uint32_t bound,
+                               amt::Rank localities = 2) {
+  RuntimeConfig config = loopback_config(localities);
+  config.parcelport.admission.policy = policy;
+  config.parcelport.admission.queue_bound = bound;
+  return config;
+}
+
+}  // namespace
+
+TEST(AdmissionTest, ShedRefusesAtBoundAndConserves) {
+  // A tight window and a tight injection loop: the sender outruns the
+  // destination's handler execution, so some try_apply calls must be
+  // refused at the bound — and at quiescence every admitted parcel has
+  // executed (credits return from the destination, not from send
+  // completion).
+  Runtime runtime(
+      admission_config(amt::AdmissionConfig::Policy::kShed, 4),
+      amt::loopback_parcelport_factory());
+  runtime.start();
+  actions::ping_count.store(0);
+  constexpr int kParcels = 400;
+  std::atomic<int> accepted{0};
+  std::atomic<int> shed{0};
+  std::atomic<bool> sender_done{false};
+  runtime.locality(0).spawn([&] {
+    for (int i = 0; i < kParcels; ++i) {
+      if (amt::here().try_apply<&actions::slow_ping>(1)) {
+        accepted.fetch_add(1);
+      } else {
+        shed.fetch_add(1);
+      }
+    }
+    sender_done.store(true);
+  });
+  ASSERT_TRUE(testutil::spin_until([&] {
+    return sender_done.load() &&
+           actions::ping_count.load() == accepted.load();
+  }));
+  EXPECT_EQ(accepted.load() + shed.load(), kParcels);
+  EXPECT_GT(accepted.load(), 0);
+  EXPECT_GT(shed.load(), 0);
+
+  const auto stats = runtime.locality(0).admission_stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(accepted.load()));
+  EXPECT_EQ(stats.shed, static_cast<std::uint64_t>(shed.load()));
+  EXPECT_EQ(stats.deadline_drops, 0u);
+  EXPECT_LE(stats.peak_queue_depth, 4);
+  runtime.stop();
+}
+
+TEST(AdmissionTest, BlockPolicyDelaysButDeliversEverything) {
+  Runtime runtime(
+      admission_config(amt::AdmissionConfig::Policy::kBlock, 2),
+      amt::loopback_parcelport_factory());
+  runtime.start();
+  actions::ping_count.store(0);
+  constexpr int kParcels = 100;
+  runtime.locality(0).spawn([&] {
+    for (int i = 0; i < kParcels; ++i) amt::here().apply<&actions::ping>(1);
+  });
+  ASSERT_TRUE(testutil::spin_until(
+      [&] { return actions::ping_count.load() == kParcels; }));
+  const auto stats = runtime.locality(0).admission_stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(kParcels));
+  EXPECT_EQ(stats.shed, 0u);  // block never refuses
+  EXPECT_LE(stats.peak_queue_depth, 2);
+  runtime.stop();
+}
+
+TEST(AdmissionTest, ResponseTrafficIsExemptFromShedding) {
+  // async actions carry a promise: they are request/response pairs the
+  // caller is already throttling, so the admission window counts them but
+  // must never refuse them — a shed response would strand a future forever.
+  Runtime runtime(
+      admission_config(amt::AdmissionConfig::Policy::kShed, 1),
+      amt::loopback_parcelport_factory());
+  runtime.start();
+  std::atomic<std::int64_t> total{0};
+  constexpr int kCount = 50;
+  Latch done(kCount);
+  runtime.locality(0).spawn([&] {
+    for (int i = 0; i < kCount; ++i) {
+      auto future = amt::here().async<&actions::add>(1, i, 1);
+      future.then([&, future] {
+        total.fetch_add(future.value());
+        done.count_down();
+      });
+    }
+  });
+  done.wait(runtime.locality(0).scheduler());
+  EXPECT_EQ(total.load(),
+            static_cast<std::int64_t>(kCount) * (kCount + 1) / 2);
+  runtime.stop();
+}
+
+TEST(AdmissionTest, DeadlineDropsStaleQueuedParcelsAndConserves) {
+  // Aggregation path (no send-immediate) with a single cached connection:
+  // parcels queue behind in-flight flushes. A zero deadline makes every
+  // queued parcel stale at its flush, so drops are guaranteed — and every
+  // accepted parcel must still be accounted for: executed or dropped.
+  RuntimeConfig config =
+      admission_config(amt::AdmissionConfig::Policy::kDeadline, 1u << 20);
+  config.parcelport.admission.deadline_us = 0.0;
+  config.parcelport.send_immediate = false;
+  config.max_connections = 1;
+  Runtime runtime(config, amt::loopback_parcelport_factory());
+  runtime.start();
+  actions::ping_count.store(0);
+  constexpr int kParcels = 300;
+  std::atomic<bool> sender_done{false};
+  runtime.locality(0).spawn([&] {
+    for (int i = 0; i < kParcels; ++i) amt::here().apply<&actions::ping>(1);
+    sender_done.store(true);
+  });
+  ASSERT_TRUE(testutil::spin_until([&] {
+    if (!sender_done.load()) return false;
+    const auto stats = runtime.locality(0).admission_stats();
+    return stats.accepted ==
+           static_cast<std::uint64_t>(actions::ping_count.load()) +
+               stats.deadline_drops;
+  }));
+  const auto stats = runtime.locality(0).admission_stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(kParcels));
+  EXPECT_GT(stats.deadline_drops, 0u);
+  runtime.stop();
+}
+
+TEST(AdmissionTest, MultiThreadedBoundedQueueStress) {
+  // TSan target: concurrent senders on every locality hammer overlapping
+  // destinations through tight shed windows. The per-destination window
+  // bookkeeping (outstanding counters, peak CAS, credit release from the
+  // destination's handler task) must stay exact under contention:
+  // generated == accepted + shed and accepted == executed at quiescence.
+  constexpr amt::Rank kLocalities = 3;
+  constexpr int kSenders = 4;     // spawned tasks per locality
+  constexpr int kPerSender = 150;
+  Runtime runtime(
+      admission_config(amt::AdmissionConfig::Policy::kShed, 8, kLocalities),
+      amt::loopback_parcelport_factory());
+  runtime.start();
+  actions::ping_count.store(0);
+  std::atomic<int> accepted{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> senders_done{0};
+  for (amt::Rank loc = 0; loc < kLocalities; ++loc) {
+    for (int s = 0; s < kSenders; ++s) {
+      runtime.locality(loc).spawn([&, loc, s] {
+        for (int i = 0; i < kPerSender; ++i) {
+          const amt::Rank dst =
+              (loc + 1 + static_cast<amt::Rank>((s + i) % (kLocalities - 1))) %
+              kLocalities;
+          if (amt::here().try_apply<&actions::ping>(dst)) {
+            accepted.fetch_add(1);
+          } else {
+            shed.fetch_add(1);
+          }
+        }
+        senders_done.fetch_add(1);
+      });
+    }
+  }
+  ASSERT_TRUE(testutil::spin_until([&] {
+    return senders_done.load() == kLocalities * kSenders &&
+           actions::ping_count.load() == accepted.load();
+  }));
+  EXPECT_EQ(accepted.load() + shed.load(),
+            kLocalities * kSenders * kPerSender);
+  std::uint64_t total_accepted = 0;
+  std::uint64_t total_shed = 0;
+  for (amt::Rank loc = 0; loc < kLocalities; ++loc) {
+    const auto stats = runtime.locality(loc).admission_stats();
+    total_accepted += stats.accepted;
+    total_shed += stats.shed;
+    EXPECT_LE(stats.peak_queue_depth, 8);
+  }
+  EXPECT_EQ(total_accepted, static_cast<std::uint64_t>(accepted.load()));
+  EXPECT_EQ(total_shed, static_cast<std::uint64_t>(shed.load()));
+  runtime.stop();
 }

@@ -2,7 +2,9 @@
 // clock, and cache-padding invariants.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <memory>
 #include <set>
 #include <thread>
@@ -88,6 +90,69 @@ TEST(Rng, NextDoubleInUnitInterval) {
     EXPECT_GE(x, 0.0);
     EXPECT_LT(x, 1.0);
   }
+}
+
+TEST(Rng, ExponentialDeterministicFromSeed) {
+  common::Xoshiro256 a(2026), b(2026);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.next_exponential(50.0), b.next_exponential(50.0));
+  }
+}
+
+TEST(Rng, ExponentialFromBitsIsPure) {
+  // The free function carries no state: same bits + same mean -> same value,
+  // which is what lets counter-indexed fault streams replay from a seed.
+  std::uint64_t s1 = 7, s2 = 7;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t bits1 = common::splitmix64(s1);
+    const std::uint64_t bits2 = common::splitmix64(s2);
+    EXPECT_EQ(bits1, bits2);
+    EXPECT_EQ(common::exponential_from_bits(bits1, 123.0),
+              common::exponential_from_bits(bits2, 123.0));
+  }
+}
+
+TEST(Rng, ExponentialMomentsMatchMean) {
+  common::Xoshiro256 rng(11);
+  const double mean = 250.0;
+  double sum = 0.0;
+  double min = 1e300, max = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.next_exponential(mean);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  // Sample mean of 200k exponentials: stderr = mean/sqrt(n) ~ 0.56; 5 sigma.
+  EXPECT_NEAR(sum / kSamples, mean, 5.0 * mean / std::sqrt(double(kSamples)));
+  EXPECT_LT(min, mean * 0.01);  // the distribution reaches near zero
+  EXPECT_GT(max, mean * 5.0);   // ... and has a heavy tail
+  EXPECT_EQ(rng.next_exponential(0.0), 0.0);
+  EXPECT_EQ(common::exponential_from_bits(42, -1.0), 0.0);
+}
+
+TEST(Rng, PoissonDeterministicAndMatchesMoments) {
+  common::Xoshiro256 a(77), b(77);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.next_poisson(3.5), b.next_poisson(3.5));
+  }
+  common::Xoshiro256 rng(78);
+  const double mean = 4.0;
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = static_cast<double>(rng.next_poisson(mean));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double sample_mean = sum / kSamples;
+  const double sample_var = sum_sq / kSamples - sample_mean * sample_mean;
+  // Poisson: mean == variance == lambda. stderr(mean) = sqrt(l/n) ~ 0.0063.
+  EXPECT_NEAR(sample_mean, mean, 0.05);
+  EXPECT_NEAR(sample_var, mean, 0.15);
+  EXPECT_EQ(rng.next_poisson(0.0), 0u);
 }
 
 TEST(SpinMutex, MutualExclusionUnderContention) {

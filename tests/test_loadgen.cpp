@@ -1,0 +1,226 @@
+// Tests for the open-loop serving subsystem: arrival-schedule determinism,
+// request-count conservation, and the latency knee the admission policies
+// are supposed to flatten.
+#include "loadgen/loadgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+#include "common/clock.hpp"
+
+namespace {
+
+using loadgen::ArrivalConfig;
+using loadgen::Params;
+using loadgen::Result;
+
+// ---- arrival schedules -------------------------------------------------
+
+TEST(Schedule, PoissonDeterministicFromSeed) {
+  ArrivalConfig config;
+  config.rate_rps = 5000.0;
+  config.seed = 42;
+  const auto a = loadgen::build_schedule(config, 2000);
+  const auto b = loadgen::build_schedule(config, 2000);
+  ASSERT_EQ(a.size(), 2000u);
+  EXPECT_EQ(a, b);  // bit-for-bit reproducible
+
+  config.seed = 43;
+  const auto c = loadgen::build_schedule(config, 2000);
+  EXPECT_NE(a, c);
+
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  // Long-run rate within 10% of the target (2000 samples).
+  const double span_s = static_cast<double>(a.back()) / 1e9;
+  const double rate = 2000.0 / span_s;
+  EXPECT_NEAR(rate, 5000.0, 500.0);
+}
+
+TEST(Schedule, BurstKeepsLongRunRateButConcentratesArrivals) {
+  ArrivalConfig config;
+  config.process = ArrivalConfig::Process::kBurst;
+  config.rate_rps = 5000.0;
+  config.burst_duty = 0.25;
+  config.burst_on_ms = 2.0;
+  config.seed = 7;
+  const auto schedule = loadgen::build_schedule(config, 4000);
+  ASSERT_EQ(schedule.size(), 4000u);
+  EXPECT_TRUE(std::is_sorted(schedule.begin(), schedule.end()));
+  EXPECT_EQ(schedule, loadgen::build_schedule(config, 4000));
+
+  // Long-run rate stays near the target...
+  const double span_s = static_cast<double>(schedule.back()) / 1e9;
+  EXPECT_NEAR(4000.0 / span_s, 5000.0, 1250.0);
+
+  // ...but arrivals bunch up: the median gap is far below the mean gap
+  // (within a burst the instantaneous rate is rate/duty = 4x).
+  std::vector<std::uint64_t> gaps;
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    gaps.push_back(schedule[i] - schedule[i - 1]);
+  }
+  std::sort(gaps.begin(), gaps.end());
+  const double median = static_cast<double>(gaps[gaps.size() / 2]);
+  const double mean =
+      static_cast<double>(std::accumulate(gaps.begin(), gaps.end(),
+                                          std::uint64_t{0})) /
+      static_cast<double>(gaps.size());
+  EXPECT_LT(median, 0.5 * mean);
+}
+
+TEST(Schedule, RejectsNonPositiveRate) {
+  ArrivalConfig config;
+  config.rate_rps = 0.0;
+  EXPECT_THROW(loadgen::build_schedule(config, 10), std::invalid_argument);
+}
+
+TEST(SizeMix, ParsesAndValidates) {
+  const auto mix = loadgen::parse_size_mix("64:9,4096:1");
+  ASSERT_EQ(mix.size(), 2u);
+  EXPECT_EQ(mix[0].bytes, 64u);
+  EXPECT_DOUBLE_EQ(mix[0].weight, 9.0);
+  EXPECT_EQ(mix[1].bytes, 4096u);
+  EXPECT_DOUBLE_EQ(mix[1].weight, 1.0);
+
+  const auto bare = loadgen::parse_size_mix("128");
+  ASSERT_EQ(bare.size(), 1u);
+  EXPECT_EQ(bare[0].bytes, 128u);
+  EXPECT_DOUBLE_EQ(bare[0].weight, 1.0);
+
+  EXPECT_THROW(loadgen::parse_size_mix("0:1"), std::invalid_argument);
+  EXPECT_THROW(loadgen::parse_size_mix("64:0"), std::invalid_argument);
+}
+
+// ---- end-to-end runs ---------------------------------------------------
+
+// Shared shape for the run tests: 2 localities over the shaped fabric.
+// Capacity ~ bandwidth / request size ~ 0.13 Gbps / 4 KiB ~ 4k requests/s.
+Params base_params() {
+  Params params;
+  params.parcelport = "lci_psr_cq_pin_i";
+  params.localities = 2;
+  params.workers = 2;
+  params.requests = 1200;
+  params.arrival.rate_rps = 2400.0;  // ~0.6x saturation
+  params.arrival.seed = 2026;
+  params.size_mix = loadgen::parse_size_mix("4096");
+  return params;
+}
+
+TEST(OpenLoop, ConservesCountsWithAdmissionOff) {
+  Params params = base_params();
+  params.requests = 600;
+  const Result result = loadgen::run_open_loop(params);
+  EXPECT_TRUE(result.conserved);
+  EXPECT_EQ(result.generated, 600u);
+  EXPECT_EQ(result.accepted, 600u);  // admission off: nothing refused
+  EXPECT_EQ(result.shed, 0u);
+  EXPECT_EQ(result.completed, 600u);
+}
+
+TEST(OpenLoop, ScheduleHashReproducibleAcrossRuns) {
+  Params params = base_params();
+  params.requests = 400;
+  const Result a = loadgen::run_open_loop(params);
+  const Result b = loadgen::run_open_loop(params);
+  EXPECT_EQ(a.schedule_hash, b.schedule_hash);
+  EXPECT_NE(a.schedule_hash, 0u);
+
+  // AMTNET_LOADGEN_SEED overrides the configured seed.
+  ::setenv("AMTNET_LOADGEN_SEED", "99991", 1);
+  const Result c = loadgen::run_open_loop(params);
+  ::unsetenv("AMTNET_LOADGEN_SEED");
+  EXPECT_NE(c.schedule_hash, a.schedule_hash);
+}
+
+TEST(OpenLoop, ShedPolicyConservesAndRespectsBound) {
+  Params params = base_params();
+  params.parcelport = "lci_psr_cq_pin_i_shed32";
+  params.requests = 1500;
+  params.arrival.rate_rps = 6000.0;  // ~1.5x saturation: must shed
+  const Result result = loadgen::run_open_loop(params);
+  EXPECT_TRUE(result.conserved);
+  EXPECT_EQ(result.generated, result.accepted + result.shed);
+  EXPECT_EQ(result.accepted, result.completed + result.deadline_drops);
+  EXPECT_GT(result.shed, 0u);
+  EXPECT_LE(result.peak_queue_depth, 32);
+}
+
+TEST(OpenLoop, BlockPolicyNeverSheds) {
+  Params params = base_params();
+  params.parcelport = "lci_psr_cq_pin_i_block16";
+  params.requests = 800;
+  params.arrival.rate_rps = 6000.0;
+  const Result result = loadgen::run_open_loop(params);
+  EXPECT_TRUE(result.conserved);
+  EXPECT_EQ(result.shed, 0u);
+  EXPECT_EQ(result.completed, result.generated);
+  EXPECT_GT(result.block_waits, 0u);
+  EXPECT_LE(result.peak_queue_depth, 16);
+}
+
+TEST(OpenLoop, DeadlinePolicyDropsStaleParcels) {
+  Params params = base_params();
+  // Deadline needs queued parcels: disable send-immediate and keep the
+  // connection cache tiny so the per-destination queue actually holds. The
+  // bound must be generous (a whole in-flight aggregate counts against it)
+  // and the deadline shorter than one aggregate's send time, so parcels
+  // queued behind a flush go stale before the next flush picks them up.
+  params.parcelport = "lci_psr_cq_pin_dl512";
+  params.max_connections = 1;
+  params.requests = 1500;
+  params.arrival.rate_rps = 6000.0;
+  ::setenv("AMTNET_ADMIT_DEADLINE_US", "500", 1);
+  const Result result = loadgen::run_open_loop(params);
+  ::unsetenv("AMTNET_ADMIT_DEADLINE_US");
+  EXPECT_TRUE(result.conserved);
+  EXPECT_GT(result.deadline_drops, 0u);
+  EXPECT_EQ(result.accepted, result.completed + result.deadline_drops);
+}
+
+#ifndef AMTNET_TELEMETRY_DISABLED
+// The acceptance knee: past saturation an uncontrolled open-loop tail
+// explodes (queueing grows with the run), while a bounded shed policy keeps
+// the tail within a small factor of the sub-saturation tail. Wall-clock
+// based, so allow a few retries against OS noise; the *ratios* involved are
+// order-of-magnitude, not marginal.
+TEST(OpenLoop, AdmissionFlattensTheLatencyKnee) {
+  Params sub = base_params();
+  sub.requests = 1200;
+  sub.arrival.rate_rps = 2400.0;  // ~0.6x saturation
+
+  Params over = sub;
+  over.requests = 2400;
+  over.arrival.rate_rps = 6000.0;  // ~1.5x saturation
+
+  Params shed = over;
+  shed.parcelport = "lci_psr_cq_pin_i_shed16";
+
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const Result r_sub = loadgen::run_open_loop(sub);
+    const Result r_over = loadgen::run_open_loop(over);
+    const Result r_shed = loadgen::run_open_loop(shed);
+    ASSERT_TRUE(r_sub.conserved);
+    ASSERT_TRUE(r_over.conserved);
+    ASSERT_TRUE(r_shed.conserved);
+    ASSERT_GT(r_sub.p999_us, 0.0);
+
+    const bool knee = r_over.p999_us >= 10.0 * r_sub.p999_us;
+    const bool flat = r_shed.p999_us <= 3.0 * r_sub.p999_us;
+    if (knee && flat) {
+      SUCCEED();
+      return;
+    }
+    if (attempt == 2) {
+      EXPECT_TRUE(knee) << "saturated p99.9 " << r_over.p999_us
+                        << "us vs sub-saturation " << r_sub.p999_us << "us";
+      EXPECT_TRUE(flat) << "shed p99.9 " << r_shed.p999_us
+                        << "us vs sub-saturation " << r_sub.p999_us << "us";
+    }
+  }
+}
+#endif  // AMTNET_TELEMETRY_DISABLED
+
+}  // namespace

@@ -4,6 +4,7 @@
 // Chrome trace recorder (emitted JSON must actually parse).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cctype>
 #include <cstdint>
@@ -251,6 +252,73 @@ TEST(Histogram, PercentileBounds) {
   EXPECT_EQ(histogram.percentile(1.0), 1000u);
   EXPECT_LE(p50, p90);
   EXPECT_LE(p90, p99);
+}
+
+TEST(Histogram, PercentileAccuracyUniform) {
+  // Dense uniform distribution over ~4 decades: every reported quantile must
+  // sit within one sub-bucket (1/32 ~ 3.2%) above the true order statistic.
+  telemetry::Histogram histogram;
+  constexpr std::uint64_t kN = 100000;
+  for (std::uint64_t v = 1; v <= kN; ++v) histogram.record(v);
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    const auto truth =
+        static_cast<std::uint64_t>(q * static_cast<double>(kN));
+    const std::uint64_t reported = histogram.percentile(q);
+    EXPECT_GE(reported, truth) << "q=" << q;
+    EXPECT_LE(reported, truth + truth / 32 + 1) << "q=" << q;
+  }
+}
+
+TEST(Histogram, PercentileAccuracyHeavyTail) {
+  // Three-mode latency-like mixture spanning four orders of magnitude
+  // (1ms body, 100ms tail, one 10s outlier — in ns). The tail quantiles
+  // must land on the right mode, not get smeared by the wide buckets
+  // between modes.
+  telemetry::Histogram histogram;
+  constexpr std::uint64_t kBody = 1'000'000;
+  constexpr std::uint64_t kTail = 100'000'000;
+  constexpr std::uint64_t kOutlier = 10'000'000'000;
+  for (int i = 0; i < 9900; ++i) histogram.record(kBody);
+  for (int i = 0; i < 99; ++i) histogram.record(kTail);
+  histogram.record(kOutlier);
+
+  const std::uint64_t p50 = histogram.percentile(0.50);
+  EXPECT_GE(p50, kBody);
+  EXPECT_LE(p50, kBody + kBody / 32 + 1);
+  // 9900 of 10000 samples are body: p99 still reports the body mode.
+  const std::uint64_t p99 = histogram.percentile(0.99);
+  EXPECT_GE(p99, kBody);
+  EXPECT_LE(p99, kBody + kBody / 32 + 1);
+  // p99.9 crosses into the 100ms tail mode.
+  const std::uint64_t p999 = histogram.percentile(0.999);
+  EXPECT_GE(p999, kTail);
+  EXPECT_LE(p999, kTail + kTail / 32 + 1);
+  // The top of the distribution is the exact observed outlier.
+  EXPECT_EQ(histogram.percentile(1.0), kOutlier);
+  EXPECT_EQ(histogram.max(), kOutlier);
+}
+
+TEST(Histogram, PercentilesSinglePassMatchesRepeatedQueries) {
+  // The three-way percentiles() used by the load generator must agree with
+  // the one-at-a-time API (same bucket walk, one pass).
+  telemetry::Histogram histogram;
+  std::uint64_t state = 2026;
+  for (int i = 0; i < 20000; ++i) {
+    // splitmix-style scramble: deterministic pseudo-uniform in [1, 2^20].
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    histogram.record((z ^ (z >> 31)) % (1u << 20) + 1);
+  }
+  const std::array<double, 3> qs = {0.5, 0.99, 0.999};
+  std::array<std::uint64_t, 3> out = {0, 0, 0};
+  histogram.percentiles(qs, out);
+  EXPECT_EQ(out[0], histogram.percentile(0.5));
+  EXPECT_EQ(out[1], histogram.percentile(0.99));
+  EXPECT_EQ(out[2], histogram.percentile(0.999));
+  EXPECT_LE(out[0], out[1]);
+  EXPECT_LE(out[1], out[2]);
 }
 
 TEST(Histogram, ConcurrentRecordsKeepExactCount) {
