@@ -1,0 +1,9 @@
+// Thin wrapper over the "ablation_fastpath" suite of the experiment registry
+// (bench/suites.cpp). The point matrix, repetition policy and metric
+// definitions all live there; `bench_suite` runs the same suite with
+// baseline gating and docs rendering on top.
+#include "suites.hpp"
+
+int main(int argc, char** argv) {
+  return bench::suites::run_suite_main("ablation_fastpath", argc, argv);
+}

@@ -1,6 +1,7 @@
 #include "suites.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -365,6 +366,20 @@ SuiteSpec fig7() {
       s.points.push_back(latency_point(config, size, 1, kLatencyStepsSized));
     }
   }
+  // Straddle the small-parcel fast-path threshold: the ping-pong's
+  // whole-parcel frame is payload + 53 B (24 B frame header + 4 B action
+  // id + 8 B promise id + two u32 args + a 9 B inline-vector prefix), and
+  // the fast path takes frames up to the 8192 B eager threshold. These
+  // two payloads put the frame at threshold -8 B and +8 B, so the curve
+  // shows the step where parcels leave the one-message path — only
+  // meaningful for the LCI rows; the MPI rows have no fast path but keep
+  // the sweep aligned. (test_parcelports pins this arithmetic against the
+  // fastpath counters.)
+  for (const char* config : kElevenConfigs) {
+    for (std::size_t size : {8192u - 53 - 8, 8192u - 53 + 8}) {
+      s.points.push_back(latency_point(config, size, 1, kLatencyStepsSized));
+    }
+  }
   return s;
 }
 
@@ -667,6 +682,110 @@ SuiteSpec ablation_progress() {
   return s;
 }
 
+/// Fast-path ablation view: per LCI variant, the 8B flood-rate and 8B
+/// latency ratio of fp=on over fp=off — the headline speedup table.
+void print_fastpath_speedup(const SuiteResult& result) {
+  struct Row {
+    double rate_on = 0.0, rate_off = 0.0;
+    double lat_on = 0.0, lat_off = 0.0;
+  };
+  std::vector<std::pair<std::string, Row>> rows;  // insertion order
+  for (const auto& point : result.points) {
+    const auto variant = point.labels.find("variant");
+    const auto fp = point.labels.find("fp");
+    const auto size = point.labels.find("msg_size");
+    if (variant == point.labels.end() || fp == point.labels.end() ||
+        size == point.labels.end() || size->second != "8") {
+      continue;
+    }
+    auto it = std::find_if(rows.begin(), rows.end(), [&](const auto& row) {
+      return row.first == variant->second;
+    });
+    if (it == rows.end()) {
+      rows.push_back({variant->second, {}});
+      it = rows.end() - 1;
+    }
+    const bool on = fp->second == "on";
+    if (const auto* rate = point.metric("rate_kps")) {
+      (on ? it->second.rate_on : it->second.rate_off) = rate->median;
+    }
+    if (const auto* lat = point.metric("latency_us")) {
+      (on ? it->second.lat_on : it->second.lat_off) = lat->median;
+    }
+  }
+  std::printf("\n# fast-path speedup at 8B (fp=on over fp=off)\n");
+  std::printf("variant,rate_speedup,latency_ratio\n");
+  double rate_log_sum = 0.0, lat_log_sum = 0.0;
+  std::size_t rate_n = 0, lat_n = 0;
+  for (const auto& [variant, row] : rows) {
+    const double rate =
+        row.rate_off > 0.0 ? row.rate_on / row.rate_off : 0.0;
+    const double lat = row.lat_off > 0.0 ? row.lat_on / row.lat_off : 0.0;
+    if (rate > 0.0) {
+      rate_log_sum += std::log(rate);
+      ++rate_n;
+    }
+    if (lat > 0.0) {
+      lat_log_sum += std::log(lat);
+      ++lat_n;
+    }
+    std::printf("%s,%.3f,%.3f\n", variant.c_str(), rate, lat);
+  }
+  if (rate_n > 0 && lat_n > 0) {
+    std::printf("geomean,%.3f,%.3f\n", std::exp(rate_log_sum / rate_n),
+                std::exp(lat_log_sum / lat_n));
+  }
+  std::fflush(stdout);
+}
+
+SuiteSpec ablation_fastpath() {
+  SuiteSpec s;
+  s.name = "ablation_fastpath";
+  s.binary = "bench_ablation_fastpath";
+  s.figure = "small-parcel fast-path ablation";
+  s.expectation =
+      "with the fast path on, every sub-threshold parcel rides one "
+      "whole-parcel frame instead of header + connection bookkeeping: the "
+      "8B flood rate improves across all variants (most on sr, which "
+      "otherwise pays receiver-connection acquisition per message) and "
+      "single-parcel latency drops; at 4KiB the frame still fits and the "
+      "win narrows but must not invert";
+  s.title =
+      "small-parcel fast path on/off (8 LCI variants x 8B/512B/4KiB)";
+  s.smoke = true;
+  const std::vector<const char*> variants = {
+      "psr_cq_pin", "psr_cq_mt", "psr_sy_pin", "psr_sy_mt",
+      "sr_cq_pin",  "sr_cq_mt",  "sr_sy_pin",  "sr_sy_mt"};
+  struct Mode {
+    const char* label;
+    const char* token;
+  };
+  for (const Mode& mode : {Mode{"on", "_fp"}, Mode{"off", "_fpoff"}}) {
+    for (const char* variant : variants) {
+      const std::string config =
+          "lci_" + std::string(variant) + mode.token + "_i";
+      // Rate floods at the three sizes the ablation argues over.
+      PointSpec p8 = rate_point(config, 8, 100, k8bFloodMsgs, 0.0);
+      PointSpec p512 = rate_point(config, 512, 100, k8bFloodMsgs, 0.0);
+      PointSpec p4k = rate_point(config, 4096, 10, k16kFloodMsgs, 0.0);
+      // Single-parcel (window 1) 8B latency. A deeper chain than the
+      // fig8 base: per-hop savings of a few microseconds need more than a
+      // couple of round trips per run to rise above scheduler noise at
+      // smoke scale.
+      PointSpec lat = latency_point(config, 8, 1, 200);
+      for (PointSpec* p : {&p8, &p512, &p4k, &lat}) {
+        p->labels["variant"] = variant;
+        p->labels["fp"] = mode.label;
+        s.points.push_back(std::move(*p));
+      }
+    }
+  }
+  s.probes = {{"fastpath_hits", "pplci/", "/fastpath_hits"},
+              {"fastpath_fallbacks", "pplci/", "/fastpath_fallbacks"}};
+  s.post_summary = print_fastpath_speedup;
+  return s;
+}
+
 /// Open-loop view: per config+process, offered vs goodput and the tail.
 void print_openloop_knee(const SuiteResult& result) {
   std::printf("\n# open-loop knee (offered vs goodput and tail)\n");
@@ -797,6 +916,7 @@ void register_all() {
     registry.add(ablation_rails());
     registry.add(ablation_pipeline());
     registry.add(ablation_progress());
+    registry.add(ablation_fastpath());
     registry.add(openloop());
     registry.add(extra_tcp_comparison());
     return true;

@@ -111,6 +111,19 @@ ParcelportConfig ParcelportConfig::parse(const std::string& name) {
             "rendezvous shard count must be >= 1: " + name);
       }
       config.lci_rdv_shards = shards;
+    } else if (token == "fp") {
+      config.lci_fastpath = 1;
+    } else if (token == "fpoff") {
+      config.lci_fastpath = 0;
+    } else if (token.size() > 2 && token.compare(0, 2, "fp") == 0 &&
+               token.find_first_not_of("0123456789", 2) == std::string::npos) {
+      const unsigned long cap = std::stoul(token.substr(2));
+      if (cap < 2) {
+        throw std::invalid_argument(
+            "fast-path cap must be >= 2 bytes (use fpoff to disable): " +
+            name);
+      }
+      config.lci_fastpath = static_cast<long>(cap);
     } else if (token == "fine") {
       config.mpi_coarse_lock = false;
     } else if (token == "orig") {
@@ -158,6 +171,13 @@ std::string ParcelportConfig::name() const {
     }
     if (lci_rdv_shards > 0) {
       out += "_rs" + std::to_string(lci_rdv_shards);
+    }
+    if (lci_fastpath == 0) {
+      out += "_fpoff";
+    } else if (lci_fastpath == 1) {
+      out += "_fp";
+    } else if (lci_fastpath > 1) {
+      out += "_fp" + std::to_string(lci_fastpath);
     }
   }
   if (send_immediate) out += "_i";

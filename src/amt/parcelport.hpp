@@ -85,6 +85,14 @@ struct ParcelportConfig {
   /// AMTNET_LCI_RDV_SHARDS when absent from the name.
   std::size_t lci_rdv_shards = 0;
 
+  /// LCI small-parcel fast path (put-with-completion): parcels whose whole
+  /// frame fits under a byte cap travel as ONE self-contained message and
+  /// dispatch from a remote handler. -1 = unset in the name (the
+  /// AMTNET_LCI_FASTPATH env decides, default on); "fpoff" = 0 (disabled),
+  /// "fp" = 1 (on, capped at the eager threshold), "fp<N>" = N (on, capped
+  /// at min(N, eager threshold) bytes).
+  long lci_fastpath = -1;
+
   // MPI-parcelport ablation knobs (beyond Table 1):
   bool mpi_coarse_lock = true;  // "fine" clears it (lock-granularity ablation)
   bool mpi_original = false;    // "orig": pre-optimisation MPI parcelport

@@ -167,6 +167,153 @@ inline void encode_header(const OutMessage& msg, const HeaderPlan& plan,
   encode_header_to(msg, plan, tag, seq, out.data(), out.size());
 }
 
+// ---------------------------------------------------------------------------
+// Whole-parcel frame (the small-parcel fast path, modeled on hpx5's
+// put-with-completion): when an entire HPX message fits under the eager
+// threshold, the sender packs header + transmission-chunk sizes + every
+// chunk payload into ONE self-contained frame and the receiver dispatches it
+// straight from a handler completion — no follow-up tags, no
+// ReceiverConnection. Same integrity story as the header message: CRC-32
+// over the whole frame plus the per-channel sequence number for duplicate
+// detection under fault injection.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint32_t kWholeParcelMagic = 0xFA57CA11u;
+
+struct WholeParcelHeader {
+  std::uint32_t magic = kWholeParcelMagic;  // frame-kind guard
+  std::uint32_t num_zchunks = 0;
+  std::uint64_t main_size = 0;
+  /// Same per-destination-channel generation counter as WireHeader::seq
+  /// (fast-path and header frames share one sequence space per channel).
+  std::uint16_t seq = 0;
+  std::uint16_t reserved = 0;
+  /// CRC-32 over the entire encoded frame (this field as zero).
+  std::uint32_t crc = 0;
+};
+static_assert(sizeof(WholeParcelHeader) == 24);
+
+/// Frame layout: [header][zchunk sizes: u64 x num_zchunks][main][z0][z1]...
+inline std::size_t whole_parcel_frame_size(const OutMessage& msg) {
+  std::size_t size = sizeof(WholeParcelHeader) +
+                     msg.zchunks.size() * sizeof(std::uint64_t) +
+                     msg.main_chunk.size();
+  for (const ZChunk& chunk : msg.zchunks) size += chunk.size;
+  return size;
+}
+
+/// Serializes the whole message into `out` (capacity must be >=
+/// whole_parcel_frame_size). Returns the bytes written. Allocation-free:
+/// the LCI parcelport encodes directly into a pool packet.
+inline std::size_t encode_whole_parcel_to(const OutMessage& msg,
+                                          std::uint16_t seq, std::byte* out,
+                                          std::size_t capacity) {
+  WholeParcelHeader header;
+  header.num_zchunks = static_cast<std::uint32_t>(msg.zchunks.size());
+  header.main_size = msg.main_chunk.size();
+  header.seq = seq;
+  header.crc = 0;
+
+  const std::size_t total = whole_parcel_frame_size(msg);
+  assert(total <= capacity);
+  (void)capacity;
+  std::memcpy(out, &header, sizeof(header));
+  std::size_t offset = sizeof(header);
+  for (const ZChunk& chunk : msg.zchunks) {
+    const std::uint64_t size = chunk.size;
+    std::memcpy(out + offset, &size, sizeof(size));
+    offset += sizeof(size);
+  }
+  std::memcpy(out + offset, msg.main_chunk.data(), msg.main_chunk.size());
+  offset += msg.main_chunk.size();
+  for (const ZChunk& chunk : msg.zchunks) {
+    std::memcpy(out + offset, chunk.data, chunk.size);
+    offset += chunk.size;
+  }
+  const std::uint32_t crc = common::crc32(out, total);
+  std::memcpy(out + offsetof(WholeParcelHeader, crc), &crc, sizeof(crc));
+  return total;
+}
+
+/// Verified view into a whole-parcel frame: field values plus the byte
+/// offset of the main chunk. The payload stays in the caller's buffer so
+/// the dedup check can run before anything is copied.
+struct WholeParcelView {
+  WholeParcelHeader fields;
+  std::size_t main_offset = 0;
+  std::vector<std::uint64_t> zsizes;
+};
+
+/// Decodes and *verifies* a whole-parcel frame: magic, CRC over the full
+/// frame, and an exact size match (header + sizes + every payload byte must
+/// account for the buffer, nothing more, nothing less). Corruption that got
+/// past the transport fail-fasts here, like decode_header.
+inline WholeParcelView decode_whole_parcel(const std::byte* data,
+                                           std::size_t size) {
+  WholeParcelView view;
+  if (size < sizeof(WholeParcelHeader)) {
+    common::integrity_fail("whole-parcel frame truncated: ", size,
+                           " bytes < ", sizeof(WholeParcelHeader));
+  }
+  std::memcpy(&view.fields, data, sizeof(WholeParcelHeader));
+  if (view.fields.magic != kWholeParcelMagic) {
+    common::integrity_fail("whole-parcel frame bad magic: ",
+                           view.fields.magic, " size=", size);
+  }
+  const std::uint32_t zero = 0;
+  std::uint32_t crc = common::crc32(data, offsetof(WholeParcelHeader, crc));
+  crc = common::crc32(&zero, sizeof(zero), crc);
+  crc = common::crc32(data + sizeof(WholeParcelHeader),
+                      size - sizeof(WholeParcelHeader), crc);
+  if (crc != view.fields.crc) {
+    common::integrity_fail(
+        "whole-parcel frame CRC mismatch: stored=", view.fields.crc,
+        " computed=", crc, " size=", size, " seq=", view.fields.seq,
+        " num_zchunks=", view.fields.num_zchunks,
+        " main_size=", view.fields.main_size);
+  }
+  const std::size_t tchunk_size =
+      static_cast<std::size_t>(view.fields.num_zchunks) *
+      sizeof(std::uint64_t);
+  if (sizeof(WholeParcelHeader) + tchunk_size > size) {
+    common::integrity_fail("whole-parcel tchunk overruns frame: ",
+                           tchunk_size, " bytes of ", size);
+  }
+  view.zsizes = parse_tchunk(data + sizeof(WholeParcelHeader), tchunk_size);
+  view.main_offset = sizeof(WholeParcelHeader) + tchunk_size;
+  std::size_t expected = view.main_offset + view.fields.main_size;
+  for (const std::uint64_t zsize : view.zsizes) expected += zsize;
+  if (expected != size) {
+    common::integrity_fail("whole-parcel frame size mismatch: declared ",
+                           expected, " bytes, got ", size);
+  }
+  return view;
+}
+
+/// Moves the payloads out of a decoded frame into an InMessage. The zchunk
+/// payloads (rare on this path; most fast-path parcels have none) are
+/// copied out first, then the frame vector itself is trimmed in place and
+/// becomes the main chunk — the arrival allocation is reused, so the
+/// dominant small-parcel case decodes without copying the payload again.
+inline InMessage take_whole_parcel_body(std::vector<std::byte>&& frame,
+                                        const WholeParcelView& view,
+                                        Rank source) {
+  InMessage in;
+  in.source = source;
+  std::size_t offset = view.main_offset + view.fields.main_size;
+  in.zchunks.reserve(view.zsizes.size());
+  for (const std::uint64_t zsize : view.zsizes) {
+    in.zchunks.emplace_back(frame.begin() + offset,
+                            frame.begin() + offset + zsize);
+    offset += zsize;
+  }
+  frame.erase(frame.begin(),
+              frame.begin() + static_cast<std::ptrdiff_t>(view.main_offset));
+  frame.resize(view.fields.main_size);
+  in.main_chunk = std::move(frame);
+  return in;
+}
+
 /// Decoded header view (piggybacked chunks are copied out).
 struct DecodedHeader {
   WireHeader fields;

@@ -128,6 +128,11 @@ const std::vector<Knob>& knob_registry() {
        "rendezvous-state table shards in minilci (rounded up to a power of "
        "two; 1 = single global table) when the name carries no rs<N> token",
        "ablation_progress"},
+      {Kind::kEnv, "AMTNET_LCI_FASTPATH", "1 (on)",
+       "small-parcel fast path: 0/off disables, 1/on caps at the eager "
+       "threshold, N >= 2 caps whole-parcel frames at N bytes; only read "
+       "when the config name carries no fp token",
+       "ablation_fastpath"},
       {Kind::kEnv, "AMTNET_REL_SCAN_QUANTUM", "64",
        "progress ticks between retransmit scans in the reliability layer "
        "(0: scan on every progress call)",
@@ -209,6 +214,12 @@ const std::vector<Knob>& knob_registry() {
        "LCI rendezvous-state shard count (rs1 = the single global-table "
        "baseline)",
        "ablation_progress"},
+      {Kind::kConfigToken, "fp | fp<N> | fpoff", "on (eager threshold)",
+       "LCI small-parcel fast path: whole parcels at or under the cap ride "
+       "a single put-with-completion frame, skipping connection acquisition "
+       "and follow-up transfers (fp = cap at the eager threshold, fp<N> = "
+       "cap at N bytes, fpoff = kill switch)",
+       "ablation_fastpath"},
       {Kind::kConfigToken, "shed<N> | block<N> | dl<N>", "off",
        "send-path admission control with per-destination window N: shed "
        "refuses surplus fire-and-forget parcels at the bound, block "

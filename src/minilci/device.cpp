@@ -350,17 +350,14 @@ common::Status Device::put_dyn(Rank dst, Tag tag, const void* data,
                                std::size_t len, const Comp& local_comp,
                                std::uint64_t user_context) {
   if (len <= config_.eager_threshold) {
-    const common::Status status =
-        rel_.send(dst, data, len, make_imm(MsgKind::kPutEager, tag));
-    if (status != common::Status::kOk) return status;
-    CqEntry entry;
-    entry.op = OpKind::kPutDyn;
-    entry.rank = dst;
-    entry.tag = tag;
-    entry.size = len;
-    entry.user_context = user_context;
-    signal_completion(local_comp, std::move(entry));
-    return common::Status::kOk;
+    // Stage the payload in a pool packet and reuse the packet injection
+    // path: the eager put allocates nothing in steady state. Pool
+    // exhaustion is transient-resource pressure, i.e. kRetry.
+    auto packet = try_alloc_packet();
+    if (!packet) return common::Status::kRetry;
+    std::memcpy(packet->data(), data, len);
+    packet->set_size(len);
+    return put_dyn_packet(dst, tag, *packet, local_comp, user_context);
   }
   // Large put: rendezvous with target-side allocation. The payload is copied
   // so the caller's buffer is reusable on return (buffered-put semantics).
@@ -404,6 +401,9 @@ common::Status Device::put_dyn_packet(Rank dst, Tag tag, PacketBuffer& packet,
 
 void Device::handle_put_eager(Rank src, Tag tag,
                               std::vector<std::byte>&& data) {
+  if (deliver_to_handler(src, tag, OpKind::kRemotePut, std::move(data))) {
+    return;
+  }
   assert(remote_put_cq_ != nullptr);
   CqEntry entry;
   entry.op = OpKind::kRemotePut;
@@ -569,8 +569,27 @@ std::size_t Device::progress() {
   });
 }
 
+bool Device::deliver_to_handler(Rank src, Tag tag, OpKind op,
+                                std::vector<std::byte>&& data) {
+  if (!handler_armed_ || tag != handler_tag_) return false;
+  CqEntry entry;
+  entry.op = op;
+  entry.rank = src;
+  entry.tag = tag;
+  entry.size = data.size();
+  entry.data = std::move(data);
+  signal_completion(handler_comp_, std::move(entry));
+  return true;
+}
+
 void Device::handle_medium_arrival(Rank src, Tag tag,
                                    std::vector<std::byte>&& data) {
+  // Active-message fast path: the registered tag handler fires straight
+  // from progress context, skipping the matching table.
+  if (handler_armed_ && tag == handler_tag_) {
+    deliver_to_handler(src, tag, OpKind::kRecvMedium, std::move(data));
+    return;
+  }
   const std::size_t len = data.size();
   Arrival arrival;
   arrival.is_rts = false;

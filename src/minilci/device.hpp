@@ -110,6 +110,20 @@ class Device {
                                 const Comp& local_comp,
                                 std::uint64_t user_context = 0);
 
+  // ---- active-message tag handler ------------------------------------------
+
+  /// Arms a handler completion for one reserved tag (kFastpathTag): mediums
+  /// and dynamic puts arriving with that tag skip the matching table and the
+  /// remote-put queue entirely and `comp` (normally Comp::handler) fires
+  /// straight from progress context with the owned payload. Call once,
+  /// before any progress thread runs — there is deliberately no
+  /// synchronisation on the slot.
+  void register_tag_handler(Tag tag, const Comp& comp) {
+    handler_tag_ = tag;
+    handler_comp_ = comp;
+    handler_armed_ = true;
+  }
+
   // ---- progress -----------------------------------------------------------
 
   /// Drives the communication engine: drains the NIC, matches messages, and
@@ -218,6 +232,16 @@ class Device {
 
   PacketPool packet_pool_;
   MatchingTable matching_;
+
+  // Active-message slot (register_tag_handler): written once at startup,
+  // read from progress context.
+  Tag handler_tag_ = 0;
+  Comp handler_comp_;
+  bool handler_armed_ = false;
+
+  /// True when `tag` is routed to the registered handler completion.
+  bool deliver_to_handler(Rank src, Tag tag, OpKind op,
+                          std::vector<std::byte>&& data);
 
   struct PendingGet {  // one-sided get awaiting the read completion
     Comp comp;

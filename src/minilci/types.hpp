@@ -28,6 +28,12 @@ namespace minilci {
 using Rank = fabric::Rank;
 using Tag = std::uint32_t;
 
+/// Reserved tag: mediums/puts sent with it bypass matching and completion
+/// queues and are delivered straight to the device's registered tag handler
+/// from progress context (Device::register_tag_handler) — LCI's
+/// active-message style, used by the parcelport's small-parcel fast path.
+inline constexpr Tag kFastpathTag = 0xFFFFFFFFu;
+
 struct Config {
   std::size_t eager_threshold = 8192;   // max medium-message payload
   std::size_t packet_pool_size = 4096;  // send-side packet buffers

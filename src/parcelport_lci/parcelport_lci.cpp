@@ -56,6 +56,32 @@ std::size_t resolve_pipeline_depth(const amt::ParcelportConfig& config) {
   return 0;
 }
 
+std::size_t resolve_fastpath_cap(const amt::ParcelportConfig& config,
+                                 std::size_t eager_threshold) {
+  // The config name ("fp"/"fp<N>"/"fpoff" token) wins; the environment fills
+  // in otherwise; the default is ON at the eager threshold. The cap bounds
+  // the *whole frame* (header + every payload byte) and can never exceed
+  // one medium message.
+  long value = config.lci_fastpath;
+  if (value < 0) {
+    value = 1;
+    if (const char* s = std::getenv("AMTNET_LCI_FASTPATH")) {
+      const std::string text(s);
+      if (text == "0" || text == "off" || text == "false") {
+        value = 0;
+      } else if (text == "1" || text == "on" || text == "true") {
+        value = 1;
+      } else {
+        value = std::strtol(text.c_str(), nullptr, 10);
+        if (value < 0) value = 1;
+      }
+    }
+  }
+  if (value == 0) return 0;
+  if (value == 1) return eager_threshold;
+  return std::min(static_cast<std::size_t>(value), eager_threshold);
+}
+
 std::string pp_metric(amt::Rank rank, const char* leaf) {
   return "pplci/loc" + std::to_string(rank) + "/" + leaf;
 }
@@ -71,6 +97,8 @@ LciParcelport::LciParcelport(const amt::ParcelportContext& context)
           make_device_config(context).eager_threshold)),
       pipeline_depth_(resolve_pipeline_depth(context.config)),
       progress_threads_(resolve_progress_threads(context.config)),
+      fastpath_cap_(resolve_fastpath_cap(
+          context.config, make_device_config(context).eager_threshold)),
       device_(*context.fabric, context.rank, make_device_config(context),
               &remote_put_cq_),
       progress_tickets_(progress_threads_),
@@ -91,6 +119,10 @@ LciParcelport::LciParcelport(const amt::ParcelportContext& context)
           pp_metric(context.rank, "sync_reuses"))),
       ctr_sync_allocs_(context.fabric->telemetry().counter(
           pp_metric(context.rank, "sync_allocs"))),
+      ctr_fastpath_hits_(context.fabric->telemetry().counter(
+          pp_metric(context.rank, "fastpath_hits"))),
+      ctr_fastpath_fallbacks_(context.fabric->telemetry().counter(
+          pp_metric(context.rank, "fastpath_fallbacks"))),
       gauge_pieces_in_flight_(context.fabric->telemetry().gauge(
           pp_metric(context.rank, "pieces_in_flight"))),
       gauge_send_queue_depth_(context.fabric->telemetry().gauge(
@@ -102,6 +134,13 @@ LciParcelport::LciParcelport(const amt::ParcelportContext& context)
       &registry.gauge(pp_metric(context.rank, "remote_put_cq_depth")));
   comp_cq_.attach_depth_gauge(
       &registry.gauge(pp_metric(context.rank, "comp_cq_depth")));
+  if (fastpath_cap_ > 0) {
+    // Whole-parcel frames arrive on the reserved tag and dispatch straight
+    // from progress context — armed before any progress thread exists.
+    device_.register_tag_handler(
+        minilci::kFastpathTag,
+        minilci::Comp::handler(&LciParcelport::fastpath_handler, this));
+  }
 }
 
 LciParcelport::~LciParcelport() {
@@ -198,16 +237,20 @@ std::uint32_t LciParcelport::alloc_tags(std::size_t count) {
   // Distinct tag per follow-up message (no in-order delivery in LCI). The
   // 32-bit tag space wraps mid-run on long workloads; a range must never
   // start at — or wrap through — the reserved header tag 0, or follow-up
-  // traffic would collide with sr-protocol headers. Receivers route pieces
-  // with u32 subtraction (entry.tag - tag_base), which stays correct across
-  // the wrap as long as the range itself is contiguous mod 2^32, which the
-  // restart below guarantees.
+  // traffic would collide with sr-protocol headers; nor may it reach the
+  // reserved fast-path tag 0xFFFFFFFF (the last value before the wrap), or
+  // a follow-up piece would fire the whole-parcel handler. Receivers route
+  // pieces with u32 subtraction (entry.tag - tag_base), which stays correct
+  // across the wrap as long as the range itself is contiguous mod 2^32,
+  // which the restart below guarantees.
   assert(count > 0 && count < (1u << 16));
+  static_assert(minilci::kFastpathTag == 0xFFFFFFFFu,
+                "the >= wrap check below reserves exactly the last tag");
   std::uint64_t cur = next_tag_.load(std::memory_order_relaxed);
   for (;;) {
     std::uint32_t base = static_cast<std::uint32_t>(cur);
     if (base == kHeaderTag ||
-        static_cast<std::uint64_t>(base) + count > (1ull << 32)) {
+        static_cast<std::uint64_t>(base) + count >= (1ull << 32)) {
       base = 1;  // skip the reserved tag / the wrap point
     }
     const std::uint64_t next = static_cast<std::uint64_t>(base) + count;
@@ -246,6 +289,50 @@ void LciParcelport::send(amt::Rank dst, amt::OutMessage msg,
       inner();
     };
   }
+  // Small-parcel fast path (put-with-completion): the whole message travels
+  // as one self-contained frame on the reserved tag and is dispatched by
+  // the destination's handler completion — no connection, no follow-up
+  // tags, no completion-queue round trip. Local completion of *_packet is
+  // synchronous on kOk, so `done` can fire inline with Comp::none().
+  if (fastpath_cap_ > 0) {
+    if (const std::size_t frame_size = amt::whole_parcel_frame_size(msg);
+        frame_size <= fastpath_cap_) {
+      std::optional<minilci::PacketBuffer> packet;
+      unsigned backoff_round = 0;
+      for (;;) {
+        packet = device_.try_alloc_packet();
+        if (packet) break;
+        if (progress_type_ == amt::ParcelportConfig::ProgressType::kWorker) {
+          try_progress();
+        }
+        send_backoff(backoff_round);
+      }
+      const std::uint16_t seq =
+          header_seq_tx_[dst].value.fetch_add(1, std::memory_order_relaxed);
+      packet->set_size(amt::encode_whole_parcel_to(
+          msg, seq, packet->data(), packet->capacity()));
+      backoff_round = 0;
+      for (;;) {
+        const common::Status status =
+            protocol_ == amt::ParcelportConfig::Protocol::kPutSendRecv
+                ? device_.put_dyn_packet(dst, minilci::kFastpathTag, *packet,
+                                         minilci::Comp::none())
+                : device_.sendm_packet(dst, minilci::kFastpathTag, *packet,
+                                       minilci::Comp::none());
+        if (status == common::Status::kOk) break;
+        if (progress_type_ == amt::ParcelportConfig::ProgressType::kWorker) {
+          try_progress();
+        }
+        send_backoff(backoff_round);
+      }
+      ctr_fastpath_hits_.add();
+      gauge_send_queue_depth_.sub();
+      done();
+      return;
+    }
+    ctr_fastpath_fallbacks_.add();
+  }
+
   const amt::HeaderPlan plan = amt::HeaderPlan::decide(msg, max_header_size_);
 
   SenderConnection* connection = acquire_sender();
@@ -547,6 +634,39 @@ void LciParcelport::handle_header(amt::Rank src, const std::byte* data,
     connection->post_zchunk_recvs(*this);
   }
   connection->drop_ref(*this);
+}
+
+void LciParcelport::fastpath_handler(minilci::CqEntry&& entry, void* arg) {
+  auto* port = static_cast<LciParcelport*>(arg);
+  port->handle_fastpath(entry.rank, std::move(entry.data));
+}
+
+void LciParcelport::handle_fastpath(amt::Rank src,
+                                    std::vector<std::byte>&& frame) {
+  // Runs in progress context (the pinned progress thread, or whichever
+  // worker won the progress ticket). decode verifies magic + CRC and
+  // fail-fasts on corruption, exactly like the header path.
+  const amt::WholeParcelView view =
+      amt::decode_whole_parcel(frame.data(), frame.size());
+  {
+    // Fast-path frames share the per-channel sequence space with wire
+    // headers, so the same tracker catches duplicates of either kind — a
+    // duplicated frame would double-dispatch a parcel.
+    HeaderSeqRx& rx = header_seq_rx_[src].value;
+    std::lock_guard<common::SpinMutex> guard(rx.mutex);
+    if (!rx.tracker.accept(view.fields.seq)) {
+      common::integrity_fail("pplci: duplicated whole-parcel frame rank=",
+                             context_.rank, " src=", src,
+                             " seq=", view.fields.seq,
+                             " — a duplicate would double-dispatch a parcel");
+    }
+  }
+  // The arrival buffer is trimmed in place and becomes the main chunk — no
+  // second copy of the payload on the dominant (no-zchunk) case.
+  amt::InMessage in =
+      amt::take_whole_parcel_body(std::move(frame), view, src);
+  ctr_delivered_.add();
+  context_.deliver(std::move(in));
 }
 
 void LciParcelport::dispatch_entry(minilci::CqEntry&& entry) {

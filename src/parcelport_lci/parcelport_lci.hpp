@@ -36,7 +36,18 @@
 //   * send-immediate `_i`   — handled above this layer (parcel queue and
 //                             connection cache bypass in amt::Locality),
 //   * pipeline   pd<N>      — follow-up pipeline depth (pdinf/absent =
-//                             unbounded; also AMTNET_LCI_PIPELINE_DEPTH).
+//                             unbounded; also AMTNET_LCI_PIPELINE_DEPTH),
+//   * fast path  fp/fpoff   — small-parcel put-with-completion (below).
+//
+// Small-parcel fast path (hpx5 `pwc` style, on by default): when the whole
+// message — header, inline data, and every zero-copy chunk payload — fits
+// under the fast-path byte cap (fp<N> token / AMTNET_LCI_FASTPATH, capped at
+// the eager threshold), send() packs it into ONE pool packet on the reserved
+// tag minilci::kFastpathTag and the receive side dispatches it from a
+// handler completion fired straight out of progress context: no
+// ReceiverConnection, no follow-up tag allocation, no completion-queue round
+// trip. Larger messages take the unchanged header + follow-up path
+// (counted under pplci/*/fastpath_fallbacks).
 #pragma once
 
 #include <array>
@@ -72,6 +83,8 @@ class LciParcelport final : public amt::Parcelport {
   std::uint64_t messages_delivered() const { return ctr_delivered_.value(); }
   /// Effective follow-up pipeline depth (0 = unbounded).
   std::size_t pipeline_depth() const { return pipeline_depth_; }
+  /// Effective fast-path frame-size cap in bytes (0 = fast path off).
+  std::size_t fastpath_cap() const { return fastpath_cap_; }
 
   /// Test hook: positions the follow-up tag counter (e.g. just below the
   /// 32-bit wrap) to exercise alloc_tags' wraparound handling.
@@ -161,6 +174,10 @@ class LciParcelport final : public amt::Parcelport {
 
   std::uint32_t alloc_tags(std::size_t count);
   void handle_header(amt::Rank src, const std::byte* data, std::size_t size);
+  /// Fast-path delivery: fired as a minilci handler completion from progress
+  /// context when a whole-parcel frame arrives on kFastpathTag.
+  static void fastpath_handler(minilci::CqEntry&& entry, void* arg);
+  void handle_fastpath(amt::Rank src, std::vector<std::byte>&& frame);
   void dispatch_entry(minilci::CqEntry&& entry);
   bool poll_completions();
   bool poll_remote_puts();
@@ -186,6 +203,7 @@ class LciParcelport final : public amt::Parcelport {
   const std::size_t max_header_size_;
   const std::size_t pipeline_depth_;  // 0 = unbounded
   const int progress_threads_;        // ticket bound; 0 = unbounded
+  const std::size_t fastpath_cap_;    // whole-frame byte cap; 0 = off
 
   minilci::CompQueue remote_put_cq_;  // pre-configured remote CQ for puts
   minilci::Device device_;
@@ -255,6 +273,8 @@ class LciParcelport final : public amt::Parcelport {
   telemetry::Counter& ctr_conn_allocs_;   // connections newly heap-allocated
   telemetry::Counter& ctr_sync_reuses_;
   telemetry::Counter& ctr_sync_allocs_;
+  telemetry::Counter& ctr_fastpath_hits_;       // parcels sent as one frame
+  telemetry::Counter& ctr_fastpath_fallbacks_;  // fp on, frame over the cap
   telemetry::Gauge& gauge_pieces_in_flight_;  // posted, not-yet-completed
                                               // follow-up pieces (sender)
   telemetry::Gauge& gauge_send_queue_depth_;  // messages accepted by send(),

@@ -919,3 +919,135 @@ TEST(AdmissionTest, MultiThreadedBoundedQueueStress) {
   EXPECT_EQ(total_shed, static_cast<std::uint64_t>(shed.load()));
   runtime.stop();
 }
+
+// -------- LCI small-parcel fast path: credit return + TSan flood ----------
+//
+// These run over the REAL network stack (fabric -> minilci -> LCI
+// parcelport), not the loopback: the fast path delivers parcels from a
+// handler completion fired in progress context, and both the admission
+// window bookkeeping and the handler delivery itself must stay exact under
+// concurrency (the LciFastpath* filter is part of the CI tsan job).
+
+#include "parcelport_lci/parcelport_lci.hpp"
+#include "stack/stack.hpp"
+
+namespace {
+
+amt::RuntimeConfig lci_fastpath_config(const char* parcelport,
+                                       amt::Rank localities,
+                                       unsigned workers) {
+  amtnet::StackOptions options;
+  options.parcelport = parcelport;
+  options.num_localities = localities;
+  options.threads_per_locality = workers;
+  options.platform = "loopback";
+  return amtnet::make_runtime_config(options);
+}
+
+std::uint64_t fastpath_hits(amt::Runtime& runtime, amt::Rank localities) {
+  std::uint64_t hits = 0;
+  const auto snap = runtime.telemetry().snapshot();
+  for (amt::Rank r = 0; r < localities; ++r) {
+    hits += snap.counter("pplci/loc" + std::to_string(r) + "/fastpath_hits");
+  }
+  return hits;
+}
+
+}  // namespace
+
+TEST(AdmissionTest, FastpathParcelsReturnCreditsAndConserve) {
+  // Fast-path parcels never touch a ReceiverConnection, so the admission
+  // credit must come back from the destination's handler task — the same
+  // on_message -> admission_release path as every other parcel. A tight
+  // shed window with a slow handler: if fast-path delivery leaked credits
+  // the window would wedge and the executed count could never catch up
+  // with `accepted`; conservation must hold exactly at quiescence.
+  amt::RuntimeConfig config = lci_fastpath_config("lci_psr_cq_mt_fp_i", 2, 2);
+  config.parcelport.admission.policy = amt::AdmissionConfig::Policy::kShed;
+  config.parcelport.admission.queue_bound = 4;
+  amt::Runtime runtime(config, amtnet::default_parcelport_factory());
+  runtime.start();
+  actions::ping_count.store(0);
+  constexpr int kParcels = 300;
+  std::atomic<int> accepted{0};
+  std::atomic<int> shed{0};
+  std::atomic<bool> sender_done{false};
+  runtime.locality(0).spawn([&] {
+    for (int i = 0; i < kParcels; ++i) {
+      if (amt::here().try_apply<&actions::slow_ping>(1)) {
+        accepted.fetch_add(1);
+      } else {
+        shed.fetch_add(1);
+      }
+    }
+    sender_done.store(true);
+  });
+  ASSERT_TRUE(testutil::spin_until([&] {
+    return sender_done.load() &&
+           actions::ping_count.load() == accepted.load();
+  }));
+  EXPECT_EQ(accepted.load() + shed.load(), kParcels);
+  EXPECT_GT(accepted.load(), 0);
+
+  const auto stats = runtime.locality(0).admission_stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(accepted.load()));
+  EXPECT_EQ(stats.shed, static_cast<std::uint64_t>(shed.load()));
+  EXPECT_LE(stats.peak_queue_depth, 4);
+#ifndef AMTNET_TELEMETRY_DISABLED
+  // Every accepted ping is tiny and must have travelled the fast path.
+  EXPECT_GE(fastpath_hits(runtime, 2),
+            static_cast<std::uint64_t>(accepted.load()));
+#endif
+  runtime.stop();
+}
+
+TEST(LciFastpathFlood, MultiThreadedSendersTsanClean) {
+  // TSan target: concurrent sender tasks on both localities flood small
+  // parcels through the fast path while mt-mode workers race over the
+  // progress engine — the handler completion (and the per-source seq
+  // tracker behind it) fires from whichever thread holds the NIC. Every
+  // parcel must be dispatched exactly once.
+  constexpr int kSenders = 3;
+  constexpr int kPerSender = 120;
+  amt::RuntimeConfig config = lci_fastpath_config("lci_psr_cq_mt_fp_i", 2, 4);
+  amt::Runtime runtime(config, amtnet::default_parcelport_factory());
+  runtime.start();
+  actions::ping_count.store(0);
+  for (amt::Rank loc = 0; loc < 2; ++loc) {
+    for (int s = 0; s < kSenders; ++s) {
+      runtime.locality(loc).spawn([&, loc] {
+        for (int i = 0; i < kPerSender; ++i) {
+          amt::here().apply<&actions::ping>(1 - loc);
+        }
+      });
+    }
+  }
+  constexpr int kTotal = 2 * kSenders * kPerSender;
+  ASSERT_TRUE(testutil::spin_until(
+      [&] { return actions::ping_count.load() == kTotal; },
+      std::chrono::milliseconds(20000)));
+#ifndef AMTNET_TELEMETRY_DISABLED
+  EXPECT_EQ(fastpath_hits(runtime, 2), static_cast<std::uint64_t>(kTotal));
+#endif
+  runtime.stop();
+}
+
+TEST(LciFastpathFlood, SendRecvVariantDeliversThroughHandler) {
+  // Same flood over the sr protocol (fast-path frames ride tag-reserved
+  // medium sends instead of dynamic puts) with the sy completion flavour.
+  constexpr int kParcels = 200;
+  amt::RuntimeConfig config = lci_fastpath_config("lci_sr_sy_mt_fp_i", 2, 2);
+  amt::Runtime runtime(config, amtnet::default_parcelport_factory());
+  runtime.start();
+  actions::ping_count.store(0);
+  runtime.locality(0).spawn([&] {
+    for (int i = 0; i < kParcels; ++i) amt::here().apply<&actions::ping>(1);
+  });
+  ASSERT_TRUE(testutil::spin_until(
+      [&] { return actions::ping_count.load() == kParcels; },
+      std::chrono::milliseconds(20000)));
+#ifndef AMTNET_TELEMETRY_DISABLED
+  EXPECT_GE(fastpath_hits(runtime, 2), static_cast<std::uint64_t>(kParcels));
+#endif
+  runtime.stop();
+}

@@ -168,7 +168,9 @@ TEST(OpenLoop, DeadlinePolicyDropsStaleParcels) {
   // bound must be generous (a whole in-flight aggregate counts against it)
   // and the deadline shorter than one aggregate's send time, so parcels
   // queued behind a flush go stale before the next flush picks them up.
-  params.parcelport = "lci_psr_cq_pin_dl512";
+  // Pin fpoff: the small-parcel fast path drains an aggregate in a single
+  // frame, fast enough that nothing queued behind it ever goes stale.
+  params.parcelport = "lci_psr_cq_pin_fpoff_dl512";
   params.max_connections = 1;
   params.requests = 1500;
   params.arrival.rate_rps = 6000.0;

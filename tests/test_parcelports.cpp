@@ -7,11 +7,14 @@
 
 #include <array>
 #include <atomic>
+#include <cstddef>
+#include <cstring>
 #include <numeric>
 #include <string>
 #include <vector>
 
 #include "amt/wire_header.hpp"
+#include "common/crc32.hpp"
 #include "stack/stack.hpp"
 #include "test_util.hpp"
 
@@ -90,6 +93,108 @@ TEST(WireHeader, OriginalPolicyFixed512NoTchunkPiggyback) {
   const auto big = make_msg(600, {});  // does not fit in 512 bytes
   plan = amt::HeaderPlan::decide_original(big);
   EXPECT_FALSE(plan.piggy_main);
+}
+
+// ---------------- whole-parcel fast-path frame ----------------
+
+namespace {
+
+// Recomputes and patches the CRC after a deliberate field edit, so the
+// tests below exercise the *structural* validation rather than tripping
+// over the checksum first.
+void repatch_whole_parcel_crc(std::vector<std::byte>& frame) {
+  const std::uint32_t zero = 0;
+  std::memcpy(frame.data() + offsetof(amt::WholeParcelHeader, crc), &zero,
+              sizeof(zero));
+  const std::uint32_t crc = common::crc32(frame.data(), frame.size());
+  std::memcpy(frame.data() + offsetof(amt::WholeParcelHeader, crc), &crc,
+              sizeof(crc));
+}
+
+}  // namespace
+
+TEST(WholeParcelFrame, RoundTripWithZchunksAndBufferReuse) {
+  const auto msg = make_msg(64, {100, 200});
+  const std::size_t frame_size = amt::whole_parcel_frame_size(msg);
+  EXPECT_EQ(frame_size, 24u + 2 * 8 + 64 + 100 + 200);
+  std::vector<std::byte> frame(frame_size);
+  EXPECT_EQ(amt::encode_whole_parcel_to(msg, /*seq=*/42, frame.data(),
+                                        frame.size()),
+            frame_size);
+
+  const auto view = amt::decode_whole_parcel(frame.data(), frame.size());
+  EXPECT_EQ(view.fields.seq, 42u);
+  EXPECT_EQ(view.fields.num_zchunks, 2u);
+  EXPECT_EQ(view.fields.main_size, 64u);
+  ASSERT_EQ(view.zsizes.size(), 2u);
+  EXPECT_EQ(view.zsizes[0], 100u);
+  EXPECT_EQ(view.zsizes[1], 200u);
+
+  const auto in = amt::take_whole_parcel_body(std::move(frame), view, 7);
+  EXPECT_EQ(in.source, 7);
+  ASSERT_EQ(in.main_chunk.size(), 64u);
+  EXPECT_EQ(in.main_chunk[63], std::byte{0x5a});
+  ASSERT_EQ(in.zchunks.size(), 2u);
+  ASSERT_EQ(in.zchunks[0].size(), 100u);
+  EXPECT_EQ(in.zchunks[0][99], std::byte{1});
+  ASSERT_EQ(in.zchunks[1].size(), 200u);
+  EXPECT_EQ(in.zchunks[1][0], std::byte{2});
+}
+
+TEST(WholeParcelFrame, MainOnlyFrameIsHeaderPlusPayload) {
+  const auto msg = make_msg(512, {});
+  std::vector<std::byte> frame(amt::whole_parcel_frame_size(msg));
+  EXPECT_EQ(frame.size(), sizeof(amt::WholeParcelHeader) + 512);
+  amt::encode_whole_parcel_to(msg, /*seq=*/0, frame.data(), frame.size());
+  const auto view = amt::decode_whole_parcel(frame.data(), frame.size());
+  EXPECT_EQ(view.fields.num_zchunks, 0u);
+  const auto in = amt::take_whole_parcel_body(std::move(frame), view, 1);
+  EXPECT_EQ(in.main_chunk.size(), 512u);
+  EXPECT_TRUE(in.zchunks.empty());
+}
+
+TEST(WholeParcelFrameDeathTest, CorruptedPayloadFailsFast) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto msg = make_msg(64, {100});
+  std::vector<std::byte> frame(amt::whole_parcel_frame_size(msg));
+  amt::encode_whole_parcel_to(msg, /*seq=*/5, frame.data(), frame.size());
+  frame[frame.size() - 3] ^= std::byte{0x04};
+  EXPECT_DEATH(amt::decode_whole_parcel(frame.data(), frame.size()),
+               "whole-parcel frame CRC mismatch");
+}
+
+TEST(WholeParcelFrameDeathTest, TruncatedFrameFailsFast) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::vector<std::byte> frame(8, std::byte{0});
+  EXPECT_DEATH(amt::decode_whole_parcel(frame.data(), frame.size()),
+               "whole-parcel frame truncated");
+}
+
+TEST(WholeParcelFrameDeathTest, ForeignFrameKindFailsFast) {
+  // A regular wire header routed onto the fast-path tag must be rejected
+  // by the magic check, not mis-parsed as a whole parcel.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto msg = make_msg(64, {});
+  const auto plan = amt::HeaderPlan::decide(msg, 8192);
+  std::vector<std::byte> wire;
+  amt::encode_header(msg, plan, 9, /*seq=*/0, wire);
+  EXPECT_DEATH(amt::decode_whole_parcel(wire.data(), wire.size()),
+               "whole-parcel frame bad magic");
+}
+
+TEST(WholeParcelFrameDeathTest, DeclaredSizesMustMatchFrameExactly) {
+  // A frame whose CRC is valid but whose declared sizes do not add up to
+  // the buffer (e.g. a maliciously re-checksummed truncation) still dies.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto msg = make_msg(64, {});
+  std::vector<std::byte> frame(amt::whole_parcel_frame_size(msg));
+  amt::encode_whole_parcel_to(msg, /*seq=*/0, frame.data(), frame.size());
+  std::uint64_t bad_main = 63;
+  std::memcpy(frame.data() + offsetof(amt::WholeParcelHeader, main_size),
+              &bad_main, sizeof(bad_main));
+  repatch_whole_parcel_crc(frame);
+  EXPECT_DEATH(amt::decode_whole_parcel(frame.data(), frame.size()),
+               "whole-parcel frame size mismatch");
 }
 
 // ---------------- end-to-end over every configuration ----------------
@@ -314,6 +419,130 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(info.param);
     });
 
+// ---------------- small-parcel fast path, end to end ----------------
+
+// Every LCI variant combination with the fast path pinned on, over a 4-rail
+// reordering fabric: small parcels ride single whole-parcel frames (medium
+// sends under sr, dynamic puts under psr) while oversized ones must fall
+// back to the header + follow-up path mid-stream with no cross-talk. The
+// fp512 and fpoff rows are regression configs for the cap-tuning and
+// kill-switch tokens.
+class LciFastpathE2E : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LciFastpathE2E, MixedSizeTrafficAcrossReorderingFabric) {
+  StackOptions options;
+  options.parcelport = GetParam();
+  options.num_localities = 2;
+  options.threads_per_locality = 2;
+  options.platform = "loopback";
+  options.fabric_rails = 4;
+  auto runtime = amtnet::make_runtime(options);
+  e2e::counter.store(0);
+  constexpr int kSmall = 200;
+  // Small parcels in both directions at once...
+  for (amt::Rank r = 0; r < 2; ++r) {
+    runtime->locality(r).spawn([&, r] {
+      for (int i = 1; i <= kSmall; ++i) {
+        amt::here().apply<&e2e::bump>(1 - r, static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  // ...while zchunk-heavy round trips interleave on the fallback path.
+  Latch done(1);
+  bool large_ok = false;
+  runtime->locality(0).spawn([&] {
+    bool ok = true;
+    for (std::uint64_t round = 0; round < 3; ++round) {
+      auto a = e2e::make_chunk(2048, round + 1);
+      auto b = e2e::make_chunk(2048, round + 2);
+      auto c = e2e::make_chunk(2048, round + 3);
+      auto d = e2e::make_chunk(2048, round + 4);
+      const std::uint64_t expected = e2e::ordered_digest(a, b, c, d);
+      ok = ok &&
+           amt::here().async<&e2e::ordered_digest>(1, a, b, c, d).get() ==
+               expected;
+    }
+    large_ok = ok;
+    done.count_down();
+  });
+  done.wait(runtime->locality(0).scheduler());
+  EXPECT_TRUE(large_ok);
+  const std::uint64_t expected_small = 2ull * kSmall * (kSmall + 1) / 2;
+  ASSERT_TRUE(testutil::spin_until(
+      [&] { return e2e::counter.load() == expected_small; },
+      std::chrono::milliseconds(20000)));
+  runtime->stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLciVariants, LciFastpathE2E,
+    ::testing::Values("lci_psr_cq_pin_fp_i", "lci_psr_cq_mt_fp_i",
+                      "lci_psr_sy_pin_fp_i", "lci_psr_sy_mt_fp_i",
+                      "lci_sr_cq_pin_fp_i", "lci_sr_cq_mt_fp_i",
+                      "lci_sr_sy_pin_fp_i", "lci_sr_sy_mt_fp_i",
+                      // regression rows: a tuned byte cap and the kill switch
+                      "lci_psr_cq_mt_fp512_i", "lci_sr_sy_mt_fpoff_i"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return std::string(info.param);
+    });
+
+namespace e2e {
+
+// Mirrors the bench harness ping signature (bench/harness.cpp lat_ping) so
+// the threshold arithmetic below measures the same envelope fig7 sweeps.
+void sized_sink(std::uint32_t, std::uint32_t, std::vector<std::uint8_t>) {
+  counter.fetch_add(1);
+}
+
+}  // namespace e2e
+
+#ifndef AMTNET_TELEMETRY_DISABLED
+TEST(LciFastpathThreshold, Fig7StraddlePayloadsLandOnOppositeSides) {
+  // fig7's straddle points assume frame = payload + 53 B (action id +
+  // promise id + two u32 args + the inline-vector prefix + the 24 B frame
+  // header) against the 8192 B cap: payload 8131 must ride the fast path,
+  // payload 8147 must fall back. If the envelope or frame layout ever
+  // changes size, this pins the drift so the bench comment gets fixed too.
+  StackOptions options;
+  options.parcelport = "lci_psr_cq_mt_fp_i";
+  options.num_localities = 2;
+  options.threads_per_locality = 2;
+  options.platform = "loopback";
+  auto runtime = amtnet::make_runtime(options);
+
+  const auto counters = [&] {
+    const auto snap = runtime->telemetry().snapshot();
+    return std::array<std::uint64_t, 2>{
+        snap.counter("pplci/loc0/fastpath_hits"),
+        snap.counter("pplci/loc0/fastpath_fallbacks")};
+  };
+
+  const auto send_sized = [&](std::size_t payload_size) {
+    e2e::counter.store(0);
+    runtime->locality(0).spawn([&, payload_size] {
+      amt::here().apply<&e2e::sized_sink>(
+          1, std::uint32_t{0}, std::uint32_t{0},
+          std::vector<std::uint8_t>(payload_size, 0x7f));
+    });
+    ASSERT_TRUE(testutil::spin_until(
+        [&] { return e2e::counter.load() == 1; }));
+  };
+
+  const auto before = counters();
+  send_sized(8192 - 53 - 8);  // frame at threshold - 8: fast path
+  const auto under = counters();
+  EXPECT_EQ(under[0], before[0] + 1) << "sub-threshold payload missed the "
+                                        "fast path — envelope size drifted";
+  EXPECT_EQ(under[1], before[1]);
+  send_sized(8192 - 53 + 8);  // frame at threshold + 8: fallback
+  const auto over = counters();
+  EXPECT_EQ(over[0], under[0]);
+  EXPECT_EQ(over[1], under[1] + 1) << "over-threshold payload rode the "
+                                      "fast path — envelope size drifted";
+  runtime->stop();
+}
+#endif  // AMTNET_TELEMETRY_DISABLED
+
 TEST(LciPipeline, OutOfOrderWithJitterChaos) {
   // Rails + per-packet jitter: aggressively shuffles piece arrival order.
   StackOptions options;
@@ -352,9 +581,11 @@ TEST(LciPipeline, SteadyStateSendAllocatesNoConnectionsOrSyncs) {
   // The zero-allocation acceptance check: after a warm-up burst has stocked
   // the connection/synchronizer freelists, further sends must be served
   // entirely from the pools — the alloc counters stop moving while the
-  // reuse counters keep climbing.
+  // reuse counters keep climbing. fpoff: with the small-parcel fast path on
+  // (the default) these pings would bypass connections entirely, which the
+  // sibling test below pins down.
   StackOptions options;
-  options.parcelport = "lci_psr_sy_mt_i";  // sy: exercises the sync pool too
+  options.parcelport = "lci_psr_sy_mt_fpoff_i";  // sy: exercises the sync pool
   options.num_localities = 2;
   options.threads_per_locality = 2;
   auto runtime = amtnet::make_runtime(options);
@@ -406,6 +637,62 @@ TEST(LciPipeline, SteadyStateSendAllocatesNoConnectionsOrSyncs) {
   EXPECT_GT(after[1], warm[1]) << "connections were not recycled";
   EXPECT_EQ(after[2], warm[2]) << "steady-state sends allocated synchronizers";
   EXPECT_GT(after[3], warm[3]) << "synchronizers were not recycled";
+  runtime->stop();
+}
+
+TEST(LciPipeline, FastpathSendsBypassConnectionsAndSyncs) {
+  // With the fast path on (the default), small round trips never acquire a
+  // ReceiverConnection or a synchronizer at all: every pool counter stays
+  // frozen while the fastpath hit counter accounts for each parcel.
+  StackOptions options;
+  options.parcelport = "lci_psr_sy_mt_fp_i";
+  options.num_localities = 2;
+  options.threads_per_locality = 2;
+  auto runtime = amtnet::make_runtime(options);
+
+  const auto counters = [&] {
+    const auto snap = runtime->telemetry().snapshot();
+    const auto both = [&snap](const char* leaf) {
+      return snap.counter(std::string("pplci/loc0/") + leaf) +
+             snap.counter(std::string("pplci/loc1/") + leaf);
+    };
+    return std::array<std::uint64_t, 6>{
+        both("conn_allocs"),     both("conn_reuses"),
+        both("sync_allocs"),     both("sync_reuses"),
+        both("fastpath_hits"),   both("fastpath_fallbacks")};
+  };
+
+  // One round trip first so startup traffic is out of the way.
+  Latch warmed(1);
+  runtime->locality(0).spawn([&] {
+    (void)amt::here().async<&e2e::echo_add>(1, std::uint64_t{0}).get();
+    warmed.count_down();
+  });
+  warmed.wait(runtime->locality(0).scheduler());
+  const auto warm = counters();
+
+  constexpr std::uint64_t kRounds = 128;
+  Latch done(1);
+  bool all_ok = false;
+  runtime->locality(0).spawn([&] {
+    bool ok = true;
+    for (std::uint64_t i = 0; i < kRounds; ++i) {
+      ok = ok && amt::here().async<&e2e::echo_add>(1, i).get() == i + 1;
+    }
+    all_ok = ok;
+    done.count_down();
+  });
+  done.wait(runtime->locality(0).scheduler());
+  ASSERT_TRUE(all_ok);
+
+  const auto after = counters();
+  EXPECT_EQ(after[0], warm[0]) << "fast-path sends acquired connections";
+  EXPECT_EQ(after[1], warm[1]) << "fast-path sends reused connections";
+  EXPECT_EQ(after[2], warm[2]) << "fast-path sends allocated synchronizers";
+  EXPECT_EQ(after[3], warm[3]) << "fast-path sends reused synchronizers";
+  // Request + response per round, both small enough for the fast path.
+  EXPECT_GE(after[4] - warm[4], 2 * kRounds) << "parcels missed the fast path";
+  EXPECT_EQ(after[5], warm[5]) << "small parcels fell back off the fast path";
   runtime->stop();
 }
 #endif  // AMTNET_TELEMETRY_DISABLED
