@@ -142,7 +142,23 @@ RateResult run_message_rate(const RateParams& params) {
   options.zero_copy_threshold = params.zero_copy_threshold;
   options.max_connections = params.max_connections;
   options.fabric_rails = params.fabric_rails;
-  auto runtime = amtnet::make_runtime(options);
+  amt::RuntimeConfig config = amtnet::make_runtime_config(options);
+  if (params.bandwidth_gbps > 0.0 || params.latency_us > 0.0 ||
+      params.pkt_rate_mpps > 0.0) {
+    // Shaped wire: wall-clock gating so the bottleneck is a property of the
+    // modeled fabric (message rate / line rate), not of the host machine.
+    config.fabric.zero_time = false;
+    if (params.bandwidth_gbps > 0.0) {
+      config.fabric.bandwidth_gbps = params.bandwidth_gbps;
+    }
+    if (params.latency_us > 0.0) config.fabric.latency_us = params.latency_us;
+    if (params.pkt_rate_mpps > 0.0) {
+      config.fabric.pkt_rate_mpps = params.pkt_rate_mpps;
+    }
+  }
+  auto runtime = std::make_unique<amt::Runtime>(
+      config, amtnet::default_parcelport_factory());
+  runtime->start();
 
   // Guard against total_msgs == 0 (tiny AMTNET_BENCH_SCALE rounding a
   // count down to nothing): zero expected messages would never trip the

@@ -527,16 +527,97 @@ SuiteSpec ablation_zc_threshold() {
   return s;
 }
 
+/// Adaptive-aggregation view: per LCI variant, the backpressured 8B flood
+/// rate of the adaptive engine over the `_i` bypass and over fp-only — the
+/// headline speedups — plus the unloaded-latency ratio (the "load-aware"
+/// claim: no batching delay when the destination window is empty).
+void print_aggregation_speedup(const SuiteResult& result) {
+  struct Row {
+    double adaptive = 0.0, fponly = 0.0, bypass = 0.0;
+    double lat_adaptive = 0.0, lat_fponly = 0.0;
+  };
+  std::vector<std::pair<std::string, Row>> rows;  // insertion order
+  for (const auto& point : result.points) {
+    const auto variant = point.labels.find("variant");
+    const auto mode = point.labels.find("mode");
+    const auto size = point.labels.find("msg_size");
+    if (variant == point.labels.end() || mode == point.labels.end() ||
+        size == point.labels.end() || size->second != "8") {
+      continue;
+    }
+    auto it = std::find_if(rows.begin(), rows.end(), [&](const auto& row) {
+      return row.first == variant->second;
+    });
+    if (it == rows.end()) {
+      rows.push_back({variant->second, {}});
+      it = rows.end() - 1;
+    }
+    if (const auto* rate = point.metric("rate_kps")) {
+      if (mode->second == "adaptive") it->second.adaptive = rate->median;
+      if (mode->second == "fponly") it->second.fponly = rate->median;
+      if (mode->second == "bypass") it->second.bypass = rate->median;
+    }
+    if (const auto* lat = point.metric("latency_us")) {
+      if (mode->second == "adaptive") it->second.lat_adaptive = lat->median;
+      if (mode->second == "fponly") it->second.lat_fponly = lat->median;
+    }
+  }
+  std::printf(
+      "\n# adaptive aggregation at 8B under backpressure (rate speedups; "
+      "idle_latency_ratio from the unloaded window-1 points)\n");
+  std::printf("variant,adaptive_over_bypass,adaptive_over_fponly,"
+              "idle_latency_ratio\n");
+  double bypass_log_sum = 0.0, fponly_log_sum = 0.0, lat_log_sum = 0.0;
+  std::size_t bypass_n = 0, fponly_n = 0, lat_n = 0;
+  for (const auto& [variant, row] : rows) {
+    const double over_bypass =
+        row.bypass > 0.0 ? row.adaptive / row.bypass : 0.0;
+    const double over_fponly =
+        row.fponly > 0.0 ? row.adaptive / row.fponly : 0.0;
+    const double lat_ratio =
+        row.lat_fponly > 0.0 ? row.lat_adaptive / row.lat_fponly : 0.0;
+    if (over_bypass > 0.0) {
+      bypass_log_sum += std::log(over_bypass);
+      ++bypass_n;
+    }
+    if (over_fponly > 0.0) {
+      fponly_log_sum += std::log(over_fponly);
+      ++fponly_n;
+    }
+    if (lat_ratio > 0.0) {
+      lat_log_sum += std::log(lat_ratio);
+      ++lat_n;
+    }
+    std::printf("%s,%.3f,%.3f,%.3f\n", variant.c_str(), over_bypass,
+                over_fponly, lat_ratio);
+  }
+  if (bypass_n > 0 && fponly_n > 0) {
+    std::printf("geomean,%.3f,%.3f,%.3f\n",
+                std::exp(bypass_log_sum / bypass_n),
+                std::exp(fponly_log_sum / fponly_n),
+                lat_n > 0 ? std::exp(lat_log_sum / lat_n) : 0.0);
+  }
+  std::fflush(stdout);
+}
+
 SuiteSpec ablation_aggregation() {
   SuiteSpec s;
   s.name = "ablation_aggregation";
   s.binary = "bench_ablation_aggregation";
   s.figure = "§3.2.2/§7.1 ablation";
-  s.title = "parcel aggregation (send-immediate vs connection-cache limits)";
+  s.title =
+      "parcel aggregation: connection-cache limits vs the adaptive "
+      "per-destination coalescing engine";
   s.expectation =
-      "aggregation reduces per-message pressure on the network stack (helps "
-      "mpi and throughput) but adds queue/cache locking and batching delay "
-      "(hurts latency) — the paper's mixed-results trade-off";
+      "historical trade-off (upper half): connection-cache aggregation cuts "
+      "per-message pressure but adds locking and batching delay. Adaptive "
+      "engine (lower half): on a message-rate-capped wire (0.3 Mpps) under "
+      "a backpressured admission window the 8B flood coalesces into batch "
+      "frames and beats both the _i bypass and the fp-only path (>=1.2x "
+      "geomean; uncoalesced modes peg at the packet cap), while unloaded "
+      "single-parcel latency is untouched because an empty destination "
+      "window bypasses the buffers entirely";
+  s.smoke = true;
   struct Variant {
     const char* label;
     const char* config;
@@ -553,6 +634,76 @@ SuiteSpec ablation_aggregation() {
     p.labels["variant"] = variant.label;
     s.points.push_back(std::move(p));
   }
+  // ---- adaptive aggregation engine --------------------------------------
+  // Three modes per variant, all behind the same blocking admission window
+  // (the backpressure signal that activates coalescing): the connection-path
+  // bypass (fpoff), the whole-parcel fast path alone, and the fast path
+  // with the adaptive aggregator on top.
+  struct Mode {
+    const char* label;
+    const char* tokens;  // appended between the variant and "_i_block64"
+  };
+  const std::vector<Mode> modes = {
+      {"bypass", "_fpoff"},
+      {"fponly", "_fp"},
+      {"adaptive", "_fp_agg8192_aggt200"}};
+  const std::vector<const char*> variants = {"psr_cq_pin", "psr_cq_mt",
+                                             "sr_cq_mt"};
+  for (const char* variant : variants) {
+    for (const Mode& mode : modes) {
+      const std::string config =
+          "lci_" + std::string(variant) + mode.tokens + "_i_block64";
+      // The backpressured 8B flood: the window parks senders at 64
+      // outstanding parcels, so the aggregator sees a persistently
+      // non-empty destination queue and batches. The wire is shaped with a
+      // NIC message-rate cap (0.3 Mpps, 10 Gbps, 5 µs) — the regime Yan et
+      // al. identify for small-parcel AMT traffic, where per-message NIC
+      // cost rather than bytes or host CPU bounds the flood. Uncoalesced
+      // modes peg at the cap; batch frames carry many parcels per packet.
+      PointSpec p8 = rate_point(config, 8, 100, k8bFloodMsgs, 0.0);
+      // 16 KiB flood: over the eager threshold, every parcel must take the
+      // rendezvous fallback untouched — aggregation must not tax it. Same
+      // shaped wire: at 16 KiB the line rate, not the packet cap, binds.
+      PointSpec p16k = rate_point(config, 16 * 1024, 10, k16kFloodMsgs, 0.0);
+      for (PointSpec* p : {&p8, &p16k}) {
+        p->rate_pkt_mpps = 0.3;
+        p->rate_bandwidth_gbps = 10.0;
+        p->rate_latency_us = 5.0;
+        p->labels["variant"] = variant;
+        p->labels["mode"] = mode.label;
+        s.points.push_back(std::move(*p));
+      }
+    }
+  }
+  // Unloaded single-parcel latency (no admission window, depth always 0):
+  // the load-aware switch must keep the aggregator out of the way, so
+  // adaptive may not regress over fp-only by more than noise.
+  for (const char* variant : variants) {
+    for (const Mode& mode : modes) {
+      const std::string config =
+          "lci_" + std::string(variant) + mode.tokens + "_i";
+      PointSpec lat = latency_point(config, 8, 1, 200);
+      lat.labels["variant"] = variant;
+      lat.labels["mode"] = mode.label;
+      s.points.push_back(std::move(lat));
+    }
+  }
+  // The proxy app under the same window: batching must help (or at least
+  // not hurt) a real task graph, not just synthetic floods.
+  for (const Mode& mode : modes) {
+    PointSpec p = octo_point("lci_psr_cq_pin" + std::string(mode.tokens) +
+                                 "_i_block64",
+                             "expanse", 4, 3);
+    p.labels["variant"] = "octo_psr_cq_pin";
+    p.labels["mode"] = mode.label;
+    s.points.push_back(std::move(p));
+  }
+  s.probes = {{"agg_batched", "pplci/", "/agg_batched"},
+              {"agg_flushes_size", "pplci/", "/agg_flushes_size"},
+              {"agg_flushes_stall", "pplci/", "/agg_flushes_stall"},
+              {"agg_flushes_age", "pplci/", "/agg_flushes_age"},
+              {"agg_flushes_idle", "pplci/", "/agg_flushes_idle"}};
+  s.post_summary = print_aggregation_speedup;
   return s;
 }
 
@@ -955,6 +1106,9 @@ expdriver::PointRunner make_harness_runner(const SuiteSpec& spec) {
         params.max_connections = p.max_connections;
         params.fabric_rails = p.fabric_rails;
         params.zchunk_count = p.zchunk_count;
+        params.bandwidth_gbps = p.rate_bandwidth_gbps;
+        params.latency_us = p.rate_latency_us;
+        params.pkt_rate_mpps = p.rate_pkt_mpps;
         const RateResult result = run_message_rate(params);
         sample.push_back(
             {"injection_kps", result.achieved_injection_rate / 1e3});

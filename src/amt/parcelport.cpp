@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "amt/wire_header.hpp"
 #include "common/config.hpp"
 
 namespace amt {
@@ -124,6 +125,22 @@ ParcelportConfig ParcelportConfig::parse(const std::string& name) {
             name);
       }
       config.lci_fastpath = static_cast<long>(cap);
+    } else if (token == "aggoff") {
+      config.lci_agg = 0;
+    } else if (token.size() > 4 && token.compare(0, 4, "aggt") == 0 &&
+               token.find_first_not_of("0123456789", 4) == std::string::npos) {
+      config.lci_agg_age_us = static_cast<long>(std::stoul(token.substr(4)));
+    } else if (token.size() > 3 && token.compare(0, 3, "agg") == 0 &&
+               token.find_first_not_of("0123456789", 3) == std::string::npos) {
+      const unsigned long cap = std::stoul(token.substr(3));
+      if (cap < kMinAggFrameBytes) {
+        throw std::invalid_argument(
+            "aggregation cap must be >= " +
+            std::to_string(kMinAggFrameBytes) +
+            " bytes (the minimum one-parcel batch frame; use aggoff to "
+            "disable): " + name);
+      }
+      config.lci_agg = static_cast<long>(cap);
     } else if (token == "fine") {
       config.mpi_coarse_lock = false;
     } else if (token == "orig") {
@@ -178,6 +195,14 @@ std::string ParcelportConfig::name() const {
       out += "_fp";
     } else if (lci_fastpath > 1) {
       out += "_fp" + std::to_string(lci_fastpath);
+    }
+    if (lci_agg == 0) {
+      out += "_aggoff";
+    } else if (lci_agg > 0) {
+      out += "_agg" + std::to_string(lci_agg);
+    }
+    if (lci_agg_age_us >= 0) {
+      out += "_aggt" + std::to_string(lci_agg_age_us);
     }
   }
   if (send_immediate) out += "_i";

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -93,6 +94,18 @@ struct ParcelportConfig {
   /// at min(N, eager threshold) bytes).
   long lci_fastpath = -1;
 
+  /// LCI adaptive aggregation: per-destination coalescing of fast-path-sized
+  /// parcels into multi-parcel batch frames, activated only while the
+  /// destination's admission window is backpressured. -1 = unset in the name
+  /// (AMTNET_LCI_AGG decides, default off); "aggoff" = 0 (disabled);
+  /// "agg<BYTES>" = batch-frame byte cap (capped at the eager threshold;
+  /// values below the minimum frame overhead are rejected at parse).
+  long lci_agg = -1;
+  /// Age deadline in microseconds for a partially filled batch ("aggt<N>";
+  /// AMTNET_LCI_AGG_AGE_US when absent; default 200 µs when aggregation is
+  /// on). 0 disables the age trigger (size/idle flushes still apply).
+  long lci_agg_age_us = -1;
+
   // MPI-parcelport ablation knobs (beyond Table 1):
   bool mpi_coarse_lock = true;  // "fine" clears it (lock-granularity ablation)
   bool mpi_original = false;    // "orig": pre-optimisation MPI parcelport
@@ -119,6 +132,12 @@ struct ParcelportContext {
   /// Delivers a fully received HPX message to the runtime. Thread-safe;
   /// callable from any progress context.
   std::function<void(InMessage&&)> deliver;
+  /// Parcels accepted for `dst` whose admission credits have not yet
+  /// returned (DestQueue::outstanding) — the aggregator's backpressure
+  /// signal. Exact even under AMTNET_TELEMETRY_DISABLED, but only
+  /// maintained while admission control is on; reads 0 otherwise. Null when
+  /// the hosting runtime provides no admission window at all.
+  std::function<std::uint64_t(Rank dst)> queue_depth;
 };
 
 class Parcelport {

@@ -380,6 +380,12 @@ void Runtime::start() {
     context.deliver = [&locality](InMessage&& msg) {
       locality.on_message(std::move(msg));
     };
+    context.queue_depth = [&locality](Rank dst) -> std::uint64_t {
+      const std::int64_t depth =
+          locality.parcel_queues_[dst]->outstanding.load(
+              std::memory_order_relaxed);
+      return depth > 0 ? static_cast<std::uint64_t>(depth) : 0;
+    };
     locality.parcelport_ = factory_(*this, context);
     Parcelport* port = locality.parcelport_.get();
     locality.scheduler_.set_background(

@@ -21,16 +21,19 @@
 namespace amt {
 
 struct WireHeader {
-  std::uint32_t tag = 0;          // base tag; follow-up i uses tag + i
-  std::uint32_t num_zchunks = 0;
+  std::uint32_t tag = 0;           // base tag; follow-up i uses tag + i
+  std::uint16_t num_zchunks = 0;
+  std::uint8_t piggy_main = 0;     // non-zero-copy chunk rides in the header
+  std::uint8_t piggy_tchunk = 0;   // transmission chunk rides in the header
   std::uint64_t main_size = 0;
-  std::uint8_t piggy_main = 0;    // non-zero-copy chunk rides in the header
-  std::uint8_t piggy_tchunk = 0;  // transmission chunk rides in the header
   /// Per-destination-channel generation number: each sender stamps headers
   /// to one peer with consecutive values. Delivery may reorder (multi-rail)
   /// so receivers only use it to detect duplicated headers — a duplicate
-  /// would double-deliver a parcel, which is an integrity failure.
-  std::uint16_t seq = 0;
+  /// would double-deliver a parcel, which is an integrity failure. 32 bits
+  /// wide so the stale-duplicate horizon below is unambiguous over any
+  /// realistic flood length (a 16-bit counter aliased a 2^16-delayed
+  /// duplicate onto a small forward delta).
+  std::uint32_t seq = 0;
   /// CRC-32 over the entire encoded header message (this field as zero),
   /// verified by decode_header — corruption fail-fasts rather than
   /// deserializing garbage.
@@ -39,22 +42,30 @@ struct WireHeader {
 static_assert(sizeof(WireHeader) == 24);
 
 /// Tracks recently seen per-source header generation numbers; accept()
-/// returns false for a duplicate. Reordering-tolerant: arrivals more than
-/// 64 generations behind the newest are presumed legitimate stragglers
-/// (indistinguishable from 2^16-delayed duplicates, which cannot occur).
+/// returns false for a duplicate. Reordering-tolerant: arrivals up to
+/// kStaleHorizon generations behind the newest but outside the exact 64-wide
+/// bitmap are presumed legitimate stragglers; anything older than the
+/// horizon is an epoch-stale duplicate and is rejected. With 32-bit
+/// sequence numbers the horizon test cannot alias across a counter wrap
+/// within any reachable flood length.
 class HeaderSeqTracker {
  public:
-  bool accept(std::uint16_t seq) {
-    const std::int16_t delta = static_cast<std::int16_t>(
-        static_cast<std::uint16_t>(seq - highest_));
-    if (delta > 0) {
-      mask_ = delta >= 64 ? 0 : mask_ << delta;
+  /// Arrivals this far (or further) behind the newest seq are rejected as
+  /// stale duplicates rather than presumed stragglers. Far above any
+  /// plausible in-flight reordering depth, far below the wrap distance.
+  static constexpr std::uint32_t kStaleHorizon = 1u << 15;
+
+  bool accept(std::uint32_t seq) {
+    const std::uint32_t forward = seq - highest_;  // modular distance ahead
+    if (forward != 0 && forward < 0x80000000u) {
+      mask_ = forward >= 64 ? 0 : mask_ << forward;
       mask_ |= 1ull;
       highest_ = seq;
       return true;
     }
-    const int back = -static_cast<int>(delta);
-    if (back >= 64) return true;
+    const std::uint32_t back = highest_ - seq;  // modular distance behind
+    if (back >= kStaleHorizon) return false;  // epoch-stale duplicate
+    if (back >= 64) return true;              // straggler beyond the bitmap
     const std::uint64_t bit = 1ull << back;
     if ((mask_ & bit) != 0) return false;
     mask_ |= bit;
@@ -62,8 +73,8 @@ class HeaderSeqTracker {
   }
 
  private:
-  std::uint16_t highest_ = 0xFFFF;  // so the first seq (0) is "newer"
-  std::uint64_t mask_ = 0;          // bit i: (highest_ - i) seen
+  std::uint32_t highest_ = 0xFFFFFFFFu;  // so the first seq (0) is "newer"
+  std::uint64_t mask_ = 0;               // bit i: (highest_ - i) seen
 };
 
 /// How a message will be split into header + follow-ups.
@@ -125,11 +136,12 @@ inline std::size_t encoded_header_size(const OutMessage& msg,
 /// assemble the header in an LCI packet buffer without an extra copy.
 inline std::size_t encode_header_to(const OutMessage& msg,
                                     const HeaderPlan& plan, std::uint32_t tag,
-                                    std::uint16_t seq, std::byte* out,
+                                    std::uint32_t seq, std::byte* out,
                                     std::size_t capacity) {
   WireHeader header;
   header.tag = tag;
-  header.num_zchunks = static_cast<std::uint32_t>(msg.zchunks.size());
+  assert(msg.zchunks.size() < 65536);  // num_zchunks is u16 on the wire
+  header.num_zchunks = static_cast<std::uint16_t>(msg.zchunks.size());
   header.main_size = msg.main_chunk.size();
   header.piggy_main = plan.piggy_main ? 1 : 0;
   header.piggy_tchunk = plan.piggy_tchunk ? 1 : 0;
@@ -161,7 +173,7 @@ inline std::size_t encode_header_to(const OutMessage& msg,
 
 /// Convenience: encode into a freshly sized vector (MPI parcelport path).
 inline void encode_header(const OutMessage& msg, const HeaderPlan& plan,
-                          std::uint32_t tag, std::uint16_t seq,
+                          std::uint32_t tag, std::uint32_t seq,
                           std::vector<std::byte>& out) {
   out.resize(encoded_header_size(msg, plan));
   encode_header_to(msg, plan, tag, seq, out.data(), out.size());
@@ -185,9 +197,9 @@ struct WholeParcelHeader {
   std::uint32_t num_zchunks = 0;
   std::uint64_t main_size = 0;
   /// Same per-destination-channel generation counter as WireHeader::seq
-  /// (fast-path and header frames share one sequence space per channel).
-  std::uint16_t seq = 0;
-  std::uint16_t reserved = 0;
+  /// (fast-path, batch, and header frames share one sequence space per
+  /// channel).
+  std::uint32_t seq = 0;
   /// CRC-32 over the entire encoded frame (this field as zero).
   std::uint32_t crc = 0;
 };
@@ -206,7 +218,7 @@ inline std::size_t whole_parcel_frame_size(const OutMessage& msg) {
 /// whole_parcel_frame_size). Returns the bytes written. Allocation-free:
 /// the LCI parcelport encodes directly into a pool packet.
 inline std::size_t encode_whole_parcel_to(const OutMessage& msg,
-                                          std::uint16_t seq, std::byte* out,
+                                          std::uint32_t seq, std::byte* out,
                                           std::size_t capacity) {
   WholeParcelHeader header;
   header.num_zchunks = static_cast<std::uint32_t>(msg.zchunks.size());
@@ -312,6 +324,219 @@ inline InMessage take_whole_parcel_body(std::vector<std::byte>&& frame,
   frame.resize(view.fields.main_size);
   in.main_chunk = std::move(frame);
   return in;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-parcel batch frame (adaptive aggregation): generalizes the
+// whole-parcel frame to N sub-threshold parcels coalesced for one
+// destination. One frame = one injection, one CRC-32, one per-channel seq —
+// the per-message wire overhead the aggregation ablation argues over. A
+// count-prefixed length table lets the receiver slice the frame into entries
+// without touching the payload bytes; each entry is a self-contained
+// [num_zchunks][main_size][zsizes][main][zchunks] record.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint32_t kBatchMagic = 0xA66B47C4u;
+
+struct BatchHeader {
+  std::uint32_t magic = kBatchMagic;  // frame-kind guard
+  std::uint32_t count = 0;            // parcels in this frame (>= 1)
+  /// Same per-destination-channel generation counter as WireHeader::seq —
+  /// one seq per frame, not per sub-parcel.
+  std::uint32_t seq = 0;
+  /// CRC-32 over the entire encoded frame (this field as zero).
+  std::uint32_t crc = 0;
+};
+static_assert(sizeof(BatchHeader) == 16);
+
+/// Per-entry fixed overhead: u32 num_zchunks + u64 main_size.
+inline constexpr std::size_t kBatchEntryHeaderBytes =
+    sizeof(std::uint32_t) + sizeof(std::uint64_t);
+
+/// Smallest possible batch frame: header + one length-table slot + one
+/// empty entry. `agg<BYTES>` thresholds below this are rejected at config
+/// parse — they could never fit even a zero-payload parcel.
+inline constexpr std::size_t kMinAggFrameBytes =
+    sizeof(BatchHeader) + sizeof(std::uint32_t) + kBatchEntryHeaderBytes;
+
+/// Encoded size of one entry record inside a batch frame (excludes its
+/// length-table slot).
+inline std::size_t batch_entry_size(const OutMessage& msg) {
+  std::size_t size = kBatchEntryHeaderBytes +
+                     msg.zchunks.size() * sizeof(std::uint64_t) +
+                     msg.main_chunk.size();
+  for (const ZChunk& chunk : msg.zchunks) size += chunk.size;
+  return size;
+}
+
+/// Frame layout: [BatchHeader][u32 length x count][entry 0]...[entry n-1].
+inline std::size_t batch_frame_size(const OutMessage* const* msgs,
+                                    std::size_t count) {
+  std::size_t size = sizeof(BatchHeader) + count * sizeof(std::uint32_t);
+  for (std::size_t i = 0; i < count; ++i) size += batch_entry_size(*msgs[i]);
+  return size;
+}
+
+/// Serializes `count` messages into one batch frame at `out` (capacity must
+/// be >= batch_frame_size). Returns the bytes written. Allocation-free: the
+/// LCI parcelport encodes straight into a pool packet at flush time.
+inline std::size_t encode_batch_to(const OutMessage* const* msgs,
+                                   std::size_t count, std::uint32_t seq,
+                                   std::byte* out, std::size_t capacity) {
+  assert(count >= 1);
+  BatchHeader header;
+  header.count = static_cast<std::uint32_t>(count);
+  header.seq = seq;
+  header.crc = 0;
+
+  const std::size_t total = batch_frame_size(msgs, count);
+  assert(total <= capacity);
+  (void)capacity;
+  std::memcpy(out, &header, sizeof(header));
+  std::size_t offset = sizeof(header);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(batch_entry_size(*msgs[i]));
+    std::memcpy(out + offset, &len, sizeof(len));
+    offset += sizeof(len);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const OutMessage& msg = *msgs[i];
+    const std::uint32_t num_zchunks =
+        static_cast<std::uint32_t>(msg.zchunks.size());
+    const std::uint64_t main_size = msg.main_chunk.size();
+    std::memcpy(out + offset, &num_zchunks, sizeof(num_zchunks));
+    offset += sizeof(num_zchunks);
+    std::memcpy(out + offset, &main_size, sizeof(main_size));
+    offset += sizeof(main_size);
+    for (const ZChunk& chunk : msg.zchunks) {
+      const std::uint64_t size = chunk.size;
+      std::memcpy(out + offset, &size, sizeof(size));
+      offset += sizeof(size);
+    }
+    std::memcpy(out + offset, msg.main_chunk.data(), msg.main_chunk.size());
+    offset += msg.main_chunk.size();
+    for (const ZChunk& chunk : msg.zchunks) {
+      std::memcpy(out + offset, chunk.data, chunk.size);
+      offset += chunk.size;
+    }
+  }
+  assert(offset == total);
+  const std::uint32_t crc = common::crc32(out, total);
+  std::memcpy(out + offsetof(BatchHeader, crc), &crc, sizeof(crc));
+  return total;
+}
+
+/// Verified view into a batch frame: header fields plus the byte offset and
+/// length of every entry record. The payload stays in the caller's buffer so
+/// the (single) dedup check runs before anything is copied.
+struct BatchView {
+  BatchHeader fields;
+  std::vector<std::size_t> offsets;  // entry i starts at offsets[i]
+  std::vector<std::uint32_t> lengths;
+};
+
+/// Decodes and *verifies* a batch frame: magic, CRC over the full frame, a
+/// non-zero count whose length table fits, and an exact size match (header +
+/// table + every declared entry byte must account for the buffer). Anything
+/// inconsistent fail-fasts like the other frame kinds.
+inline BatchView decode_batch(const std::byte* data, std::size_t size) {
+  BatchView view;
+  if (size < sizeof(BatchHeader)) {
+    common::integrity_fail("batch frame truncated: ", size, " bytes < ",
+                           sizeof(BatchHeader));
+  }
+  std::memcpy(&view.fields, data, sizeof(BatchHeader));
+  if (view.fields.magic != kBatchMagic) {
+    common::integrity_fail("batch frame bad magic: ", view.fields.magic,
+                           " size=", size);
+  }
+  const std::uint32_t zero = 0;
+  std::uint32_t crc = common::crc32(data, offsetof(BatchHeader, crc));
+  crc = common::crc32(&zero, sizeof(zero), crc);
+  crc = common::crc32(data + sizeof(BatchHeader), size - sizeof(BatchHeader),
+                      crc);
+  if (crc != view.fields.crc) {
+    common::integrity_fail("batch frame CRC mismatch: stored=",
+                           view.fields.crc, " computed=", crc, " size=", size,
+                           " seq=", view.fields.seq,
+                           " count=", view.fields.count);
+  }
+  const std::size_t count = view.fields.count;
+  const std::size_t table_end =
+      sizeof(BatchHeader) + count * sizeof(std::uint32_t);
+  if (count == 0 || table_end > size) {
+    common::integrity_fail("batch frame bad count: ", count, " entries in ",
+                           size, " bytes");
+  }
+  view.lengths.resize(count);
+  std::memcpy(view.lengths.data(), data + sizeof(BatchHeader),
+              count * sizeof(std::uint32_t));
+  view.offsets.resize(count);
+  std::size_t offset = table_end;
+  for (std::size_t i = 0; i < count; ++i) {
+    view.offsets[i] = offset;
+    if (view.lengths[i] < kBatchEntryHeaderBytes ||
+        view.lengths[i] > size - offset) {
+      common::integrity_fail("batch entry ", i, " overruns frame: length ",
+                             view.lengths[i], " at ", offset, " of ", size);
+    }
+    offset += view.lengths[i];
+  }
+  if (offset != size) {
+    common::integrity_fail("batch frame size mismatch: declared ", offset,
+                           " bytes, got ", size);
+  }
+  return view;
+}
+
+/// Copies one entry record out of a decoded batch frame into an InMessage.
+/// Entries share the arrival buffer, so unlike take_whole_parcel_body the
+/// payloads are copied — the batched regime trades that copy for one
+/// injection per frame.
+inline InMessage take_batch_entry(const std::byte* entry, std::size_t length,
+                                  Rank source) {
+  std::uint32_t num_zchunks = 0;
+  std::uint64_t main_size = 0;
+  std::memcpy(&num_zchunks, entry, sizeof(num_zchunks));
+  std::memcpy(&main_size, entry + sizeof(num_zchunks), sizeof(main_size));
+  std::size_t offset = kBatchEntryHeaderBytes;
+  const std::size_t tchunk_size =
+      static_cast<std::size_t>(num_zchunks) * sizeof(std::uint64_t);
+  if (offset + tchunk_size > length) {
+    common::integrity_fail("batch entry tchunk overruns entry: ", tchunk_size,
+                           " bytes at ", offset, " of ", length);
+  }
+  const auto zsizes = parse_tchunk(entry + offset, tchunk_size);
+  offset += tchunk_size;
+  std::size_t expected = offset + main_size;
+  for (const std::uint64_t zsize : zsizes) expected += zsize;
+  if (expected != length) {
+    common::integrity_fail("batch entry size mismatch: declared ", expected,
+                           " bytes, got ", length);
+  }
+  InMessage in;
+  in.source = source;
+  in.main_chunk.assign(entry + offset, entry + offset + main_size);
+  offset += main_size;
+  in.zchunks.reserve(zsizes.size());
+  for (const std::uint64_t zsize : zsizes) {
+    in.zchunks.emplace_back(entry + offset, entry + offset + zsize);
+    offset += zsize;
+  }
+  return in;
+}
+
+/// Leading u32 of a frame riding the fast-path tag: distinguishes
+/// whole-parcel frames from batch frames before full decode.
+inline std::uint32_t peek_frame_magic(const std::byte* data,
+                                      std::size_t size) {
+  if (size < sizeof(std::uint32_t)) {
+    common::integrity_fail("frame too short for magic: ", size, " bytes");
+  }
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, data, sizeof(magic));
+  return magic;
 }
 
 /// Decoded header view (piggybacked chunks are copied out).

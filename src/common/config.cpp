@@ -133,6 +133,22 @@ const std::vector<Knob>& knob_registry() {
        "threshold, N >= 2 caps whole-parcel frames at N bytes; only read "
        "when the config name carries no fp token",
        "ablation_fastpath"},
+      {Kind::kEnv, "AMTNET_LCI_AGG", "0 (off)",
+       "adaptive aggregation: batch-frame byte cap for per-destination "
+       "coalescing of fast-path parcels under backpressure (0/off disables; "
+       "clamped to [minimum frame, eager threshold]); only read when the "
+       "config name carries no agg token",
+       "ablation_aggregation"},
+      {Kind::kEnv, "AMTNET_LCI_AGG_AGE_US", "200",
+       "adaptive aggregation: microseconds a partially filled batch may age "
+       "before it is flushed anyway (0 disables the age trigger; size, "
+       "window-stall, and idle flushes still apply); only read when the "
+       "config name carries no aggt token",
+       "ablation_aggregation"},
+      {Kind::kEnv, "AMTNET_LCI_PACKET_POOL", "4096",
+       "send-side packet-pool size in minilci (a pool of 1 forces fast-path "
+       "pool exhaustion — the credit-conservation regression setup)",
+       "test_amt AdmissionTest"},
       {Kind::kEnv, "AMTNET_REL_SCAN_QUANTUM", "64",
        "progress ticks between retransmit scans in the reliability layer "
        "(0: scan on every progress call)",
@@ -220,6 +236,14 @@ const std::vector<Knob>& knob_registry() {
        "and follow-up transfers (fp = cap at the eager threshold, fp<N> = "
        "cap at N bytes, fpoff = kill switch)",
        "ablation_fastpath"},
+      {Kind::kConfigToken, "agg<N> | aggt<U> | aggoff", "off",
+       "LCI adaptive aggregation: coalesce fast-path parcels bound for a "
+       "backpressured destination into one batch frame of at most N bytes "
+       "(agg<N>, minimum the one-parcel frame overhead), flushed by size, "
+       "window stall (the buffer absorbed every outstanding admission "
+       "credit), age (aggt<U> microseconds), idle background work, or stop "
+       "(aggoff = kill switch)",
+       "ablation_aggregation"},
       {Kind::kConfigToken, "shed<N> | block<N> | dl<N>", "off",
        "send-path admission control with per-destination window N: shed "
        "refuses surplus fire-and-forget parcels at the bound, block "

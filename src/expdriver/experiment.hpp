@@ -41,6 +41,13 @@ struct PointSpec {
   std::size_t batch = 100;
   std::size_t base_total_msgs = 0;  // rate: scaled by env.scale, min 1
   double attempted_rate = 0.0;      // rate: messages/s, 0 = unlimited
+  // Shaped wire for rate points (any field > 0 switches the fabric to
+  // wall-clock gating): line rate, per-packet latency, and a NIC
+  // message-rate cap — the knob that makes a small-message flood
+  // message-rate-bound rather than host-CPU-bound. 0 = zero-time fabric.
+  double rate_bandwidth_gbps = 0.0;
+  double rate_latency_us = 0.0;
+  double rate_pkt_mpps = 0.0;
   std::size_t zchunk_count = 0;
   std::size_t zero_copy_threshold = 8192;
   std::size_t max_connections = 8192;

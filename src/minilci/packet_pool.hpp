@@ -146,9 +146,23 @@ class PacketPool {
       }
     }
     auto data = free_list_.try_pop();
-    if (!data) return std::nullopt;
-    note_cache_miss();
-    return PacketBuffer(this, *data);
+    if (data) {
+      note_cache_miss();
+      return PacketBuffer(this, *data);
+    }
+    // Last resort: the shared list is dry, so lift a packet parked in a
+    // sibling slot's magazine. Releases always land in the *releasing*
+    // thread's magazine, so without this a thread whose slot never sees a
+    // release can starve behind a peer whose magazine holds the pool's
+    // entire remaining capacity — callers looping on try_alloc() then spin
+    // forever even though the pool is not actually exhausted.
+    if (cache_size_ > 0) {
+      if (std::byte* stolen = try_steal()) {
+        note_cache_miss();
+        return PacketBuffer(this, stolen);
+      }
+    }
+    return std::nullopt;
   }
 
   void release(std::byte* data) {
@@ -208,6 +222,22 @@ class PacketPool {
     common::SpinMutex mutex;
     std::vector<std::byte*> items;
   };
+
+  /// Pops one packet from any sibling magazine (try-lock, skip on
+  /// collision). The caller may hold its own slot's mutex: that slot's
+  /// try_lock simply fails and is skipped.
+  std::byte* try_steal() {
+    for (auto& padded : magazines_) {
+      Magazine& magazine = padded.value;
+      std::unique_lock<common::SpinMutex> lock(magazine.mutex,
+                                               std::try_to_lock);
+      if (!lock.owns_lock() || magazine.items.empty()) continue;
+      std::byte* data = magazine.items.back();
+      magazine.items.pop_back();
+      return data;
+    }
+    return nullptr;
+  }
 
   static constexpr std::size_t kNumMagazines = 16;  // power of two
 

@@ -23,6 +23,14 @@ minilci::Config make_device_config(const amt::ParcelportContext& context) {
     config.packet_cache_size =
         static_cast<std::size_t>(std::strtoul(s, nullptr, 10));
   }
+  // Send-side packet pool size (primarily a test knob: a pool of 1 forces
+  // fast-path pool exhaustion to pin the fallback/credit-conservation
+  // behaviour).
+  if (const char* s = std::getenv("AMTNET_LCI_PACKET_POOL")) {
+    const std::size_t pool =
+        static_cast<std::size_t>(std::strtoul(s, nullptr, 10));
+    if (pool > 0) config.packet_pool_size = pool;
+  }
   // Rendezvous-state shard count: the config token ("rs<N>") wins, the
   // environment fills in, the minilci default otherwise. rs1 collapses the
   // sharded tables to one table + lock (the ablation baseline).
@@ -79,7 +87,65 @@ std::size_t resolve_fastpath_cap(const amt::ParcelportConfig& config,
   }
   if (value == 0) return 0;
   if (value == 1) return eager_threshold;
+  if (static_cast<std::size_t>(value) > eager_threshold) {
+    // The clamp is silent per message, so surface it once per process: an
+    // fp<N> beyond the eager threshold cannot take effect (a frame must fit
+    // one medium message).
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      AMTNET_LOG_WARN("pplci: fast-path cap fp", value,
+                      " exceeds the eager threshold ", eager_threshold,
+                      " — clamping to ", eager_threshold, " bytes");
+    }
+  }
   return std::min(static_cast<std::size_t>(value), eager_threshold);
+}
+
+std::size_t resolve_agg_cap(const amt::ParcelportConfig& config,
+                            std::size_t eager_threshold) {
+  // The config name ("agg<N>"/"aggoff" token) wins; the environment fills in
+  // otherwise; the default is OFF (aggregation is opt-in — it changes frame
+  // timing, so the historical configurations stay bit-identical). The cap
+  // bounds the whole batch frame and can never exceed one medium message.
+  long value = config.lci_agg;
+  if (value < 0) {
+    value = 0;
+    if (const char* s = std::getenv("AMTNET_LCI_AGG")) {
+      const std::string text(s);
+      if (text == "0" || text == "off" || text == "false") {
+        value = 0;
+      } else {
+        value = std::strtol(text.c_str(), nullptr, 10);
+        if (value < 0) value = 0;
+      }
+    }
+  }
+  if (value == 0) return 0;
+  if (static_cast<std::size_t>(value) < amt::kMinAggFrameBytes) {
+    // Config-name tokens are rejected at parse; this catches the env path.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      AMTNET_LOG_WARN("pplci: AMTNET_LCI_AGG=", value,
+                      " is below the minimum one-parcel batch frame (",
+                      amt::kMinAggFrameBytes, " bytes) — raising to ",
+                      amt::kMinAggFrameBytes);
+    }
+    value = static_cast<long>(amt::kMinAggFrameBytes);
+  }
+  return std::min(static_cast<std::size_t>(value), eager_threshold);
+}
+
+common::Nanos resolve_agg_age_ns(const amt::ParcelportConfig& config) {
+  // "aggt<USEC>" token wins, AMTNET_LCI_AGG_AGE_US fills in, default 200 µs.
+  // 0 disables the age trigger (size/idle/final flushes still apply).
+  long value = config.lci_agg_age_us;
+  if (value < 0) {
+    if (const char* s = std::getenv("AMTNET_LCI_AGG_AGE_US")) {
+      value = std::strtol(s, nullptr, 10);
+    }
+  }
+  if (value < 0) value = 200;
+  return static_cast<common::Nanos>(value) * 1000;
 }
 
 std::string pp_metric(amt::Rank rank, const char* leaf) {
@@ -99,6 +165,8 @@ LciParcelport::LciParcelport(const amt::ParcelportContext& context)
       progress_threads_(resolve_progress_threads(context.config)),
       fastpath_cap_(resolve_fastpath_cap(
           context.config, make_device_config(context).eager_threshold)),
+      agg_cap_(resolve_agg_cap(context.config,
+                               make_device_config(context).eager_threshold)),
       device_(*context.fabric, context.rank, make_device_config(context),
               &remote_put_cq_),
       progress_tickets_(progress_threads_),
@@ -123,6 +191,18 @@ LciParcelport::LciParcelport(const amt::ParcelportContext& context)
           pp_metric(context.rank, "fastpath_hits"))),
       ctr_fastpath_fallbacks_(context.fabric->telemetry().counter(
           pp_metric(context.rank, "fastpath_fallbacks"))),
+      ctr_agg_batched_(context.fabric->telemetry().counter(
+          pp_metric(context.rank, "agg_batched"))),
+      ctr_agg_flushes_size_(context.fabric->telemetry().counter(
+          pp_metric(context.rank, "agg_flushes_size"))),
+      ctr_agg_flushes_stall_(context.fabric->telemetry().counter(
+          pp_metric(context.rank, "agg_flushes_stall"))),
+      ctr_agg_flushes_age_(context.fabric->telemetry().counter(
+          pp_metric(context.rank, "agg_flushes_age"))),
+      ctr_agg_flushes_idle_(context.fabric->telemetry().counter(
+          pp_metric(context.rank, "agg_flushes_idle"))),
+      gauge_agg_mean_batch_x100_(context.fabric->telemetry().gauge(
+          pp_metric(context.rank, "agg_mean_batch_x100"))),
       gauge_pieces_in_flight_(context.fabric->telemetry().gauge(
           pp_metric(context.rank, "pieces_in_flight"))),
       gauge_send_queue_depth_(context.fabric->telemetry().gauge(
@@ -134,12 +214,22 @@ LciParcelport::LciParcelport(const amt::ParcelportContext& context)
       &registry.gauge(pp_metric(context.rank, "remote_put_cq_depth")));
   comp_cq_.attach_depth_gauge(
       &registry.gauge(pp_metric(context.rank, "comp_cq_depth")));
-  if (fastpath_cap_ > 0) {
-    // Whole-parcel frames arrive on the reserved tag and dispatch straight
-    // from progress context — armed before any progress thread exists.
+  if (fastpath_cap_ > 0 || agg_cap_ > 0) {
+    // Whole-parcel and batch frames arrive on the reserved tag and dispatch
+    // straight from progress context — armed before any progress thread
+    // exists. The two frame kinds are told apart by their leading magic.
     device_.register_tag_handler(
         minilci::kFastpathTag,
         minilci::Comp::handler(&LciParcelport::fastpath_handler, this));
+  }
+  if (agg_cap_ > 0) {
+    aggregator_ = std::make_unique<amt::Aggregator>(
+        context.fabric->num_ranks(), agg_cap_,
+        resolve_agg_age_ns(context.config),
+        [this](amt::Rank dst, std::vector<amt::Aggregator::Entry>&& batch,
+               amt::Aggregator::FlushReason reason) {
+          flush_batch(dst, std::move(batch), reason);
+        });
   }
 }
 
@@ -169,6 +259,10 @@ void LciParcelport::start() {
 }
 
 void LciParcelport::stop() {
+  // Drain partially filled batches while a progress path still exists so
+  // their done callbacks (and any buffers they hold) release before
+  // teardown.
+  if (aggregator_) aggregator_->flush_all();
   if (progress_thread_.joinable()) {
     progress_stop_.store(true);
     progress_thread_.join();
@@ -289,6 +383,22 @@ void LciParcelport::send(amt::Rank dst, amt::OutMessage msg,
       inner();
     };
   }
+  // Adaptive aggregation: a batchable parcel bound for a backpressured
+  // destination joins the per-destination coalescing buffer instead of
+  // injecting its own frame; the aggregator's flush callback (flush_batch)
+  // fires `done` later. An idle destination falls through to the
+  // single-parcel fast path unbuffered — the load-aware switch.
+  if (aggregator_) {
+    const std::size_t one_entry_frame = sizeof(amt::BatchHeader) +
+                                        sizeof(std::uint32_t) +
+                                        amt::batch_entry_size(msg);
+    if (one_entry_frame <= agg_cap_) {
+      const std::int64_t depth =
+          context_.queue_depth ? context_.queue_depth(dst) : 0;
+      if (aggregator_->enqueue(dst, depth, msg, done)) return;
+    }
+  }
+
   // Small-parcel fast path (put-with-completion): the whole message travels
   // as one self-contained frame on the reserved tag and is dispatched by
   // the destination's handler completion — no connection, no follow-up
@@ -297,9 +407,16 @@ void LciParcelport::send(amt::Rank dst, amt::OutMessage msg,
   if (fastpath_cap_ > 0) {
     if (const std::size_t frame_size = amt::whole_parcel_frame_size(msg);
         frame_size <= fastpath_cap_) {
+      // Bounded packet-pool wait: sustained exhaustion (every in-flight
+      // frame holding a packet) must NOT spin forever — the connection path
+      // below has its own buffers and its completion chain frees packets.
+      // The hand-off keeps `done` intact, so admission credits are
+      // conserved, and is counted exactly once (below) like any other
+      // fallback.
       std::optional<minilci::PacketBuffer> packet;
       unsigned backoff_round = 0;
-      for (;;) {
+      constexpr unsigned kFastpathAllocRounds = 8;
+      for (unsigned attempt = 0; attempt < kFastpathAllocRounds; ++attempt) {
         packet = device_.try_alloc_packet();
         if (packet) break;
         if (progress_type_ == amt::ParcelportConfig::ProgressType::kWorker) {
@@ -307,29 +424,35 @@ void LciParcelport::send(amt::Rank dst, amt::OutMessage msg,
         }
         send_backoff(backoff_round);
       }
-      const std::uint16_t seq =
-          header_seq_tx_[dst].value.fetch_add(1, std::memory_order_relaxed);
-      packet->set_size(amt::encode_whole_parcel_to(
-          msg, seq, packet->data(), packet->capacity()));
-      backoff_round = 0;
-      for (;;) {
-        const common::Status status =
-            protocol_ == amt::ParcelportConfig::Protocol::kPutSendRecv
-                ? device_.put_dyn_packet(dst, minilci::kFastpathTag, *packet,
-                                         minilci::Comp::none())
-                : device_.sendm_packet(dst, minilci::kFastpathTag, *packet,
-                                       minilci::Comp::none());
-        if (status == common::Status::kOk) break;
-        if (progress_type_ == amt::ParcelportConfig::ProgressType::kWorker) {
-          try_progress();
+      if (packet) {
+        const std::uint32_t seq =
+            header_seq_tx_[dst].value.fetch_add(1, std::memory_order_relaxed);
+        packet->set_size(amt::encode_whole_parcel_to(
+            msg, seq, packet->data(), packet->capacity()));
+        backoff_round = 0;
+        for (;;) {
+          const common::Status status =
+              protocol_ == amt::ParcelportConfig::Protocol::kPutSendRecv
+                  ? device_.put_dyn_packet(dst, minilci::kFastpathTag,
+                                           *packet, minilci::Comp::none())
+                  : device_.sendm_packet(dst, minilci::kFastpathTag, *packet,
+                                         minilci::Comp::none());
+          if (status == common::Status::kOk) break;
+          if (progress_type_ ==
+              amt::ParcelportConfig::ProgressType::kWorker) {
+            try_progress();
+          }
+          send_backoff(backoff_round);
         }
-        send_backoff(backoff_round);
+        ctr_fastpath_hits_.add();
+        gauge_send_queue_depth_.sub();
+        done();
+        return;
       }
-      ctr_fastpath_hits_.add();
-      gauge_send_queue_depth_.sub();
-      done();
-      return;
     }
+    // Exactly one fallback count per parcel that leaves the fast path —
+    // whether the frame was over the cap or the packet pool stayed
+    // exhausted.
     ctr_fastpath_fallbacks_.add();
   }
 
@@ -373,7 +496,7 @@ void LciParcelport::send(amt::Rank dst, amt::OutMessage msg,
     }
     send_backoff(backoff_round);
   }
-  const std::uint16_t header_seq =
+  const std::uint32_t header_seq =
       header_seq_tx_[dst].value.fetch_add(1, std::memory_order_relaxed);
   const std::size_t header_size =
       amt::encode_header_to(msg, plan, connection->tag_base, header_seq,
@@ -643,6 +766,12 @@ void LciParcelport::fastpath_handler(minilci::CqEntry&& entry, void* arg) {
 
 void LciParcelport::handle_fastpath(amt::Rank src,
                                     std::vector<std::byte>&& frame) {
+  // Both frame kinds share the reserved tag; the leading magic says which
+  // arrived (anything else fail-fasts in the decoder below).
+  if (amt::peek_frame_magic(frame.data(), frame.size()) == amt::kBatchMagic) {
+    handle_batch(src, std::move(frame));
+    return;
+  }
   // Runs in progress context (the pinned progress thread, or whichever
   // worker won the progress ticket). decode verifies magic + CRC and
   // fail-fasts on corruption, exactly like the header path.
@@ -667,6 +796,113 @@ void LciParcelport::handle_fastpath(amt::Rank src,
       amt::take_whole_parcel_body(std::move(frame), view, src);
   ctr_delivered_.add();
   context_.deliver(std::move(in));
+}
+
+void LciParcelport::handle_batch(amt::Rank src,
+                                 std::vector<std::byte>&& frame) {
+  // One CRC and ONE per-channel seq check cover the whole frame; each
+  // sub-parcel then dispatches through the normal delivery path, so the
+  // destination handler returns its admission credit exactly as it would
+  // for an unbatched parcel.
+  const amt::BatchView view = amt::decode_batch(frame.data(), frame.size());
+  {
+    HeaderSeqRx& rx = header_seq_rx_[src].value;
+    std::lock_guard<common::SpinMutex> guard(rx.mutex);
+    if (!rx.tracker.accept(view.fields.seq)) {
+      common::integrity_fail("pplci: duplicated batch frame rank=",
+                             context_.rank, " src=", src,
+                             " seq=", view.fields.seq,
+                             " count=", view.fields.count,
+                             " — a duplicate would double-dispatch parcels");
+    }
+  }
+  for (std::size_t i = 0; i < view.offsets.size(); ++i) {
+    amt::InMessage in = amt::take_batch_entry(frame.data() + view.offsets[i],
+                                              view.lengths[i], src);
+    ctr_delivered_.add();
+    context_.deliver(std::move(in));
+  }
+}
+
+void LciParcelport::flush_batch(amt::Rank dst,
+                                std::vector<amt::Aggregator::Entry>&& batch,
+                                amt::Aggregator::FlushReason reason) {
+  assert(!batch.empty());
+  std::vector<const amt::OutMessage*> msgs;
+  msgs.reserve(batch.size());
+  for (const amt::Aggregator::Entry& entry : batch) {
+    msgs.push_back(&entry.msg);
+  }
+
+  // Same allocation + injection discipline as the single-parcel fast path
+  // (explicit retry with bounded backoff); the aggregator guarantees the
+  // frame fits agg_cap_ <= one medium message.
+  std::optional<minilci::PacketBuffer> packet;
+  unsigned backoff_round = 0;
+  for (;;) {
+    packet = device_.try_alloc_packet();
+    if (packet) break;
+    if (progress_type_ == amt::ParcelportConfig::ProgressType::kWorker) {
+      try_progress();
+    }
+    send_backoff(backoff_round);
+  }
+  const std::uint32_t seq =
+      header_seq_tx_[dst].value.fetch_add(1, std::memory_order_relaxed);
+  packet->set_size(amt::encode_batch_to(msgs.data(), msgs.size(), seq,
+                                        packet->data(), packet->capacity()));
+  backoff_round = 0;
+  for (;;) {
+    const common::Status status =
+        protocol_ == amt::ParcelportConfig::Protocol::kPutSendRecv
+            ? device_.put_dyn_packet(dst, minilci::kFastpathTag, *packet,
+                                     minilci::Comp::none())
+            : device_.sendm_packet(dst, minilci::kFastpathTag, *packet,
+                                   minilci::Comp::none());
+    if (status == common::Status::kOk) break;
+    if (progress_type_ == amt::ParcelportConfig::ProgressType::kWorker) {
+      try_progress();
+    }
+    send_backoff(backoff_round);
+  }
+
+  ctr_agg_batched_.add(batch.size());
+  switch (reason) {
+    case amt::Aggregator::FlushReason::kSize:
+      ctr_agg_flushes_size_.add();
+      break;
+    case amt::Aggregator::FlushReason::kStall:
+      ctr_agg_flushes_stall_.add();
+      break;
+    case amt::Aggregator::FlushReason::kAge:
+      ctr_agg_flushes_age_.add();
+      break;
+    case amt::Aggregator::FlushReason::kIdle:
+    case amt::Aggregator::FlushReason::kFinal:
+      ctr_agg_flushes_idle_.add();
+      break;
+  }
+  // Publish the running mean batch size (parcels per frame, x100) through
+  // an add/sub-only gauge by applying the delta from the last published
+  // value.
+  const std::uint64_t parcels = agg_batched_total_.fetch_add(
+                                    batch.size(), std::memory_order_relaxed) +
+                                batch.size();
+  const std::uint64_t flushes =
+      agg_flushes_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::int64_t mean =
+      static_cast<std::int64_t>(parcels * 100 / flushes);
+  const std::int64_t prev =
+      agg_mean_prev_.exchange(mean, std::memory_order_relaxed);
+  gauge_agg_mean_batch_x100_.add(mean - prev);
+
+  // Local completion of *_packet is synchronous on kOk: every buffered
+  // parcel's done callback can fire now (send_queue_depth was added once
+  // per parcel at send() entry).
+  for (amt::Aggregator::Entry& entry : batch) {
+    gauge_send_queue_depth_.sub();
+    entry.done();
+  }
 }
 
 void LciParcelport::dispatch_entry(minilci::CqEntry&& entry) {
@@ -787,6 +1023,14 @@ bool LciParcelport::background_work(unsigned worker_index) {
     did_work |= poll_synchronizers(worker_index);
   }
   did_work |= retry_senders();
+  if (aggregator_ && !aggregator_->empty()) {
+    // Age trigger first; then, when this worker found nothing else to do,
+    // the idle trigger drains partial batches so a dying flood never waits
+    // out the full age deadline. The emptiness hint keeps the unloaded
+    // polling loop at one relaxed load — no clock read, no buffer scan.
+    did_work |= aggregator_->poll(common::now_ns());
+    if (!did_work) did_work |= aggregator_->flush_idle();
+  }
   return did_work;
 }
 

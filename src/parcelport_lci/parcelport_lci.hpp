@@ -37,7 +37,9 @@
 //                             connection cache bypass in amt::Locality),
 //   * pipeline   pd<N>      — follow-up pipeline depth (pdinf/absent =
 //                             unbounded; also AMTNET_LCI_PIPELINE_DEPTH),
-//   * fast path  fp/fpoff   — small-parcel put-with-completion (below).
+//   * fast path  fp/fpoff   — small-parcel put-with-completion (below),
+//   * aggregation agg<N>/aggt<U>/aggoff — adaptive per-destination
+//                             coalescing of small parcels (below).
 //
 // Small-parcel fast path (hpx5 `pwc` style, on by default): when the whole
 // message — header, inline data, and every zero-copy chunk payload — fits
@@ -48,6 +50,19 @@
 // ReceiverConnection, no follow-up tag allocation, no completion-queue round
 // trip. Larger messages take the unchanged header + follow-up path
 // (counted under pplci/*/fastpath_fallbacks).
+//
+// Adaptive aggregation (agg<BYTES> token / AMTNET_LCI_AGG, off by default):
+// fast-path-sized parcels bound for a *backpressured* destination (admission
+// credits outstanding — ParcelportContext::queue_depth) are coalesced in a
+// per-destination amt::Aggregator buffer and travel as one multi-parcel
+// batch frame on the same reserved tag, amortizing per-message injection
+// overhead across the batch. Frames flush on a size cap, an age deadline
+// (aggt<USEC> / AMTNET_LCI_AGG_AGE_US), idle background work, or stop();
+// the receive side distinguishes batch from whole-parcel frames by leading
+// magic, verifies one CRC + one per-channel seq per frame, and dispatches
+// every sub-parcel through the normal delivery path so admission credits
+// still return from the destination handler. When the destination is idle,
+// parcels keep taking the single-parcel fast path unbuffered.
 #pragma once
 
 #include <array>
@@ -58,6 +73,7 @@
 #include <thread>
 #include <vector>
 
+#include "amt/aggregator.hpp"
 #include "amt/parcelport.hpp"
 #include "amt/wire_header.hpp"
 #include "common/cache.hpp"
@@ -85,6 +101,8 @@ class LciParcelport final : public amt::Parcelport {
   std::size_t pipeline_depth() const { return pipeline_depth_; }
   /// Effective fast-path frame-size cap in bytes (0 = fast path off).
   std::size_t fastpath_cap() const { return fastpath_cap_; }
+  /// Effective batch-frame byte cap (0 = aggregation off).
+  std::size_t aggregation_cap() const { return agg_cap_; }
 
   /// Test hook: positions the follow-up tag counter (e.g. just below the
   /// 32-bit wrap) to exercise alloc_tags' wraparound handling.
@@ -178,6 +196,14 @@ class LciParcelport final : public amt::Parcelport {
   /// context when a whole-parcel frame arrives on kFastpathTag.
   static void fastpath_handler(minilci::CqEntry&& entry, void* arg);
   void handle_fastpath(amt::Rank src, std::vector<std::byte>&& frame);
+  /// Batch-frame delivery: one CRC + one seq check, then every sub-parcel
+  /// dispatches through the normal delivery path.
+  void handle_batch(amt::Rank src, std::vector<std::byte>&& frame);
+  /// Aggregator flush callback: encodes the batch into one pool packet,
+  /// injects it on the reserved tag, then fires every entry's done callback.
+  void flush_batch(amt::Rank dst,
+                   std::vector<amt::Aggregator::Entry>&& batch,
+                   amt::Aggregator::FlushReason reason);
   void dispatch_entry(minilci::CqEntry&& entry);
   bool poll_completions();
   bool poll_remote_puts();
@@ -204,6 +230,7 @@ class LciParcelport final : public amt::Parcelport {
   const std::size_t pipeline_depth_;  // 0 = unbounded
   const int progress_threads_;        // ticket bound; 0 = unbounded
   const std::size_t fastpath_cap_;    // whole-frame byte cap; 0 = off
+  const std::size_t agg_cap_;         // batch-frame byte cap; 0 = agg off
 
   minilci::CompQueue remote_put_cq_;  // pre-configured remote CQ for puts
   minilci::Device device_;
@@ -253,7 +280,7 @@ class LciParcelport final : public amt::Parcelport {
   // End-to-end header integrity: per-destination generation counters stamped
   // into every WireHeader, and per-source trackers that fail fast on a
   // duplicated header (which would double-deliver a parcel).
-  std::vector<common::CachePadded<std::atomic<std::uint16_t>>> header_seq_tx_;
+  std::vector<common::CachePadded<std::atomic<std::uint32_t>>> header_seq_tx_;
   struct HeaderSeqRx {
     common::SpinMutex mutex;
     amt::HeaderSeqTracker tracker;
@@ -262,6 +289,15 @@ class LciParcelport final : public amt::Parcelport {
 
   std::thread progress_thread_;  // pin mode ("rp" resource partitioner)
   std::atomic<bool> progress_stop_{false};
+
+  // Adaptive aggregation engine (null when agg_cap_ == 0).
+  std::unique_ptr<amt::Aggregator> aggregator_;
+  // Running mean batch size (parcels per flushed frame, x100 for two
+  // decimal places) published through a delta-updated gauge; the atomics
+  // back the exact arithmetic even when telemetry is compiled out.
+  std::atomic<std::uint64_t> agg_batched_total_{0};
+  std::atomic<std::uint64_t> agg_flushes_total_{0};
+  std::atomic<std::int64_t> agg_mean_prev_{0};
 
   // Metrics under pplci/loc<rank>/... in the fabric's registry. The send
   // histogram measures send() entry to done-callback firing (only when
@@ -274,7 +310,16 @@ class LciParcelport final : public amt::Parcelport {
   telemetry::Counter& ctr_sync_reuses_;
   telemetry::Counter& ctr_sync_allocs_;
   telemetry::Counter& ctr_fastpath_hits_;       // parcels sent as one frame
-  telemetry::Counter& ctr_fastpath_fallbacks_;  // fp on, frame over the cap
+  telemetry::Counter& ctr_fastpath_fallbacks_;  // fp on, but the parcel left
+                                                // the fast path (over the cap
+                                                // or pool exhausted)
+  telemetry::Counter& ctr_agg_batched_;       // parcels sent inside batches
+  telemetry::Counter& ctr_agg_flushes_size_;  // batch flushes: size cap
+  telemetry::Counter& ctr_agg_flushes_stall_;  // batch flushes: the buffer
+                                               // absorbed the whole window
+  telemetry::Counter& ctr_agg_flushes_age_;   // batch flushes: age deadline
+  telemetry::Counter& ctr_agg_flushes_idle_;  // batch flushes: idle/final
+  telemetry::Gauge& gauge_agg_mean_batch_x100_;  // parcels per frame x100
   telemetry::Gauge& gauge_pieces_in_flight_;  // posted, not-yet-completed
                                               // follow-up pieces (sender)
   telemetry::Gauge& gauge_send_queue_depth_;  // messages accepted by send(),

@@ -105,7 +105,7 @@ void MpiParcelport::send(amt::Rank dst, amt::OutMessage msg,
   connection->done = std::move(done);
   connection->tag =
       plan.num_followups(msg) > 0 ? alloc_tag() : 0;
-  const std::uint16_t header_seq =
+  const std::uint32_t header_seq =
       header_seq_tx_[dst].value.fetch_add(1, std::memory_order_relaxed);
   amt::encode_header(msg, plan, static_cast<std::uint32_t>(connection->tag),
                      header_seq, connection->header_buf);

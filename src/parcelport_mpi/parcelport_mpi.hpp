@@ -124,7 +124,7 @@ class MpiParcelport final : public amt::Parcelport {
   // End-to-end header integrity: per-destination generation counters stamped
   // into every WireHeader, and per-source trackers that fail fast on a
   // duplicated header (which would double-deliver a parcel).
-  std::vector<common::CachePadded<std::atomic<std::uint16_t>>> header_seq_tx_;
+  std::vector<common::CachePadded<std::atomic<std::uint32_t>>> header_seq_tx_;
   struct HeaderSeqRx {
     common::SpinMutex mutex;
     amt::HeaderSeqTracker tracker;

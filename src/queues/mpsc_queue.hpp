@@ -31,14 +31,14 @@ class MpscQueue {
   MpscQueue() {
     Node* stub = new Node();
     head_.value.store(stub, std::memory_order_relaxed);
-    tail_ = stub;
+    tail_.store(stub, std::memory_order_relaxed);
   }
 
   MpscQueue(const MpscQueue&) = delete;
   MpscQueue& operator=(const MpscQueue&) = delete;
 
   ~MpscQueue() {
-    Node* node = tail_;
+    Node* node = tail_.load(std::memory_order_relaxed);
     while (node != nullptr) {
       Node* next = node->next.load(std::memory_order_relaxed);
       delete node;
@@ -55,11 +55,11 @@ class MpscQueue {
 
   /// Single consumer only.
   std::optional<T> try_pop() {
-    Node* tail = tail_;
+    Node* tail = tail_.load(std::memory_order_relaxed);
     Node* next = tail->next.load(std::memory_order_acquire);
     if (next == nullptr) return std::nullopt;
     T value = std::move(next->value);
-    tail_ = next;
+    tail_.store(next, std::memory_order_release);
     delete tail;
     return value;
   }
@@ -69,25 +69,29 @@ class MpscQueue {
   /// Single consumer only.
   template <typename Pred>
   std::optional<T> try_pop_if(Pred&& pred) {
-    Node* tail = tail_;
+    Node* tail = tail_.load(std::memory_order_relaxed);
     Node* next = tail->next.load(std::memory_order_acquire);
     if (next == nullptr) return std::nullopt;
     if (!pred(static_cast<const T&>(next->value))) return std::nullopt;
     T value = std::move(next->value);
-    tail_ = next;
+    tail_.store(next, std::memory_order_release);
     delete tail;
     return value;
   }
 
-  /// May transiently report empty while a push is mid-flight; fine for
-  /// polling loops.
+  /// May transiently report empty while a push is mid-flight (and may report
+  /// non-empty before the push links its node); fine for polling loops.
+  /// Callable from ANY thread: compares the two end pointers without
+  /// dereferencing either — the consumer may delete the tail node at any
+  /// moment, so a cross-thread `tail_->next` read would be use-after-free.
   bool looks_empty() const {
-    return tail_->next.load(std::memory_order_acquire) == nullptr;
+    return head_.value.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
   }
 
  private:
   common::CachePadded<std::atomic<Node*>> head_;  // producers push here
-  alignas(common::kCacheLineSize) Node* tail_;    // consumer pops here
+  alignas(common::kCacheLineSize) std::atomic<Node*> tail_;  // consumer end
 };
 
 /// MPSC queue plus a consumer-side try-lock, making it safe for multiple

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "amt/loopback_parcelport.hpp"
 #include "amt/runtime.hpp"
 #include "amt/serialization.hpp"
+#include "amt/wire_header.hpp"
 #include "test_util.hpp"
 
 using amt::ConnectionCache;
@@ -734,6 +736,45 @@ TEST(ParcelportConfigTest, AdmissionTokens) {
                std::invalid_argument);
 }
 
+TEST(ParcelportConfigTest, AggregationTokens) {
+  using amt::ParcelportConfig;
+  const auto agg = ParcelportConfig::parse("lci_psr_cq_pin_agg2048_i");
+  EXPECT_EQ(agg.lci_agg, 2048);
+  EXPECT_EQ(agg.lci_agg_age_us, -1);  // age unset: env / default decides
+  EXPECT_EQ(agg.name(), "lci_psr_cq_pin_agg2048_i");
+
+  const auto aged = ParcelportConfig::parse("lci_sr_sy_mt_agg1024_aggt100_i");
+  EXPECT_EQ(aged.lci_agg, 1024);
+  EXPECT_EQ(aged.lci_agg_age_us, 100);
+  EXPECT_EQ(aged.name(), "lci_sr_sy_mt_agg1024_aggt100_i");
+
+  const auto off = ParcelportConfig::parse("lci_psr_cq_pin_aggoff_i");
+  EXPECT_EQ(off.lci_agg, 0);
+  EXPECT_EQ(off.name(), "lci_psr_cq_pin_aggoff_i");
+
+  // Unset stays out of the canonical name (the env knobs decide at start).
+  const auto unset = ParcelportConfig::parse("lci_psr_cq_pin_i");
+  EXPECT_EQ(unset.lci_agg, -1);
+  EXPECT_EQ(unset.name(), "lci_psr_cq_pin_i");
+
+  // The tokens compose with the fast-path and admission tokens.
+  const auto full =
+      ParcelportConfig::parse("lci_psr_cq_mt_fp_agg2048_aggt50_i_block8");
+  EXPECT_EQ(full.lci_fastpath, 1);
+  EXPECT_EQ(full.lci_agg, 2048);
+  EXPECT_EQ(full.lci_agg_age_us, 50);
+  EXPECT_EQ(full.name(), "lci_psr_cq_mt_fp_agg2048_aggt50_i_block8");
+
+  // A cap below the minimum one-parcel frame could never flush anything:
+  // reject it at parse rather than wedging the aggregator at runtime.
+  static_assert(amt::kMinAggFrameBytes == 32);
+  EXPECT_THROW(ParcelportConfig::parse("lci_psr_cq_pin_agg31_i"),
+               std::invalid_argument);
+  EXPECT_THROW(ParcelportConfig::parse("lci_psr_cq_pin_agg16_i"),
+               std::invalid_argument);
+  EXPECT_NO_THROW(ParcelportConfig::parse("lci_psr_cq_pin_agg32_i"));
+}
+
 // ---------------- admission control over the loopback parcelport ----------
 
 namespace {
@@ -1032,6 +1073,79 @@ TEST(LciFastpathFlood, MultiThreadedSendersTsanClean) {
   runtime.stop();
 }
 
+TEST(AdmissionTest, PoolExhaustedFastpathFallsBackAndConserves) {
+  // Forces packet-pool exhaustion (a one-packet pool) under a concurrent
+  // small-parcel flood: fast-path sends whose bounded alloc loop comes up
+  // empty must fall back to the connection path with exactly one fallback
+  // count and NO credit skew — pre-fix, the exhausted branch could
+  // double-count the parcel against the admission window, so `accepted ==
+  // executed` never converged. A deep block window keeps injection retries
+  // holding the lone packet while other senders' allocs fail.
+  setenv("AMTNET_LCI_PACKET_POOL", "1", 1);
+  amt::RuntimeConfig config = lci_fastpath_config("lci_psr_cq_mt_fp_i", 2, 4);
+  config.parcelport.admission.policy = amt::AdmissionConfig::Policy::kBlock;
+  config.parcelport.admission.queue_bound = 64;
+  // A tiny TX window under a 64-deep flood: injections spend most of their
+  // time in kRetry, and the retrying sender holds the pool's only packet
+  // across the full wire latency — so concurrent senders reliably find the
+  // pool empty.
+  config.fabric.tx_window = 8;
+  amt::Runtime runtime(config, amtnet::default_parcelport_factory());
+  runtime.start();
+  unsetenv("AMTNET_LCI_PACKET_POOL");
+  actions::ping_count.store(0);
+  constexpr int kSenders = 4;
+  constexpr int kPerSender = 200;
+  std::atomic<int> senders_done{0};
+  for (int s = 0; s < kSenders; ++s) {
+    runtime.locality(0).spawn([&] {
+      for (int i = 0; i < kPerSender; ++i) {
+        amt::here().apply<&actions::ping>(1);
+      }
+      senders_done.fetch_add(1);
+    });
+  }
+  constexpr int kTotal = kSenders * kPerSender;
+  const bool converged = testutil::spin_until(
+      [&] {
+        return senders_done.load() == kSenders &&
+               actions::ping_count.load() == kTotal;
+      },
+      std::chrono::milliseconds(20000));
+  if (!converged) {
+    const auto snap0 = runtime.telemetry().snapshot();
+    std::fprintf(stderr,
+                 "DEBUG senders_done=%d ping_count=%d hits=%llu fb=%llu "
+                 "outstanding_peak=%llu accepted=%llu\n",
+                 senders_done.load(), actions::ping_count.load(),
+                 (unsigned long long)snap0.counter("pplci/loc0/fastpath_hits"),
+                 (unsigned long long)snap0.counter(
+                     "pplci/loc0/fastpath_fallbacks"),
+                 (unsigned long long)runtime.locality(0)
+                     .admission_stats()
+                     .peak_queue_depth,
+                 (unsigned long long)runtime.locality(0)
+                     .admission_stats()
+                     .accepted);
+  }
+  ASSERT_TRUE(converged);
+  const auto stats = runtime.locality(0).admission_stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(stats.shed, 0u);  // block never refuses
+#ifndef AMTNET_TELEMETRY_DISABLED
+  const auto snap = runtime.telemetry().snapshot();
+  const std::uint64_t hits = snap.counter("pplci/loc0/fastpath_hits");
+  const std::uint64_t fallbacks =
+      snap.counter("pplci/loc0/fastpath_fallbacks");
+  EXPECT_GT(fallbacks, 0u)
+      << "a one-packet pool never exhausted under a 4-thread flood";
+  // Single-count: every small parcel left the send path exactly once,
+  // either as a fast-path frame or as one counted fallback.
+  EXPECT_EQ(hits + fallbacks, static_cast<std::uint64_t>(kTotal));
+#endif
+  runtime.stop();
+}
+
 TEST(LciFastpathFlood, SendRecvVariantDeliversThroughHandler) {
   // Same flood over the sr protocol (fast-path frames ride tag-reserved
   // medium sends instead of dynamic puts) with the sy completion flavour.
@@ -1049,5 +1163,63 @@ TEST(LciFastpathFlood, SendRecvVariantDeliversThroughHandler) {
 #ifndef AMTNET_TELEMETRY_DISABLED
   EXPECT_GE(fastpath_hits(runtime, 2), static_cast<std::uint64_t>(kParcels));
 #endif
+  runtime.stop();
+}
+
+// -------- LCI adaptive aggregation: flush-race TSan stress ----------------
+//
+// The aggregator's lifecycle has three racing flush triggers: a sender whose
+// enqueue tips the buffer over the size cap, idle workers running
+// background_work (age poll + idle drain), and stop()'s final flush_all.
+// These floods make all three fire concurrently from different threads (the
+// LciAggregationFlood filter is part of the CI tsan job); the exact dispatch
+// count catches any lost, duplicated, or double-flushed sub-parcel.
+
+TEST(LciAggregationFlood, MultiThreadedSendersTsanClean) {
+  constexpr int kSenders = 3;
+  constexpr int kPerSender = 150;
+  amt::RuntimeConfig config =
+      lci_fastpath_config("lci_psr_cq_mt_fp_agg2048_aggt50_i_block8", 2, 4);
+  amt::Runtime runtime(config, amtnet::default_parcelport_factory());
+  runtime.start();
+  actions::ping_count.store(0);
+  for (amt::Rank loc = 0; loc < 2; ++loc) {
+    for (int s = 0; s < kSenders; ++s) {
+      runtime.locality(loc).spawn([&, loc] {
+        for (int i = 0; i < kPerSender; ++i) {
+          amt::here().apply<&actions::ping>(1 - loc);
+        }
+      });
+    }
+  }
+  constexpr int kTotal = 2 * kSenders * kPerSender;
+  ASSERT_TRUE(testutil::spin_until(
+      [&] { return actions::ping_count.load() == kTotal; },
+      std::chrono::milliseconds(20000)));
+  runtime.stop();
+}
+
+TEST(LciAggregationFlood, TinyCapEvictionChurnTsanClean) {
+  // A cap barely above one entry: nearly every enqueue evicts the previous
+  // occupant, maximizing contention on the swap-under-lock/flush-outside
+  // handoff between senders and the background flusher.
+  constexpr int kSenders = 3;
+  constexpr int kPerSender = 100;
+  amt::RuntimeConfig config =
+      lci_fastpath_config("lci_sr_cq_mt_fp_agg128_aggt50_i_block8", 2, 4);
+  amt::Runtime runtime(config, amtnet::default_parcelport_factory());
+  runtime.start();
+  actions::ping_count.store(0);
+  for (int s = 0; s < kSenders; ++s) {
+    runtime.locality(0).spawn([&] {
+      for (int i = 0; i < kPerSender; ++i) {
+        amt::here().apply<&actions::ping>(1);
+      }
+    });
+  }
+  constexpr int kTotal = kSenders * kPerSender;
+  ASSERT_TRUE(testutil::spin_until(
+      [&] { return actions::ping_count.load() == kTotal; },
+      std::chrono::milliseconds(20000)));
   runtime.stop();
 }

@@ -222,6 +222,11 @@ INSTANTIATE_TEST_SUITE_P(
         // duplicated frame dispatch a parcel twice (the exact-sum check
         // above catches any double dispatch).
         "lci_psr_cq_mt_fp_i",
+        // Adaptive aggregation under a blocking admission window: faults
+        // must land on multi-parcel batch frames too — dropping one loses
+        // (and retransmits) several parcels at once, and a duplicated batch
+        // must not re-dispatch any of its sub-parcels.
+        "lci_psr_cq_mt_fp_agg1024_aggt100_i_block32",
         // The MPI and TCP parcelports.
         "mpi_i", "tcp"),
     [](const ::testing::TestParamInfo<const char*>& info) {

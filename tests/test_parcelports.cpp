@@ -197,6 +197,156 @@ TEST(WholeParcelFrameDeathTest, DeclaredSizesMustMatchFrameExactly) {
                "whole-parcel frame size mismatch");
 }
 
+// ---------------- multi-parcel batch frame (adaptive aggregation) --------
+
+namespace {
+
+// Same trick as repatch_whole_parcel_crc: re-checksum after a deliberate
+// field edit so the structural validation is what trips, not the CRC.
+void repatch_batch_crc(std::vector<std::byte>& frame) {
+  const std::uint32_t zero = 0;
+  std::memcpy(frame.data() + offsetof(amt::BatchHeader, crc), &zero,
+              sizeof(zero));
+  const std::uint32_t crc = common::crc32(frame.data(), frame.size());
+  std::memcpy(frame.data() + offsetof(amt::BatchHeader, crc), &crc,
+              sizeof(crc));
+}
+
+std::vector<std::byte> encode_batch(
+    const std::vector<const amt::OutMessage*>& msgs, std::uint32_t seq) {
+  std::vector<std::byte> frame(
+      amt::batch_frame_size(msgs.data(), msgs.size()));
+  EXPECT_EQ(amt::encode_batch_to(msgs.data(), msgs.size(), seq, frame.data(),
+                                 frame.size()),
+            frame.size());
+  return frame;
+}
+
+}  // namespace
+
+TEST(BatchFrame, RoundTripThreeParcelsWithZchunks) {
+  const auto m0 = make_msg(8, {});
+  const auto m1 = make_msg(64, {100, 200});
+  const auto m2 = make_msg(0, {50});
+  auto frame = encode_batch({&m0, &m1, &m2}, /*seq=*/9);
+
+  EXPECT_EQ(amt::peek_frame_magic(frame.data(), frame.size()),
+            amt::kBatchMagic);
+  const auto view = amt::decode_batch(frame.data(), frame.size());
+  EXPECT_EQ(view.fields.count, 3u);
+  EXPECT_EQ(view.fields.seq, 9u);
+  ASSERT_EQ(view.offsets.size(), 3u);
+  ASSERT_EQ(view.lengths.size(), 3u);
+
+  const auto in0 =
+      amt::take_batch_entry(frame.data() + view.offsets[0], view.lengths[0],
+                            /*source=*/5);
+  EXPECT_EQ(in0.source, 5);
+  ASSERT_EQ(in0.main_chunk.size(), 8u);
+  EXPECT_EQ(in0.main_chunk[7], std::byte{0x5a});
+  EXPECT_TRUE(in0.zchunks.empty());
+
+  const auto in1 =
+      amt::take_batch_entry(frame.data() + view.offsets[1], view.lengths[1],
+                            /*source=*/5);
+  ASSERT_EQ(in1.main_chunk.size(), 64u);
+  EXPECT_EQ(in1.main_chunk[0], std::byte{0x5a});
+  ASSERT_EQ(in1.zchunks.size(), 2u);
+  ASSERT_EQ(in1.zchunks[0].size(), 100u);
+  EXPECT_EQ(in1.zchunks[0][99], std::byte{1});
+  ASSERT_EQ(in1.zchunks[1].size(), 200u);
+  EXPECT_EQ(in1.zchunks[1][0], std::byte{2});
+
+  const auto in2 =
+      amt::take_batch_entry(frame.data() + view.offsets[2], view.lengths[2],
+                            /*source=*/5);
+  EXPECT_TRUE(in2.main_chunk.empty());
+  ASSERT_EQ(in2.zchunks.size(), 1u);
+  EXPECT_EQ(in2.zchunks[0].size(), 50u);
+}
+
+TEST(BatchFrame, MinimalOneParcelFrameMatchesTheParseFloor) {
+  // The agg<BYTES> parse floor is exactly the smallest encodable frame: a
+  // zero-payload single parcel. If the layout grows, the constant (and the
+  // config error message) must follow.
+  const auto msg = make_msg(0, {});
+  const amt::OutMessage* msgs[] = {&msg};
+  EXPECT_EQ(amt::batch_frame_size(msgs, 1), amt::kMinAggFrameBytes);
+}
+
+TEST(BatchFrameDeathTest, CorruptedPayloadFailsFast) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto m0 = make_msg(32, {});
+  const auto m1 = make_msg(16, {});
+  auto frame = encode_batch({&m0, &m1}, /*seq=*/1);
+  frame[frame.size() - 5] ^= std::byte{0x20};
+  EXPECT_DEATH(amt::decode_batch(frame.data(), frame.size()),
+               "batch frame CRC mismatch");
+}
+
+TEST(BatchFrameDeathTest, TruncatedFrameFailsFast) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::vector<std::byte> frame(8, std::byte{0});
+  EXPECT_DEATH(amt::decode_batch(frame.data(), frame.size()),
+               "batch frame truncated");
+}
+
+TEST(BatchFrameDeathTest, ForeignFrameKindFailsFast) {
+  // A whole-parcel frame routed into the batch decoder (both frame kinds
+  // share the fast-path tag) must be rejected by the magic check.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto msg = make_msg(64, {});
+  std::vector<std::byte> frame(amt::whole_parcel_frame_size(msg));
+  amt::encode_whole_parcel_to(msg, /*seq=*/0, frame.data(), frame.size());
+  EXPECT_DEATH(amt::decode_batch(frame.data(), frame.size()),
+               "batch frame bad magic");
+}
+
+TEST(BatchFrameDeathTest, ZeroCountFailsFastEvenWithValidCrc) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto msg = make_msg(16, {});
+  auto frame = encode_batch({&msg}, /*seq=*/0);
+  const std::uint32_t zero_count = 0;
+  std::memcpy(frame.data() + offsetof(amt::BatchHeader, count), &zero_count,
+              sizeof(zero_count));
+  repatch_batch_crc(frame);
+  EXPECT_DEATH(amt::decode_batch(frame.data(), frame.size()),
+               "batch frame bad count");
+}
+
+TEST(BatchFrameDeathTest, OverdeclaredEntryLengthFailsFast) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto msg = make_msg(16, {});
+  auto frame = encode_batch({&msg}, /*seq=*/0);
+  std::uint32_t length = 0;
+  std::memcpy(&length, frame.data() + sizeof(amt::BatchHeader),
+              sizeof(length));
+  length += 8;
+  std::memcpy(frame.data() + sizeof(amt::BatchHeader), &length,
+              sizeof(length));
+  repatch_batch_crc(frame);
+  EXPECT_DEATH(amt::decode_batch(frame.data(), frame.size()),
+               "batch entry 0 overruns frame");
+}
+
+TEST(BatchFrameDeathTest, DeclaredLengthsMustCoverFrameExactly) {
+  // A re-checksummed frame whose length table leaves trailing bytes
+  // unaccounted for still dies (e.g. a maliciously shortened entry).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto m0 = make_msg(32, {});
+  const auto m1 = make_msg(16, {});
+  auto frame = encode_batch({&m0, &m1}, /*seq=*/0);
+  std::uint32_t length = 0;
+  std::memcpy(&length, frame.data() + sizeof(amt::BatchHeader),
+              sizeof(length));
+  length -= 1;
+  std::memcpy(frame.data() + sizeof(amt::BatchHeader), &length,
+              sizeof(length));
+  repatch_batch_crc(frame);
+  EXPECT_DEATH(amt::decode_batch(frame.data(), frame.size()),
+               "batch frame size mismatch");
+}
+
 // ---------------- end-to-end over every configuration ----------------
 
 namespace e2e {
@@ -486,6 +636,113 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(info.param);
     });
 
+// ---------------- adaptive aggregation, end to end ----------------
+
+// Every LCI variant combination with aggregation on, under a block<N>
+// admission window (the backpressure signal that activates coalescing),
+// over a 4-rail reordering fabric. Small floods in both directions coalesce
+// into batch frames while zchunk-heavy round trips ride the fallback path
+// mid-stream; the exact sums catch any lost, duplicated, or misrouted
+// sub-parcel. The aggoff row pins the kill switch to the bit-identical
+// non-batching behaviour.
+class LciAggregationE2E : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LciAggregationE2E, BackpressuredMixedTrafficDeliversExactly) {
+  StackOptions options;
+  options.parcelport = GetParam();
+  options.num_localities = 2;
+  options.threads_per_locality = 2;
+  options.platform = "loopback";
+  options.fabric_rails = 4;
+  auto runtime = amtnet::make_runtime(options);
+  e2e::counter.store(0);
+  constexpr int kSmall = 300;
+  for (amt::Rank r = 0; r < 2; ++r) {
+    runtime->locality(r).spawn([&, r] {
+      for (int i = 1; i <= kSmall; ++i) {
+        amt::here().apply<&e2e::bump>(1 - r, static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  Latch done(1);
+  bool large_ok = false;
+  runtime->locality(0).spawn([&] {
+    bool ok = true;
+    for (std::uint64_t round = 0; round < 2; ++round) {
+      auto a = e2e::make_chunk(2048, round + 1);
+      auto b = e2e::make_chunk(2048, round + 2);
+      const std::uint64_t expected = e2e::ordered_digest(a, b, a, b);
+      ok = ok &&
+           amt::here().async<&e2e::ordered_digest>(1, a, b, a, b).get() ==
+               expected;
+    }
+    large_ok = ok;
+    done.count_down();
+  });
+  done.wait(runtime->locality(0).scheduler());
+  EXPECT_TRUE(large_ok);
+  const std::uint64_t expected_small = 2ull * kSmall * (kSmall + 1) / 2;
+  ASSERT_TRUE(testutil::spin_until(
+      [&] { return e2e::counter.load() == expected_small; },
+      std::chrono::milliseconds(20000)));
+  runtime->stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLciVariants, LciAggregationE2E,
+    ::testing::Values("lci_psr_cq_pin_fp_agg2048_i_block16",
+                      "lci_psr_cq_mt_fp_agg2048_i_block16",
+                      "lci_psr_sy_pin_fp_agg2048_i_block16",
+                      "lci_psr_sy_mt_fp_agg2048_i_block16",
+                      "lci_sr_cq_pin_fp_agg2048_i_block16",
+                      "lci_sr_cq_mt_fp_agg2048_i_block16",
+                      "lci_sr_sy_pin_fp_agg2048_i_block16",
+                      "lci_sr_sy_mt_fp_agg2048_i_block16",
+                      // regression rows: a tight age deadline, a small cap
+                      // that evicts constantly, and the kill switch
+                      "lci_psr_cq_mt_fp_agg1024_aggt50_i_block8",
+                      "lci_psr_cq_mt_fp_agg128_aggt100_i_block16",
+                      "lci_psr_cq_mt_fp_aggoff_i_block16"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return std::string(info.param);
+    });
+
+#ifndef AMTNET_TELEMETRY_DISABLED
+TEST(LciAggregation, BackpressuredFloodActuallyBatches) {
+  // The e2e sweep above proves delivery is exact; this pins that batching
+  // *happened*: under a tight block window a one-way flood must coalesce
+  // parcels into batch frames, and the flush-trigger counters must account
+  // for every flush.
+  StackOptions options;
+  options.parcelport = "lci_psr_cq_mt_fp_agg2048_aggt100_i_block8";
+  options.num_localities = 2;
+  options.threads_per_locality = 2;
+  options.platform = "loopback";
+  auto runtime = amtnet::make_runtime(options);
+  e2e::counter.store(0);
+  constexpr int kParcels = 600;
+  runtime->locality(0).spawn([&] {
+    for (int i = 1; i <= kParcels; ++i) {
+      amt::here().apply<&e2e::bump>(1, static_cast<std::uint64_t>(i));
+    }
+  });
+  const std::uint64_t expected = 1ull * kParcels * (kParcels + 1) / 2;
+  ASSERT_TRUE(testutil::spin_until(
+      [&] { return e2e::counter.load() == expected; },
+      std::chrono::milliseconds(20000)));
+  const auto snap = runtime->telemetry().snapshot();
+  const std::uint64_t batched = snap.counter("pplci/loc0/agg_batched");
+  const std::uint64_t flushes = snap.counter("pplci/loc0/agg_flushes_size") +
+                                snap.counter("pplci/loc0/agg_flushes_stall") +
+                                snap.counter("pplci/loc0/agg_flushes_age") +
+                                snap.counter("pplci/loc0/agg_flushes_idle");
+  EXPECT_GT(batched, 0u) << "no parcel was ever coalesced under backpressure";
+  EXPECT_GT(flushes, 0u);
+  EXPECT_GE(batched, flushes) << "a flush carried zero parcels";
+  runtime->stop();
+}
+#endif  // AMTNET_TELEMETRY_DISABLED
+
 namespace e2e {
 
 // Mirrors the bench harness ping signature (bench/harness.cpp lat_ping) so
@@ -765,14 +1022,37 @@ TEST(HeaderSeqTracker, ToleratesReorderingWithinWindow) {
   EXPECT_FALSE(tracker.accept(10));
 }
 
-TEST(HeaderSeqTracker, SurvivesU16Wraparound) {
+TEST(HeaderSeqTracker, LongFloodRejectsStaleDuplicateAtTheOldU16Wrap) {
+  // Regression for the 16-bit tracker: after 2^16 generations, a stale
+  // duplicate of an early seq aliased onto a small *forward* delta
+  // ((2 - 0xFFFE) mod 2^16 = 4) and was accepted — a double dispatch on any
+  // flood longer than 65536 parcels. The 32-bit tracker must classify it as
+  // epoch-stale and reject, while the flood itself keeps flowing.
   amt::HeaderSeqTracker tracker;
-  std::uint16_t seq = 0;
-  for (std::uint32_t i = 0; i < 70000; ++i) {  // crosses 65535 -> 0
-    ASSERT_TRUE(tracker.accept(seq)) << "generation " << i;
-    ++seq;
+  for (std::uint32_t seq = 0; seq <= 0xFFFEu; ++seq) {
+    ASSERT_TRUE(tracker.accept(seq)) << "generation " << seq;
   }
-  EXPECT_FALSE(tracker.accept(static_cast<std::uint16_t>(seq - 1)));
+  EXPECT_FALSE(tracker.accept(2));        // pre-fix: seen as 4 ahead, accepted
+  EXPECT_FALSE(tracker.accept(0xFFFEu));  // plain in-window duplicate
+  EXPECT_TRUE(tracker.accept(0xFFFFu));   // the counter no longer wraps here
+  EXPECT_TRUE(tracker.accept(0x10000u));
+  EXPECT_TRUE(tracker.accept(0x10001u));
+}
+
+TEST(HeaderSeqTracker, SurvivesTheFullU32Wraparound) {
+  amt::HeaderSeqTracker tracker;
+  // Walk highest_ to just below the 32-bit wrap (each jump lands inside the
+  // forward half-range, so all three are "newer")...
+  ASSERT_TRUE(tracker.accept(0x60000000u));
+  ASSERT_TRUE(tracker.accept(0xC0000000u));
+  ASSERT_TRUE(tracker.accept(0xFFFFFF00u));
+  // ...then cross the wrap one generation at a time.
+  for (std::uint32_t seq = 0xFFFFFF01u; seq != 8; ++seq) {
+    ASSERT_TRUE(tracker.accept(seq)) << "generation " << seq;
+  }
+  EXPECT_FALSE(tracker.accept(0xFFFFFFFFu));  // duplicate from before the wrap
+  EXPECT_FALSE(tracker.accept(4));            // duplicate from after it
+  EXPECT_TRUE(tracker.accept(8));
 }
 
 // ---------------- LCI follow-up tag counter wraparound ----------------
