@@ -1,0 +1,12 @@
+// Thin wrapper over the "ablation_collectives" suite of the experiment
+// registry (bench/suites.cpp): centralised root-gather collectives vs the
+// log-depth binomial / recursive-doubling / ring families on a
+// message-rate-capped wire, across localities and payload sizes. The point
+// matrix, repetition policy and metric definitions all live in the
+// registry; `bench_suite` runs the same suite with baseline gating and
+// docs rendering on top.
+#include "suites.hpp"
+
+int main(int argc, char** argv) {
+  return bench::suites::run_suite_main("ablation_collectives", argc, argv);
+}

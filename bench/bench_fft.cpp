@@ -1,0 +1,12 @@
+// Thin wrapper over the "fft" suite of the experiment registry
+// (bench/suites.cpp): the distributed four-step FFT workload (row FFTs,
+// all-to-all transpose, row FFTs) across parcelports, locality counts and
+// collective-algorithm families, bit-exactly validated against a serial
+// reference on every run. The point matrix, repetition policy and metric
+// definitions all live in the registry; `bench_suite` runs the same suite
+// with baseline gating and docs rendering on top.
+#include "suites.hpp"
+
+int main(int argc, char** argv) {
+  return bench::suites::run_suite_main("fft", argc, argv);
+}

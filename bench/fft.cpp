@@ -1,0 +1,249 @@
+#include "fft.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "amt/collectives.hpp"
+#include "common/clock.hpp"
+#include "harness.hpp"
+#include "stack/stack.hpp"
+
+namespace bench {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Twiddle shared by the distributed path and the serial reference — both
+// must execute the identical expression for bit-exact agreement.
+std::complex<double> twiddle(std::size_t num, std::size_t den) {
+  return std::polar(1.0, -2.0 * kPi * static_cast<double>(num % den) /
+                             static_cast<double>(den));
+}
+
+// One benchmark at a time (the harness convention): the channel between
+// the driving thread and the locality tasks.
+std::atomic<int> g_fft_done{0};
+std::atomic<std::uint64_t> g_fft_elapsed_ns{0};
+amt::CollectiveGroup* g_fft_group = nullptr;
+
+}  // namespace
+
+void fft_radix2(std::complex<double>* data, std::size_t n) {
+  assert(n != 0 && (n & (n - 1)) == 0);
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> w = twiddle(k, len);
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> fft_input(std::size_t n) {
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Weyl-style integer mix: reproducible, uncorrelated, exactly
+    // representable transformations of small integers.
+    const std::uint64_t a = (i * 2654435761u + 12345u) % 2048u;
+    const std::uint64_t b = (i * 40503u + 9973u) % 2048u;
+    x[i] = {static_cast<double>(a) / 1024.0 - 1.0,
+            static_cast<double>(b) / 1024.0 - 1.0};
+  }
+  return x;
+}
+
+std::vector<std::complex<double>> fft_four_step_reference(
+    const std::vector<std::complex<double>>& x, std::size_t dim) {
+  assert(x.size() == dim * dim);
+  // Matrix B[n2][n1] = x[dim * n1 + n2], row-FFT over n1.
+  std::vector<std::complex<double>> b(dim * dim);
+  for (std::size_t n2 = 0; n2 < dim; ++n2) {
+    for (std::size_t n1 = 0; n1 < dim; ++n1) {
+      b[n2 * dim + n1] = x[dim * n1 + n2];
+    }
+  }
+  for (std::size_t n2 = 0; n2 < dim; ++n2) {
+    fft_radix2(b.data() + n2 * dim, dim);
+  }
+  // Twiddle: Z[n2][k1] = W_N^{n2 k1} Y[n2][k1].
+  const std::size_t total = dim * dim;
+  for (std::size_t n2 = 0; n2 < dim; ++n2) {
+    for (std::size_t k1 = 0; k1 < dim; ++k1) {
+      b[n2 * dim + k1] *= twiddle(n2 * k1, total);
+    }
+  }
+  // Transpose to T[k1][n2], then row-FFT over n2.
+  std::vector<std::complex<double>> t(dim * dim);
+  for (std::size_t k1 = 0; k1 < dim; ++k1) {
+    for (std::size_t n2 = 0; n2 < dim; ++n2) {
+      t[k1 * dim + n2] = b[n2 * dim + k1];
+    }
+  }
+  for (std::size_t k1 = 0; k1 < dim; ++k1) {
+    fft_radix2(t.data() + k1 * dim, dim);
+  }
+  return t;  // t[k1 * dim + k2] = X[dim * k2 + k1]
+}
+
+FftResult run_fft(const FftParams& params) {
+  const std::size_t dim = params.dim;
+  const std::uint32_t n_loc = params.localities;
+  assert(dim != 0 && (dim & (dim - 1)) == 0);
+  assert(dim % n_loc == 0);
+  const std::size_t rows_per = dim / n_loc;  // n2 rows per locality
+  const std::size_t total = dim * dim;
+
+  amtnet::StackOptions options;
+  options.parcelport = params.parcelport;
+  options.num_localities = n_loc;
+  options.threads_per_locality = params.workers;
+  options.platform = params.platform;
+  options.fabric_rails = params.fabric_rails;
+  amt::RuntimeConfig config = amtnet::make_runtime_config(options);
+  if (params.bandwidth_gbps > 0.0 || params.latency_us > 0.0 ||
+      params.pkt_rate_mpps > 0.0) {
+    config.fabric.zero_time = false;
+    if (params.bandwidth_gbps > 0.0) {
+      config.fabric.bandwidth_gbps = params.bandwidth_gbps;
+    }
+    if (params.latency_us > 0.0) config.fabric.latency_us = params.latency_us;
+    if (params.pkt_rate_mpps > 0.0) {
+      config.fabric.pkt_rate_mpps = params.pkt_rate_mpps;
+    }
+  }
+  auto runtime = std::make_unique<amt::Runtime>(
+      config, amtnet::default_parcelport_factory());
+  runtime->start();
+  auto group = std::make_unique<amt::CollectiveGroup>(*runtime);
+  g_fft_group = group.get();
+  g_fft_done.store(0);
+  g_fft_elapsed_ns.store(0);
+
+  const auto input = fft_input(total);
+  const auto reference = fft_four_step_reference(input, dim);
+  const int iters = params.iters < 1 ? 1 : params.iters;
+
+  for (amt::Rank r = 0; r < n_loc; ++r) {
+    runtime->locality(r).spawn([&, r] {
+      amt::CollectiveGroup& coll = *g_fft_group;
+      const std::size_t row0 = r * rows_per;        // first local n2
+      const std::size_t block_elems = rows_per * rows_per;
+      const std::size_t block_bytes =
+          block_elems * sizeof(std::complex<double>);
+      std::vector<std::complex<double>> local(rows_per * dim);
+      std::vector<std::complex<double>> transposed(rows_per * dim);
+      amt::CollectiveGroup::Bytes send(block_bytes * n_loc);
+
+      coll.barrier();
+      const common::Nanos t0 = common::now_ns();
+      for (int iter = 0; iter < iters; ++iter) {
+        // Step 0: (re)load the local rows B[n2][n1] = x[dim*n1 + n2].
+        for (std::size_t j = 0; j < rows_per; ++j) {
+          for (std::size_t n1 = 0; n1 < dim; ++n1) {
+            local[j * dim + n1] = input[dim * n1 + (row0 + j)];
+          }
+        }
+        // Step 1: row FFTs over n1.
+        for (std::size_t j = 0; j < rows_per; ++j) {
+          fft_radix2(local.data() + j * dim, dim);
+        }
+        // Step 2: twiddle by W_N^{n2 k1}.
+        for (std::size_t j = 0; j < rows_per; ++j) {
+          for (std::size_t k1 = 0; k1 < dim; ++k1) {
+            local[j * dim + k1] *= twiddle((row0 + j) * k1, total);
+          }
+        }
+        // Step 3: all-to-all transpose. Block for destination m carries
+        // [local row j][k1 in m's block], row-major.
+        for (std::uint32_t m = 0; m < n_loc; ++m) {
+          auto* out = reinterpret_cast<std::complex<double>*>(
+              send.data() + m * block_bytes);
+          for (std::size_t j = 0; j < rows_per; ++j) {
+            for (std::size_t kk = 0; kk < rows_per; ++kk) {
+              out[j * rows_per + kk] = local[j * dim + (m * rows_per + kk)];
+            }
+          }
+        }
+        const amt::CollectiveGroup::Bytes recv =
+            coll.all_to_all(send, block_bytes);
+        for (std::uint32_t src = 0; src < n_loc; ++src) {
+          const auto* in = reinterpret_cast<const std::complex<double>*>(
+              recv.data() + src * block_bytes);
+          for (std::size_t j = 0; j < rows_per; ++j) {
+            for (std::size_t kk = 0; kk < rows_per; ++kk) {
+              // T[k1_local = kk][n2 = src*rows_per + j]
+              transposed[kk * dim + (src * rows_per + j)] =
+                  in[j * rows_per + kk];
+            }
+          }
+        }
+        // Step 4: row FFTs over n2.
+        for (std::size_t kk = 0; kk < rows_per; ++kk) {
+          fft_radix2(transposed.data() + kk * dim, dim);
+        }
+      }
+      coll.barrier();
+      if (r == 0) {
+        g_fft_elapsed_ns.store(
+            static_cast<std::uint64_t>(common::now_ns() - t0));
+      }
+      // Bit-exact validation of this locality's slice against the serial
+      // reference (identical arithmetic in identical order).
+      const std::size_t k1_base = r * rows_per;  // final rows are k1-blocks
+      if (std::memcmp(transposed.data(),
+                      reference.data() + k1_base * dim,
+                      rows_per * dim * sizeof(std::complex<double>)) != 0) {
+        std::fprintf(stderr,
+                     "FATAL: distributed FFT diverged from the serial "
+                     "reference (locality %u, dim %zu, %u localities)\n",
+                     r, dim, n_loc);
+        std::abort();
+      }
+      g_fft_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  runtime->locality(0).scheduler().wait_until([&] {
+    return g_fft_done.load(std::memory_order_acquire) ==
+           static_cast<int>(n_loc);
+  });
+  capture_harness_snapshot(*runtime);
+  g_fft_group = nullptr;
+  group.reset();
+  runtime->stop();
+  FftResult result;
+  result.ms_per_fft = static_cast<double>(g_fft_elapsed_ns.load()) / 1e6 /
+                      static_cast<double>(iters);
+  return result;
+}
+
+double report_fft_point(const FftParams& params, int runs) {
+  std::vector<double> samples;
+  for (int run = 0; run < runs; ++run) {
+    samples.push_back(run_fft(params).ms_per_fft);
+  }
+  const auto stats = stats_of(samples);
+  std::printf("%s,%u,%zu,%.3f,%.3f\n", params.parcelport.c_str(),
+              params.localities, params.dim, stats.mean, stats.stddev);
+  std::fflush(stdout);
+  return stats.mean;
+}
+
+}  // namespace bench

@@ -1,0 +1,64 @@
+// Distributed 1-D FFT workload (four-step / transpose algorithm) — the
+// collectives stress test named by Strack & Pflüger's HPX FFT benchmark:
+// row FFTs, a twiddle scaling, an all-to-all transpose through
+// CollectiveGroup, and a second round of row FFTs.
+//
+// An N = dim x dim point transform is laid out as a dim x dim matrix
+// distributed by rows across the localities (dim must be a power of two
+// and divisible by the locality count). Every run is validated bit-exactly
+// against fft_four_step_reference(), which executes the identical
+// arithmetic in the identical order serially — any divergence aborts the
+// benchmark. fft_radix2 / fft_four_step_reference are exposed so tests can
+// additionally check the four-step pipeline against a direct radix-2
+// transform of the full input.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+/// In-place radix-2 Cooley-Tukey FFT, natural-order output. n must be a
+/// power of two.
+void fft_radix2(std::complex<double>* data, std::size_t n);
+
+/// Deterministic pseudo-random input signal of n points (integer-mixed, so
+/// the values are reproducible across platforms).
+std::vector<std::complex<double>> fft_input(std::size_t n);
+
+/// Serial four-step transform of x (size dim*dim): returns out where
+/// out[k1 * dim + k2] = X[dim * k2 + k1] of the DFT X. Performs exactly
+/// the row-FFT / twiddle / transpose / row-FFT arithmetic the distributed
+/// path performs, in the same order.
+std::vector<std::complex<double>> fft_four_step_reference(
+    const std::vector<std::complex<double>>& x, std::size_t dim);
+
+struct FftParams {
+  std::string parcelport;
+  std::string platform = "expanse";
+  std::uint32_t localities = 2;
+  unsigned workers = 2;
+  std::size_t dim = 64;  // transform size = dim * dim points
+  int iters = 4;         // transforms per run (timed together)
+  // Shaped wire (any field > 0 switches the fabric to wall-clock gating).
+  double bandwidth_gbps = 0.0;
+  double latency_us = 0.0;
+  double pkt_rate_mpps = 0.0;
+  unsigned fabric_rails = 0;
+};
+
+struct FftResult {
+  double ms_per_fft = 0.0;
+};
+
+/// Runs `iters` distributed transforms and validates the final result
+/// bit-exactly against fft_four_step_reference (mismatch aborts).
+FftResult run_fft(const FftParams& params);
+
+/// CSV row: config,localities,dim,fft_ms,stddev_ms. Returns mean ms.
+double report_fft_point(const FftParams& params, int runs);
+
+}  // namespace bench

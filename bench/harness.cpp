@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "amt/collectives.hpp"
 #include "common/clock.hpp"
 #include "octoproxy/simulation.hpp"
 #include "stack/stack.hpp"
@@ -48,6 +49,10 @@ void set_json_output(const std::string& path) {
 
 void set_snapshot_sink(std::function<void(const telemetry::Snapshot&)> sink) {
   g_snapshot_sink = std::move(sink);
+}
+
+void capture_harness_snapshot(const amt::Runtime& runtime) {
+  capture_snapshot(runtime);
 }
 
 Env Env::from_environment() {
@@ -421,6 +426,117 @@ double report_octo_point(const OctoParams& params, int runs) {
                 "{\"kind\":\"octo\",\"config\":\"%s\",\"localities\":%u,"
                 "\"steps_per_s\":%.3f,\"stddev\":%.3f}",
                 params.parcelport.c_str(), params.localities, stats.mean,
+                stats.stddev);
+  append_json_record(record);
+  return stats.mean;
+}
+
+// ---- collective rounds -----------------------------------------------------
+
+namespace {
+
+std::atomic<int> g_coll_done{0};
+std::atomic<std::uint64_t> g_coll_elapsed_ns{0};
+amt::CollectiveGroup* g_coll_group = nullptr;
+
+// Byte-wise wrapping add: commutative and associative, so every algorithm
+// family produces identical results (exact under any combine order).
+void coll_bench_combine(std::uint8_t* acc, const std::uint8_t* in,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] = static_cast<std::uint8_t>(acc[i] + in[i]);
+  }
+}
+
+}  // namespace
+
+double run_collective_us(const CollBenchParams& params) {
+  amtnet::StackOptions options;
+  options.parcelport = params.parcelport;
+  options.num_localities = params.localities;
+  options.threads_per_locality = params.workers;
+  options.platform = params.platform;
+  options.fabric_rails = params.fabric_rails;
+  amt::RuntimeConfig config = amtnet::make_runtime_config(options);
+  if (params.bandwidth_gbps > 0.0 || params.latency_us > 0.0 ||
+      params.pkt_rate_mpps > 0.0) {
+    config.fabric.zero_time = false;
+    if (params.bandwidth_gbps > 0.0) {
+      config.fabric.bandwidth_gbps = params.bandwidth_gbps;
+    }
+    if (params.latency_us > 0.0) config.fabric.latency_us = params.latency_us;
+    if (params.pkt_rate_mpps > 0.0) {
+      config.fabric.pkt_rate_mpps = params.pkt_rate_mpps;
+    }
+  }
+  auto runtime = std::make_unique<amt::Runtime>(
+      config, amtnet::default_parcelport_factory());
+  runtime->start();
+  auto group = std::make_unique<amt::CollectiveGroup>(*runtime);
+  g_coll_group = group.get();
+  g_coll_done.store(0);
+  g_coll_elapsed_ns.store(0);
+
+  const std::uint32_t n_loc = params.localities;
+  const int iters = params.iters < 1 ? 1 : params.iters;
+  for (amt::Rank r = 0; r < n_loc; ++r) {
+    runtime->locality(r).spawn([&, r] {
+      amt::CollectiveGroup& coll = *g_coll_group;
+      amt::CollectiveGroup::Bytes data(params.payload_bytes,
+                                       static_cast<std::uint8_t>(r + 1));
+      amt::CollectiveGroup::Bytes a2a(params.payload_bytes * n_loc,
+                                      static_cast<std::uint8_t>(r + 1));
+      coll.barrier();
+      const common::Nanos t0 = common::now_ns();
+      for (int i = 0; i < iters; ++i) {
+        if (params.op == "allreduce") {
+          coll.allreduce(data, 1, &coll_bench_combine);
+        } else if (params.op == "broadcast") {
+          coll.broadcast(0, data);
+        } else if (params.op == "alltoall") {
+          a2a = coll.all_to_all(a2a, params.payload_bytes);
+        } else {
+          coll.barrier();
+        }
+      }
+      coll.barrier();
+      if (r == 0) {
+        g_coll_elapsed_ns.store(
+            static_cast<std::uint64_t>(common::now_ns() - t0));
+      }
+      g_coll_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  runtime->locality(0).scheduler().wait_until([&] {
+    return g_coll_done.load(std::memory_order_acquire) ==
+           static_cast<int>(n_loc);
+  });
+  capture_snapshot(*runtime);
+  g_coll_group = nullptr;
+  group.reset();
+  runtime->stop();
+  return static_cast<double>(g_coll_elapsed_ns.load()) / 1e3 /
+         static_cast<double>(iters);
+}
+
+double report_collective_point(const CollBenchParams& params, int runs) {
+  std::vector<double> samples;
+  for (int run = 0; run < runs; ++run) {
+    samples.push_back(run_collective_us(params));
+  }
+  const auto stats = stats_of(samples);
+  std::printf("%s,%s,%u,%zu,%.3f,%.3f\n", params.parcelport.c_str(),
+              params.op.c_str(), params.localities, params.payload_bytes,
+              stats.mean, stats.stddev);
+  std::fflush(stdout);
+  char record[512];
+  std::snprintf(record, sizeof(record),
+                "{\"kind\":\"coll\",\"config\":\"%s\",\"op\":\"%s\","
+                "\"localities\":%u,\"payload\":%zu,\"coll_us\":%.3f,"
+                "\"stddev\":%.3f}",
+                params.parcelport.c_str(), params.op.c_str(),
+                params.localities, params.payload_bytes, stats.mean,
                 stats.stddev);
   append_json_record(record);
   return stats.mean;

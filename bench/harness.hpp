@@ -29,6 +29,10 @@
 
 #include "telemetry/registry.hpp"
 
+namespace amt {
+class Runtime;
+}
+
 namespace bench {
 
 struct Env {
@@ -136,6 +140,30 @@ double run_octo_steps_per_second(const OctoParams& params);
 /// CSV row: config,localities,steps_per_s,stddev. Returns mean steps/s.
 double report_octo_point(const OctoParams& params, int runs);
 
+// ---- collective rounds (docs/collectives.md ablation) ----
+
+struct CollBenchParams {
+  std::string parcelport;  // may carry a coll<ALGO> token
+  std::string platform = "expanse";
+  std::uint32_t localities = 4;
+  unsigned workers = 2;
+  std::string op = "allreduce";  // allreduce | broadcast | alltoall | barrier
+  std::size_t payload_bytes = 8; // per-rank block for alltoall
+  int iters = 50;                // collectives timed back to back
+  // Shaped wire (any field > 0 switches the fabric to wall-clock gating).
+  double bandwidth_gbps = 0.0;
+  double latency_us = 0.0;
+  double pkt_rate_mpps = 0.0;
+  unsigned fabric_rails = 0;
+};
+
+/// Mean wall-clock microseconds per collective across `iters` back-to-back
+/// rounds (barrier-fenced, measured on rank 0).
+double run_collective_us(const CollBenchParams& params);
+
+/// CSV row: config,op,localities,payload,coll_us,stddev_us. Returns mean.
+double report_collective_point(const CollBenchParams& params, int runs);
+
 /// Prints the standard benchmark header: figure id, paper expectation, env.
 void print_header(const char* figure, const char* expectation,
                   const Env& env);
@@ -149,5 +177,10 @@ void set_json_output(const std::string& path);
 /// driver uses it to pull per-point counters (suite telemetry probes); pass
 /// nullptr to remove. Not thread-safe vs a running benchmark.
 void set_snapshot_sink(std::function<void(const telemetry::Snapshot&)> sink);
+
+/// Feeds `runtime`'s telemetry snapshot to the installed snapshot sink
+/// (no-op without one). Benchmark entry points living outside harness.cpp
+/// call this just before stopping the runtime they drove.
+void capture_harness_snapshot(const amt::Runtime& runtime);
 
 }  // namespace bench

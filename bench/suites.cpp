@@ -12,6 +12,7 @@
 #include "expdriver/driver.hpp"
 #include "expdriver/registry.hpp"
 #include "expdriver/results.hpp"
+#include "fft.hpp"
 #include "harness.hpp"
 #include "loadgen/loadgen.hpp"
 
@@ -113,6 +114,40 @@ PointSpec openloop_point(const std::string& config, double offered_rps,
   p.labels = {{"config", config},
               {"process", process},
               {"offered_rps", kps_label(offered_rps)}};
+  return p;
+}
+
+PointSpec coll_point(const std::string& config, const std::string& op,
+                     const std::string& algo, std::uint32_t localities,
+                     std::size_t payload_bytes, int base_iters) {
+  PointSpec p;
+  p.kind = PointKind::kColl;
+  p.parcelport = config;
+  p.coll_op = op;
+  p.localities = localities;
+  p.msg_size = payload_bytes;
+  p.base_steps = base_iters;
+  p.workers = 2;
+  p.labels = {{"config", config},
+              {"op", op},
+              {"algo", algo},
+              {"localities", std::to_string(localities)},
+              {"payload", std::to_string(payload_bytes)}};
+  return p;
+}
+
+PointSpec fft_point(const std::string& config, std::uint32_t localities,
+                    std::size_t dim, int base_iters) {
+  PointSpec p;
+  p.kind = PointKind::kFft;
+  p.parcelport = config;
+  p.localities = localities;
+  p.fft_dim = dim;
+  p.base_steps = base_iters;
+  p.workers = 2;
+  p.labels = {{"config", config},
+              {"localities", std::to_string(localities)},
+              {"dim", std::to_string(dim)}};
   return p;
 }
 
@@ -1044,6 +1079,161 @@ SuiteSpec extra_tcp_comparison() {
   return s;
 }
 
+/// docs/collectives.md view: per (op, payload, localities), the speedup of
+/// each log-depth algorithm over the centralised root-gather baseline, plus
+/// the geomean of the tree/rd wins at >= 8 localities (the claim the docs
+/// make; ring is recorded but excluded — its 2(n-1) rounds lose by design on
+/// a message-rate-capped wire).
+void print_collectives_speedup(const SuiteResult& result) {
+  struct Cell {
+    std::string op, payload, localities;
+    double central = 0.0;
+    std::vector<std::pair<std::string, double>> algos;  // insertion order
+  };
+  std::vector<Cell> cells;
+  for (const auto& point : result.points) {
+    const auto op = point.labels.find("op");
+    const auto algo = point.labels.find("algo");
+    const auto payload = point.labels.find("payload");
+    const auto localities = point.labels.find("localities");
+    const auto* us = point.metric("coll_us");
+    if (op == point.labels.end() || algo == point.labels.end() ||
+        payload == point.labels.end() || localities == point.labels.end() ||
+        us == nullptr) {
+      continue;
+    }
+    auto it = std::find_if(cells.begin(), cells.end(), [&](const Cell& c) {
+      return c.op == op->second && c.payload == payload->second &&
+             c.localities == localities->second;
+    });
+    if (it == cells.end()) {
+      cells.push_back({op->second, payload->second, localities->second,
+                       0.0, {}});
+      it = cells.end() - 1;
+    }
+    if (algo->second == "central") {
+      it->central = us->median;
+    } else {
+      it->algos.emplace_back(algo->second, us->median);
+    }
+  }
+  std::printf("\n# log-depth collectives vs the centralised baseline "
+              "(speedup = central_us / algo_us)\n");
+  std::printf("op,payload_B,localities,algo,central_us,algo_us,speedup\n");
+  double log_sum = 0.0;
+  std::size_t log_n = 0;
+  for (const Cell& cell : cells) {
+    for (const auto& [algo, us] : cell.algos) {
+      const double speedup = us > 0.0 ? cell.central / us : 0.0;
+      std::printf("%s,%s,%s,%s,%.1f,%.1f,%.3f\n", cell.op.c_str(),
+                  cell.payload.c_str(), cell.localities.c_str(),
+                  algo.c_str(), cell.central, us, speedup);
+      if (speedup > 0.0 && algo != "ring" &&
+          std::strtoul(cell.localities.c_str(), nullptr, 10) >= 8) {
+        log_sum += std::log(speedup);
+        ++log_n;
+      }
+    }
+  }
+  if (log_n > 0) {
+    std::printf("geomean_tree_rd_at_8plus,,,,,,%.3f\n",
+                std::exp(log_sum / static_cast<double>(log_n)));
+  }
+  std::fflush(stdout);
+}
+
+SuiteSpec ablation_collectives() {
+  SuiteSpec s;
+  s.name = "ablation_collectives";
+  s.binary = "bench_ablation_collectives";
+  s.figure = "docs/collectives.md ablation";
+  s.title =
+      "collective algorithms: centralised root-gather vs the log-depth "
+      "binomial/recursive-doubling/ring families";
+  s.expectation =
+      "on a message-rate-capped wire (0.02 Mpps per NIC, the only resource "
+      "the fabric serialises across a root's fan-out) the centralised "
+      "release phase costs (n-1) serialised sends while binomial broadcast "
+      "and recursive-doubling allreduce pay only log2(n) rounds, so the "
+      "log-depth algorithms win at >= 8 localities and the gap widens with "
+      "n. Ring allreduce is bandwidth-optimal but round-count linear: its "
+      "sub-threshold chunks dodge the rendezvous handshakes central's "
+      "full-payload sends pay, but 2(n-1) gap-paced rounds erode that edge "
+      "as n grows — it trails recursive doubling everywhere here and "
+      "approaches parity with central by 16 localities, exactly the "
+      "crossover flip the docs' alpha-beta model predicts when rounds*alpha "
+      "outweighs the per-byte savings";
+  s.smoke = true;
+  // The wire: generous line rate (bandwidth is near-free for these payload
+  // sizes), HDR-class latency, and a per-NIC message-rate cap that makes
+  // root fan-out the bottleneck — the regime Yan et al. identify for
+  // small-parcel AMT traffic. Payloads stay under AMTNET_COLL_LARGE_BYTES
+  // so forced-family runs compare un-pipelined algorithms.
+  struct Algo {
+    const char* label;
+    const char* token;
+  };
+  const std::vector<std::uint32_t> kLocalities = {4, 8, 16};
+  auto add = [&](const char* op, const Algo& algo, std::size_t payload) {
+    for (const std::uint32_t n : kLocalities) {
+      PointSpec p = coll_point(
+          std::string("lci_psr_cq_pin_i_coll") + algo.token, op, algo.label,
+          n, payload, 40);
+      p.rate_bandwidth_gbps = 50.0;
+      p.rate_latency_us = 5.0;
+      p.rate_pkt_mpps = 0.02;
+      s.points.push_back(std::move(p));
+    }
+  };
+  for (const std::size_t payload : {std::size_t{8}, std::size_t{8192}}) {
+    add("allreduce", {"central", "central"}, payload);
+    add("allreduce", {"rd", "rd"}, payload);
+    add("broadcast", {"central", "central"}, payload);
+    add("broadcast", {"tree", "tree"}, payload);
+  }
+  // Ring at the larger payload only: the honest negative result this wire
+  // is expected to produce (recorded, excluded from the geomean claim).
+  add("allreduce", {"ring", "ring"}, 8192);
+  s.probes = {{"coll_msgs", "amt/coll/msgs", ""},
+              {"coll_bytes", "amt/coll/bytes", ""}};
+  s.post_summary = print_collectives_speedup;
+  return s;
+}
+
+SuiteSpec fft() {
+  SuiteSpec s;
+  s.name = "fft";
+  s.binary = "bench_fft";
+  s.figure = "docs/collectives.md workload";
+  s.title =
+      "distributed four-step FFT (row FFTs, all-to-all transpose, row FFTs) "
+      "validated bit-exactly against a serial reference";
+  s.expectation =
+      "the transpose is a bandwidth-heavy all-to-all whose per-locality "
+      "block shrinks as 1/n^2, so on the shaped wire the transform time is "
+      "dominated by per-message cost and the auto-selected pairwise "
+      "exchange tracks or beats the centralised transpose as localities "
+      "grow; every run memcmp-validates the distributed result against the "
+      "serial four-step reference, so any wire reordering or algorithm bug "
+      "aborts the benchmark rather than skewing it";
+  s.smoke = true;
+  auto add = [&](const std::string& config, std::uint32_t n) {
+    PointSpec p = fft_point(config, n, 64, 8);
+    p.rate_bandwidth_gbps = 50.0;
+    p.rate_latency_us = 5.0;
+    p.rate_pkt_mpps = 0.05;
+    s.points.push_back(std::move(p));
+  };
+  for (const std::uint32_t n : {2u, 4u, 8u}) {
+    add("lci_psr_cq_pin_i", n);
+    add("mpi_i", n);
+    add("lci_psr_cq_pin_i_collcentral", n);
+  }
+  s.probes = {{"coll_msgs", "amt/coll/msgs", ""},
+              {"coll_bytes", "amt/coll/bytes", ""}};
+  return s;
+}
+
 }  // namespace
 
 void register_all() {
@@ -1070,6 +1260,8 @@ void register_all() {
     registry.add(ablation_fastpath());
     registry.add(openloop());
     registry.add(extra_tcp_comparison());
+    registry.add(ablation_collectives());
+    registry.add(fft());
     return true;
   }();
   (void)registered;
@@ -1212,6 +1404,41 @@ expdriver::PointRunner make_harness_runner(const SuiteSpec& spec) {
         sample.push_back(
             {"schedule_hash32",
              static_cast<double>(result.schedule_hash & 0xffffffffull)});
+        break;
+      }
+      case PointKind::kColl: {
+        CollBenchParams params;
+        params.parcelport = p.parcelport;
+        params.platform = p.platform;
+        params.localities = p.localities;
+        params.workers = workers;
+        params.op = p.coll_op;
+        params.payload_bytes = p.msg_size;
+        params.iters = static_cast<int>(
+            expdriver::scaled_count(static_cast<std::size_t>(p.base_steps),
+                                    env.scale));
+        params.bandwidth_gbps = p.rate_bandwidth_gbps;
+        params.latency_us = p.rate_latency_us;
+        params.pkt_rate_mpps = p.rate_pkt_mpps;
+        params.fabric_rails = p.fabric_rails;
+        sample.push_back({"coll_us", run_collective_us(params)});
+        break;
+      }
+      case PointKind::kFft: {
+        FftParams params;
+        params.parcelport = p.parcelport;
+        params.platform = p.platform;
+        params.localities = p.localities;
+        params.workers = workers;
+        params.dim = p.fft_dim;
+        params.iters = static_cast<int>(
+            expdriver::scaled_count(static_cast<std::size_t>(p.base_steps),
+                                    env.scale));
+        params.bandwidth_gbps = p.rate_bandwidth_gbps;
+        params.latency_us = p.rate_latency_us;
+        params.pkt_rate_mpps = p.rate_pkt_mpps;
+        params.fabric_rails = p.fabric_rails;
+        sample.push_back({"fft_ms", run_fft(params).ms_per_fft});
         break;
       }
     }

@@ -141,6 +141,18 @@ ParcelportConfig ParcelportConfig::parse(const std::string& name) {
             "disable): " + name);
       }
       config.lci_agg = static_cast<long>(cap);
+    } else if (token.size() > 4 && token.compare(0, 4, "coll") == 0) {
+      const std::string algo = token.substr(4);
+      if (algo == "auto") {
+        config.coll.clear();
+      } else if (algo == "central" || algo == "tree" || algo == "rd" ||
+                 algo == "ring") {
+        config.coll = algo;
+      } else {
+        throw std::invalid_argument(
+            "collective algorithm must be auto, central, tree, rd, or "
+            "ring: " + name);
+      }
     } else if (token == "fine") {
       config.mpi_coarse_lock = false;
     } else if (token == "orig") {
@@ -206,6 +218,7 @@ std::string ParcelportConfig::name() const {
     }
   }
   if (send_immediate) out += "_i";
+  if (!coll.empty()) out += "_coll" + coll;
   if (admission.on()) {
     switch (admission.policy) {
       case AdmissionConfig::Policy::kShed:

@@ -115,6 +115,13 @@ struct ParcelportConfig {
   /// (N = per-destination bound). Applies to every backend.
   AdmissionConfig admission;
 
+  /// Collective algorithm family, from a coll<ALGO> token: "central",
+  /// "tree", "rd", or "ring" force that family where the op has a member
+  /// of it (see amt::select_algorithm); "" = auto (payload size x locality
+  /// count selection, the default — omitted from name()). Applies to every
+  /// backend; AMTNET_COLL_ALGO overrides at runtime.
+  std::string coll;
+
   /// Parses a Table-1 style name. Unknown tokens throw std::invalid_argument.
   static ParcelportConfig parse(const std::string& name);
   /// Canonical Table-1 style name for this configuration.

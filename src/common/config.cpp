@@ -145,6 +145,26 @@ const std::vector<Knob>& knob_registry() {
        "window-stall, and idle flushes still apply); only read when the "
        "config name carries no aggt token",
        "ablation_aggregation"},
+      // -- collectives (CollectiveGroup algorithm selection) --
+      {Kind::kEnv, "AMTNET_COLL_ALGO", "auto",
+       "force a collective algorithm family (central|tree|rd|ring) for ops "
+       "that have a member of it; auto = payload size x locality count "
+       "selection (see docs/collectives.md); overrides the coll<ALGO> "
+       "config token",
+       "ablation_collectives"},
+      {Kind::kEnv, "AMTNET_COLL_SEG_BYTES", "8192",
+       "segment size for the pipelined binomial broadcast (store-and-"
+       "forward pipelining above the large-payload crossover)",
+       "ablation_collectives"},
+      {Kind::kEnv, "AMTNET_COLL_LARGE_BYTES", "16384",
+       "small/large payload crossover: above it broadcast pipelines "
+       "segments and allreduce switches from recursive doubling to the "
+       "ring (bandwidth-optimal) algorithm",
+       "ablation_collectives"},
+      {Kind::kEnv, "AMTNET_COLL_WINDOW", "16",
+       "bounded round-window slot count for in-flight collective epochs "
+       "(each slot is an independently locked shard; minimum 2)",
+       "test_collectives"},
       {Kind::kEnv, "AMTNET_LCI_PACKET_POOL", "4096",
        "send-side packet-pool size in minilci (a pool of 1 forces fast-path "
        "pool exhaustion — the credit-conservation regression setup)",
@@ -250,6 +270,11 @@ const std::vector<Knob>& knob_registry() {
        "backpressures the producer task, dl admits up to N but drops "
        "parcels whose queue age exceeds AMTNET_ADMIT_DEADLINE_US",
        "openloop"},
+      {Kind::kConfigToken, "coll<ALGO>", "auto",
+       "collective algorithm family for CollectiveGroup ops (collcentral | "
+       "colltree | collrd | collring | collauto); applies to every backend "
+       "and is overridden by AMTNET_COLL_ALGO",
+       "ablation_collectives"},
       {Kind::kConfigToken, "fine", "off (coarse)",
        "fine-grained progress lock in the MPI/UCX layer",
        "ablation_mpi_lock"},

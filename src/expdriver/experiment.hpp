@@ -21,8 +21,9 @@ namespace expdriver {
 inline constexpr const char* kResultSchema = "amtnet-bench-v1";
 
 /// The three benchmark shapes of the paper's evaluation (§4.1, §4.2, §5),
-/// plus the open-loop serving shape (loadgen + admission control).
-enum class PointKind { kRate, kLatency, kOcto, kOpenLoop };
+/// plus the open-loop serving shape (loadgen + admission control), the
+/// collective-round shape, and the distributed-FFT workload.
+enum class PointKind { kRate, kLatency, kOcto, kOpenLoop, kColl, kFft };
 
 const char* point_kind_name(PointKind kind);
 
@@ -68,6 +69,13 @@ struct PointSpec {
   // >0: pin AMTNET_ADMIT_DEADLINE_US for this point (deadline-drop points
   // must not depend on whatever the ambient environment carries).
   unsigned ol_admit_deadline_us = 0;
+  // coll shape (reuses msg_size as the payload/per-rank block and
+  // base_steps as the back-to-back round count; the algorithm family rides
+  // in the parcelport name's coll<ALGO> token).
+  std::string coll_op = "allreduce";  // allreduce|broadcast|alltoall|barrier
+  // fft shape: transform size = fft_dim * fft_dim points, distributed over
+  // `localities`; base_steps transforms per run.
+  std::size_t fft_dim = 64;
 };
 
 /// How one metric participates in regression gating.

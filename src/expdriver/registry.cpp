@@ -11,6 +11,8 @@ const char* point_kind_name(PointKind kind) {
     case PointKind::kLatency: return "latency";
     case PointKind::kOcto: return "octo";
     case PointKind::kOpenLoop: return "openloop";
+    case PointKind::kColl: return "coll";
+    case PointKind::kFft: return "fft";
   }
   return "unknown";
 }
@@ -63,6 +65,10 @@ MetricSpec metric_spec_for(const SuiteSpec& spec, const std::string& name) {
   if (name == "p99_us") return {"p99_us", "us", true, false, 0.30};
   if (name == "p999_us") return {"p999_us", "us", true, false, 0.30};
   if (name == "gen_lag_p99_us") return {"gen_lag_p99_us", "us", true, false, 0.30};
+  // Collective round time and distributed-FFT transform time: wall-clock
+  // on the shaped wire, lower is better, gated.
+  if (name == "coll_us") return {"coll_us", "us", true, true, 0.30};
+  if (name == "fft_ms") return {"fft_ms", "ms", true, true, 0.30};
   // Unknown metrics (telemetry probes): record, never gate.
   return {name, "", false, false, 0.30};
 }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "amt/collectives.hpp"
 #include "stack/stack.hpp"
 #include "test_util.hpp"
 
@@ -232,6 +233,63 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<const char*>& info) {
       return std::string(info.param);
     });
+
+// ---------------- tree collectives over a lossy wire ----------------------
+
+// The log-depth collectives relay payloads through intermediate ranks
+// (binomial forwarding), so one dropped datagram stalls a whole subtree
+// until the retransmit machinery recovers it. Forced-tree rounds under 1%
+// drop + duplicates must still complete byte-exactly: duplicates must not
+// double-apply a reduction contribution, and recovery must not reorder a
+// round's segments.
+TEST(ChaosCollectives, TreeRoundsCompleteExactlyUnderDrops) {
+  for (const std::uint64_t seed : chaos_seeds()) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    StackOptions options;
+    options.parcelport = "lci_psr_cq_pin_i_colltree";
+    options.num_localities = 5;
+    options.threads_per_locality = 2;
+    options.platform = "loopback";
+    options.faults.drop = 0.01;
+    options.faults.duplicate = 0.01;
+    options.faults.seed = seed;
+    auto runtime = amtnet::make_runtime(options);
+    amt::CollectiveGroup group(*runtime);
+    ASSERT_EQ(group.tuning().force, "tree");
+
+    std::atomic<int> wrong{0};
+    Latch done(5);
+    for (amt::Rank r = 0; r < 5; ++r) {
+      runtime->locality(r).spawn([&, r] {
+        for (std::uint32_t round = 0; round < 20; ++round) {
+          std::vector<std::uint8_t> data(64);
+          for (std::size_t i = 0; i < data.size(); ++i) {
+            data[i] = static_cast<std::uint8_t>(r + i + round);
+          }
+          group.allreduce(
+              data, 1,
+              +[](std::uint8_t* acc, const std::uint8_t* in,
+                  std::size_t bytes) {
+                for (std::size_t i = 0; i < bytes; ++i) acc[i] += in[i];
+              });
+          for (std::size_t i = 0; i < data.size(); ++i) {
+            // Sum over ranks 0..4 of (rank + i + round), mod 256.
+            const std::uint8_t expect = static_cast<std::uint8_t>(
+                10 + 5 * (i + round));
+            if (data[i] != expect) {
+              wrong.fetch_add(1);
+              break;
+            }
+          }
+        }
+        done.count_down();
+      });
+    }
+    done.wait(runtime->locality(0).scheduler());
+    EXPECT_EQ(wrong.load(), 0);
+    runtime->stop();
+  }
+}
 
 // ---------------- unrecoverable corruption fail-fasts loudly --------------
 

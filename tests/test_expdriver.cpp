@@ -70,7 +70,8 @@ std::set<std::string> registry_binaries_from_cmake() {
     if (name.rfind("bench_fig", 0) == 0 ||
         name.rfind("bench_ablation_", 0) == 0 ||
         name.rfind("bench_extra_", 0) == 0 ||
-        name.rfind("bench_openloop", 0) == 0) {
+        name.rfind("bench_openloop", 0) == 0 ||
+        name.rfind("bench_fft", 0) == 0) {
       names.insert(name);
     }
   }
