@@ -153,6 +153,9 @@ ParcelportConfig ParcelportConfig::parse(const std::string& name) {
             "collective algorithm must be auto, central, tree, rd, or "
             "ring: " + name);
       }
+    } else if (token.size() > 7 && token.compare(0, 7, "backend") == 0) {
+      config.fabric_backend = token.substr(7);
+      fabric::validate_backend_name(config.fabric_backend);
     } else if (token == "fine") {
       config.mpi_coarse_lock = false;
     } else if (token == "orig") {
@@ -219,6 +222,7 @@ std::string ParcelportConfig::name() const {
   }
   if (send_immediate) out += "_i";
   if (!coll.empty()) out += "_coll" + coll;
+  if (fabric_backend != "sim") out += "_backend" + fabric_backend;
   if (admission.on()) {
     switch (admission.policy) {
       case AdmissionConfig::Policy::kShed:

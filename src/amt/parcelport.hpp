@@ -122,6 +122,12 @@ struct ParcelportConfig {
   /// backend; AMTNET_COLL_ALGO overrides at runtime.
   std::string coll;
 
+  /// Fabric transport backend, from a backendsim / backendshm token: "sim"
+  /// (the simulated fabric, the default — omitted from name()) or "shm"
+  /// (the real POSIX shared-memory fabric). Orthogonal to `kind`: every
+  /// parcelport runs over either transport. AMTNET_BACKEND overrides.
+  std::string fabric_backend = "sim";
+
   /// Parses a Table-1 style name. Unknown tokens throw std::invalid_argument.
   static ParcelportConfig parse(const std::string& name);
   /// Canonical Table-1 style name for this configuration.

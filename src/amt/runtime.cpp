@@ -1,6 +1,7 @@
 #include "amt/runtime.hpp"
 
 #include <mutex>
+#include <stdexcept>
 #include <string>
 
 #include "common/logging.hpp"
@@ -270,7 +271,10 @@ void Locality::on_message(InMessage&& msg) {
     // once its parcel has *executed* here, so `outstanding` spans the whole
     // serving path (sender queue, wire, destination scheduler) — send-side
     // completions fire at injection and would hide the downstream backlog.
-    if (msg.source != rank_) {
+    // The return is an in-process shortcut, so it only works when the
+    // sender's locality object lives here; multi-process (shm) runs reject
+    // admission-on configs at construction.
+    if (msg.source != rank_ && runtime_.locality_is_local(msg.source)) {
       runtime_.locality(msg.source).admission_release(rank_, parcels);
     }
   });
@@ -358,9 +362,17 @@ Runtime::Runtime(RuntimeConfig config, ParcelportFactory factory)
       }()),
       factory_(std::move(factory)),
       fabric_(config_.fabric) {
-  localities_.reserve(config_.num_localities);
+  if (!config_.fabric.single_process() && config_.parcelport.admission.on()) {
+    // Admission credits return through the sender's in-process locality
+    // object, which does not exist across process boundaries.
+    throw std::invalid_argument(
+        "admission control (shed/block/dl) is not supported in "
+        "multi-process shm mode");
+  }
+  localities_.resize(config_.num_localities);
   for (Rank r = 0; r < config_.num_localities; ++r) {
-    localities_.push_back(std::make_unique<Locality>(*this, r, config_));
+    if (!config_.fabric.rank_is_local(r)) continue;  // another process hosts it
+    localities_[r] = std::make_unique<Locality>(*this, r, config_);
   }
 }
 
@@ -370,6 +382,7 @@ void Runtime::start() {
   if (started_) return;
   started_ = true;
   for (Rank r = 0; r < config_.num_localities; ++r) {
+    if (localities_[r] == nullptr) continue;
     Locality& locality = *localities_[r];
     ParcelportContext context;
     context.fabric = &fabric_;
@@ -392,15 +405,19 @@ void Runtime::start() {
         [port](unsigned worker) { return port->background_work(worker); });
     port->start();
   }
-  for (auto& locality : localities_) locality->scheduler_.start();
+  for (auto& locality : localities_) {
+    if (locality) locality->scheduler_.start();
+  }
 }
 
 void Runtime::stop() {
   if (!started_) return;
   started_ = false;
-  for (auto& locality : localities_) locality->scheduler_.stop();
   for (auto& locality : localities_) {
-    if (locality->parcelport_) locality->parcelport_->stop();
+    if (locality) locality->scheduler_.stop();
+  }
+  for (auto& locality : localities_) {
+    if (locality && locality->parcelport_) locality->parcelport_->stop();
   }
 }
 

@@ -322,7 +322,25 @@ class Runtime {
   void stop();
 
   Rank num_localities() const { return config_.num_localities; }
-  Locality& locality(Rank rank) { return *localities_[rank]; }
+  /// The locality object of `rank`. In multi-process (shm) mode only
+  /// AMTNET_SHM_RANK's locality exists in this process; asking for another
+  /// rank's aborts — check locality_is_local() first on generic paths.
+  Locality& locality(Rank rank) {
+    assert(rank < localities_.size() && localities_[rank] != nullptr &&
+           "locality() for a rank hosted by another process");
+    return *localities_[rank];
+  }
+  /// True when `rank`'s locality object lives in this process.
+  bool locality_is_local(Rank rank) const {
+    return rank < localities_.size() && localities_[rank] != nullptr;
+  }
+  /// The locality this process hosts in multi-process mode (rank 0 in
+  /// single-process mode, where every locality is local).
+  Locality& local_locality() {
+    return locality(config_.fabric.single_process()
+                        ? 0
+                        : static_cast<Rank>(config_.fabric.local_rank));
+  }
   fabric::Fabric& fabric() { return fabric_; }
   const RuntimeConfig& config() const { return config_; }
 

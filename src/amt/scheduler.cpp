@@ -131,6 +131,11 @@ void Scheduler::worker_loop(unsigned index) {
   tls_worker.scheduler = this;
   tls_worker.index = index;
   common::set_current_thread_name(name_ + "-w" + std::to_string(index));
+  // Pin only when a per-process CPU range is configured (amtnet_launch sets
+  // one per rank); single-process runs keep the historical free placement.
+  if (common::process_cpu_range().configured) {
+    common::pin_current_thread(index);
+  }
   // Adaptive idle backoff: a worker that has gone many consecutive
   // iterations without a task or background progress polls the background
   // hook on only one iteration in four, yielding in between. Idle fleets

@@ -1,5 +1,6 @@
 #include "common/affinity.hpp"
 
+#include <cstdlib>
 #include <thread>
 
 #if defined(__linux__)
@@ -14,14 +15,42 @@ unsigned hardware_core_count() noexcept {
   return n == 0 ? 1 : n;
 }
 
-bool pin_current_thread(unsigned core) noexcept {
+CpuRange process_cpu_range() noexcept {
+  static const CpuRange range = [] {
+    CpuRange r;
+    r.first = 0;
+    r.count = hardware_core_count();
+    r.configured = false;
+    const char* first = std::getenv("AMTNET_CPU_FIRST");
+    if (first != nullptr && *first != '\0') {
+      r.first = static_cast<unsigned>(std::atoi(first));
+      r.configured = true;
+    }
+    const char* count = std::getenv("AMTNET_CPU_COUNT");
+    if (count != nullptr && *count != '\0') {
+      const int parsed = std::atoi(count);
+      if (parsed > 0) {
+        r.count = static_cast<unsigned>(parsed);
+        r.configured = true;
+      }
+    }
+    if (r.count == 0) r.count = 1;
+    return r;
+  }();
+  return range;
+}
+
+bool pin_current_thread(unsigned slot) noexcept {
 #if defined(__linux__)
+  const CpuRange range = process_cpu_range();
+  const unsigned core =
+      (range.first + slot % range.count) % hardware_core_count();
   cpu_set_t set;
   CPU_ZERO(&set);
-  CPU_SET(core % hardware_core_count(), &set);
+  CPU_SET(core, &set);
   return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
 #else
-  (void)core;
+  (void)slot;
   return false;
 #endif
 }

@@ -203,6 +203,40 @@ const std::vector<Knob>& knob_registry() {
       {Kind::kEnv, "AMTNET_CHAOS_SEEDS", "1..8 in CI",
        "comma-separated seed sweep for the chaos test harness",
        "test_chaos"},
+      // -- transport backends (sim | shm) and multi-process launch --
+      {Kind::kEnv, "AMTNET_BACKEND", "sim",
+       "fabric transport backend: sim (in-process simulated RDMA fabric) or "
+       "shm (real POSIX shared-memory fabric); overrides the backend<name> "
+       "config token and StackOptions",
+       "ablation_backend"},
+      {Kind::kEnv, "AMTNET_SHM_RANK", "-1 (single-process)",
+       "shm backend: the locality rank hosted by THIS process; set per "
+       "process by amtnet_launch. Unset/-1 constructs every rank in one "
+       "process (conformance-test mode)",
+       "amtnet_launch"},
+      {Kind::kEnv, "AMTNET_SHM_RANKS", "unset",
+       "shm backend: total locality count of the multi-process run; "
+       "overrides StackOptions::num_localities (set by amtnet_launch)",
+       "amtnet_launch"},
+      {Kind::kEnv, "AMTNET_SHM_SESSION", "per-fabric unique",
+       "shm backend: rendezvous namespace shared by all processes of one "
+       "run; segment names derive from it (set by amtnet_launch)",
+       "amtnet_launch"},
+      {Kind::kEnv, "AMTNET_SHM_RING_DEPTH", "256",
+       "shm backend: slots per directed per-pair ring (rounded up to a "
+       "power of two); each slot holds one eager datagram",
+       "ablation_backend"},
+      {Kind::kEnv, "AMTNET_SHM_FORCE_FALLBACK", "0",
+       "shm backend: 1 disables cross-memory attach so one-sided put/get "
+       "takes the segmented ring-record path (testing)",
+       "test_backends"},
+      {Kind::kEnv, "AMTNET_CPU_FIRST", "unset (no pinning)",
+       "first CPU of this process's affinity range; worker/progress threads "
+       "pin into [first, first+count) (set per rank by amtnet_launch)",
+       "amtnet_launch"},
+      {Kind::kEnv, "AMTNET_CPU_COUNT", "hardware cores",
+       "number of CPUs in this process's affinity range",
+       "amtnet_launch"},
       // -- serving path: admission control and the open-loop load generator --
       {Kind::kEnv, "AMTNET_ADMIT_POLICY", "off",
        "send-path admission policy override: off|shed|block|deadline "

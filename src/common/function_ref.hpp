@@ -1,0 +1,40 @@
+// Non-owning callable reference (the missing std::function_ref): one
+// pointer + one trampoline, no allocation, no virtual table. Used on hot
+// paths where a template callback must cross a virtual interface — the
+// fabric backends' poll loop hands events through one of these.
+//
+// Lifetime: a FunctionRef is valid only while the referenced callable is;
+// use it strictly for downward calls (pass into a function, never store).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace common {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef>>>
+  FunctionRef(F&& fn) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&fn))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace common

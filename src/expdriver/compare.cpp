@@ -51,6 +51,17 @@ CompareReport compare_results(const SuiteSpec* spec,
     report.regressions.push_back(buf);
     return report;
   }
+  // Numbers from different transport backends are different experiments: an
+  // shm run must never be gated against a committed sim baseline (or vice
+  // versa), however tempting the point labels make it look.
+  if (baseline.backend != current.backend) {
+    std::snprintf(buf, sizeof(buf),
+                  "backend mismatch: baseline ran on '%s', current on '%s' — "
+                  "refusing to gate across transport backends",
+                  baseline.backend.c_str(), current.backend.c_str());
+    report.regressions.push_back(buf);
+    return report;
+  }
   // Comparing runs at different scales or worker counts compares different
   // experiments; repetitions may differ (the median absorbs that).
   if (baseline.env.scale != current.env.scale ||

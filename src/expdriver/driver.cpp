@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace expdriver {
 
@@ -72,6 +73,17 @@ SuiteResult run_suite(const SuiteSpec& spec, const RunEnv& env,
   SuiteResult result;
   result.suite = spec.name;
   result.figure = spec.figure;
+  // Stamp backend identity so shm results can never pass for sim baselines
+  // (the comparator refuses cross-backend gating). The env knobs are how
+  // amtnet_launch configures ranks, so they are authoritative here.
+  if (const char* backend = std::getenv("AMTNET_BACKEND");
+      backend != nullptr && *backend != '\0') {
+    result.backend = backend;
+  }
+  if (const char* rank = std::getenv("AMTNET_SHM_RANK");
+      rank != nullptr && *rank != '\0') {
+    result.local_rank = std::atoi(rank);
+  }
   result.env = env;
   result.points.reserve(spec.points.size());
 

@@ -126,6 +126,13 @@ struct SuiteResult {
   std::string schema = kResultSchema;
   std::string suite;
   std::string figure;
+  /// Fabric transport backend the run used ("sim" | "shm"). Serialized only
+  /// when non-default so committed sim baselines stay byte-identical; the
+  /// comparator refuses to gate across different backends.
+  std::string backend = "sim";
+  /// Locality rank in a multi-process run (-1 = single-process). Serialized
+  /// only when >= 0.
+  int local_rank = -1;
   RunEnv env;
   std::vector<PointResult> points;
 };

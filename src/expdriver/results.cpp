@@ -41,6 +41,14 @@ std::string results_to_json(const SuiteResult& result) {
   out += "  \"schema\": " + Json::string(result.schema).dump() + ",\n";
   out += "  \"suite\": " + Json::string(result.suite).dump() + ",\n";
   out += "  \"figure\": " + Json::string(result.figure).dump() + ",\n";
+  // Backend identity is emitted only when it deviates from the historical
+  // sim default, keeping every committed sim baseline byte-identical.
+  if (result.backend != "sim") {
+    out += "  \"backend\": " + Json::string(result.backend).dump() + ",\n";
+  }
+  if (result.local_rank >= 0) {
+    out += "  \"local_rank\": " + std::to_string(result.local_rank) + ",\n";
+  }
   out += "  \"env\": {\"scale\": " + json_number_to_string(result.env.scale) +
          ", \"repetitions\": " + std::to_string(result.env.repetitions) +
          ", \"warmup\": " + std::to_string(result.env.warmup) +
@@ -70,6 +78,12 @@ std::optional<SuiteResult> results_from_json(const std::string& text) {
   }
   if (const Json* figure = parsed->find("figure")) {
     result.figure = figure->as_string();
+  }
+  if (const Json* backend = parsed->find("backend")) {
+    result.backend = backend->as_string();
+  }
+  if (const Json* rank = parsed->find("local_rank")) {
+    result.local_rank = static_cast<int>(rank->as_number());
   }
   if (const Json* env = parsed->find("env")) {
     if (const Json* v = env->find("scale")) result.env.scale = v->as_number();

@@ -1,34 +1,32 @@
-// Simulated RDMA NIC. See types.hpp for the modelling contract.
+// The fabric's NIC/endpoint surface, as an explicit backend interface.
 //
-// Threading: post_send / post_write may be called from any thread; poll_rx
-// may be called from any number of threads concurrently (each incoming
-// channel is drained under a consumer try-lock, so concurrent pollers skip
-// channels another poller holds — the same discipline real LCI uses for its
-// receive path).
+// A `Nic` is one locality's network endpoint; which transport sits behind it
+// is a per-fabric choice (Config::backend):
+//   * "sim"  — the in-process simulated RDMA fabric (backend_sim.hpp): wire
+//              latency / bandwidth / rails / SRQ / fault modelling, every
+//              rank's NIC in this process. The default; all modelling
+//              semantics documented in types.hpp apply.
+//   * "shm"  — the real POSIX shared-memory fabric (backend_shm.hpp):
+//              per-pair shm ring buffers + an MR window table, one process
+//              per rank (or all ranks in-process for conformance tests).
+//
+// Threading contract (all backends): post_send / post_write / post_read may
+// be called from any thread; poll_rx may be called from any number of
+// threads concurrently.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <cstring>
 #include <memory>
-#include <optional>
-#include <unordered_map>
 #include <vector>
 
-#include "common/cache.hpp"
-#include "common/clock.hpp"
-#include "common/rng.hpp"
-#include "common/spinlock.hpp"
+#include "common/function_ref.hpp"
 #include "common/status.hpp"
 #include "fabric/srq_pool.hpp"
 #include "fabric/types.hpp"
-#include "queues/mpsc_queue.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace fabric {
-
-class Fabric;
 
 /// An event produced by poll_rx.
 struct RxEvent {
@@ -47,179 +45,89 @@ struct RxEvent {
   /// The SRQ slot this datagram consumed; held until the event (or whoever
   /// the consumer hands it to) is destroyed, so receive-buffer back-pressure
   /// (RNR) behaves exactly as if the payload had been copied into the slot.
+  /// Backends without SRQ modelling (shm) leave it empty.
   RecvBuffer credit;
 
   const std::byte* data() const { return payload.data(); }
 };
 
-namespace detail {
-
-struct Packet {
-  enum class Kind : std::uint8_t { kSend, kWrite, kReadResp };
-  Kind kind = Kind::kSend;
-  Rank src = 0;        // rank shown to the receiver (the remote peer)
-  Rank tx_owner = 0;   // rank whose TX window this packet occupies
-  std::uint64_t imm = 0;
-  bool has_imm = false;
-  std::uint64_t mr_id = 0;       // kWrite / kReadResp
-  std::size_t mr_offset = 0;     // kWrite / kReadResp
-  std::byte* read_dst = nullptr;   // kReadResp: reader-local destination
-  std::size_t read_len = 0;        // kReadResp
-  common::Nanos extra_latency = 0;  // reads: the request's one-way trip
-  std::vector<std::byte> payload;
-  common::Nanos deliver_time = 0;
-};
-
-/// One ordered rail of a directed link. busy_until carries the bandwidth
-/// serialisation state for the rail and is advanced by senders with CAS.
-struct Channel {
-  queues::TryMpmcQueue<Packet> queue;
-  common::CachePadded<std::atomic<common::Nanos>> busy_until{0};
-};
-
-}  // namespace detail
-
+/// The backend interface: one locality's network endpoint. poll_rx is the
+/// only templated entry point; it forwards through a non-owning FunctionRef
+/// so implementations stay virtual (one indirect call per event).
 class Nic {
  public:
-  Nic(Fabric& fabric, Rank rank, const Config& config);
+  using RxSink = common::FunctionRef<void(RxEvent&&)>;
+
+  Nic() = default;
   Nic(const Nic&) = delete;
   Nic& operator=(const Nic&) = delete;
+  virtual ~Nic() = default;
 
-  Rank rank() const { return rank_; }
+  virtual Rank rank() const = 0;
 
   /// Two-sided-style datagram: `len` bytes (<= srq_buffer_size) plus a 64-bit
   /// immediate. The payload is copied before return; the caller's buffer is
   /// immediately reusable. Returns kRetry when the TX window is full.
-  common::Status post_send(Rank dst, const void* data, std::size_t len,
-                           std::uint64_t imm);
+  virtual common::Status post_send(Rank dst, const void* data, std::size_t len,
+                                   std::uint64_t imm) = 0;
 
   /// One-sided RDMA write into (rkey, offset) at the target, invisible to the
-  /// target's poll loop (completion must be signalled by a follow-up message
-  /// or by using post_write_imm).
-  common::Status post_write(Rank dst, const MrKey& rkey, std::size_t offset,
-                            const void* data, std::size_t len);
+  /// target's event stream (completion must be signalled by a follow-up
+  /// message or by using post_write_imm). The data lands in the target's
+  /// registered region no later than the target's next poll_rx call.
+  virtual common::Status post_write(Rank dst, const MrKey& rkey,
+                                    std::size_t offset, const void* data,
+                                    std::size_t len) = 0;
 
   /// RDMA write with immediate: like post_write but additionally produces a
   /// kWriteImm event at the target once the data has landed.
-  common::Status post_write_imm(Rank dst, const MrKey& rkey,
-                                std::size_t offset, const void* data,
-                                std::size_t len, std::uint64_t imm);
+  virtual common::Status post_write_imm(Rank dst, const MrKey& rkey,
+                                        std::size_t offset, const void* data,
+                                        std::size_t len,
+                                        std::uint64_t imm) = 0;
 
   /// One-sided RDMA read: fetches `len` bytes from (rkey, offset) at `dst`
-  /// into `local`, entirely without target-side software involvement (the
-  /// target NIC serves it). Completion surfaces at THIS NIC's poll loop as a
+  /// into `local`. Completion surfaces at THIS NIC's poll loop as a
   /// kReadDone event carrying `imm`. The remote memory is snapshotted at
-  /// completion time. Round-trip latency plus payload bandwidth are charged.
-  common::Status post_read(Rank dst, const MrKey& rkey, std::size_t offset,
-                           void* local, std::size_t len, std::uint64_t imm);
+  /// completion time.
+  virtual common::Status post_read(Rank dst, const MrKey& rkey,
+                                   std::size_t offset, void* local,
+                                   std::size_t len, std::uint64_t imm) = 0;
 
-  /// Registers [base, base+len) for remote writes. Cheap, never fails.
-  MrKey register_memory(void* base, std::size_t len);
-  void deregister_memory(const MrKey& key);
+  /// Registers [base, base+len) for one-sided access by peers. Cheap; never
+  /// fails on the simulator, may abort on the shm backend when its window
+  /// is exhausted (see backend_shm.hpp).
+  virtual MrKey register_memory(void* base, std::size_t len) = 0;
+  virtual void deregister_memory(const MrKey& key) = 0;
 
-  /// Drains deliverable packets from all incoming channels, invoking
-  /// `sink(RxEvent&&)` for each visible event. Returns the number of packets
-  /// processed (including writes without immediates, which produce no event).
+  /// Drains deliverable packets, invoking `sink(RxEvent&&)` for each visible
+  /// event. Returns the number of packets processed (including writes
+  /// without immediates, which produce no event).
   template <typename Sink>
-  std::size_t poll_rx(std::size_t max_packets, Sink&& sink);
+  std::size_t poll_rx(std::size_t max_packets, Sink&& sink) {
+    return poll_rx_sink(max_packets, RxSink(sink));
+  }
 
-  /// True if any incoming channel looks non-empty (racy; for idle checks).
-  bool rx_looks_nonempty() const;
+  /// True if anything looks deliverable (racy; for idle checks).
+  virtual bool rx_looks_nonempty() const = 0;
 
-  NicStats stats() const;
+  virtual NicStats stats() const = 0;
 
-  std::size_t srq_buffer_size() const { return srq_.buffer_size(); }
+  /// Max datagram payload of post_send on this backend.
+  virtual std::size_t srq_buffer_size() const = 0;
 
- private:
-  friend class Fabric;
-
-  struct MrEntry {
-    std::byte* base = nullptr;
-    std::size_t len = 0;
-  };
-
-  common::Status post_packet(Rank dst, detail::Packet packet,
-                             std::size_t wire_len);
-  // Converts a probability to a splitmix64-comparable threshold.
-  static std::uint64_t fault_threshold(double p);
-  // True while poll_rx should refuse buffer-consuming deliveries, possibly
-  // starting a new injected RNR storm window for this call.
-  bool rnr_storm_active();
-  // Resolves a registered region; nullopt when the key is stale/bogus.
-  std::optional<MrEntry> lookup_mr(std::uint64_t id) const;
-  // Credits the sender's TX window back when one of its packets lands here.
-  void on_packet_delivered(Rank src);
-
-  // Advances `busy` to cover [start, start+duration) and returns start,
-  // where start = max(now, old busy). Lock-free CAS loop.
-  static common::Nanos advance_busy(std::atomic<common::Nanos>& busy,
-                                    common::Nanos now, common::Nanos duration);
-
-  Fabric& fabric_;
-  const Rank rank_;
-  const Config& config_;
-  const common::Nanos latency_ns_;
-  const double rail_bytes_per_ns_;
-  const common::Nanos pkt_gap_ns_;  // 0 when unlimited
-  const common::Nanos jitter_ns_;   // 0 when chaos mode is off
-  std::atomic<std::uint64_t> jitter_counter_{0};
-
-  // Fault injection (see fabric/fault.hpp). Thresholds are precomputed so
-  // the disabled case costs one branch on faults_on_.
-  const bool faults_on_;
-  const std::uint64_t thr_drop_;
-  const std::uint64_t thr_dup_;
-  const std::uint64_t thr_corrupt_;
-  const std::uint64_t thr_delay_;
-  const std::uint64_t thr_brownout_;
-  const std::uint64_t thr_rnr_storm_;
-  const common::Nanos fault_delay_ns_;
-  // Post/poll indices drive both the deterministic RNG streams and the
-  // brownout / RNR-storm windows (windows are measured in operations, so
-  // they behave identically under zero_time fabrics).
-  std::atomic<std::uint64_t> tx_post_counter_{0};
-  std::atomic<std::uint64_t> brownout_until_post_{0};
-  std::atomic<std::uint64_t> rx_poll_counter_{0};
-  std::atomic<std::uint64_t> rnr_storm_until_poll_{0};
-
-  SrqPool srq_;
-
-  // Incoming channels, one per (source rank, rail); index src*rails + rail.
-  std::vector<std::unique_ptr<detail::Channel>> rx_channels_;
-
-  // Senders' NIC-level message-rate gate.
-  common::CachePadded<std::atomic<common::Nanos>> tx_pkt_busy_{0};
-  // In-flight window (incremented at post, decremented at delivery).
-  common::CachePadded<std::atomic<std::int64_t>> tx_in_flight_{0};
-  // Rail selector for outgoing packets.
-  common::CachePadded<std::atomic<std::uint64_t>> tx_rail_rr_{0};
-  // Rotating start index for poll fairness.
-  common::CachePadded<std::atomic<std::uint64_t>> poll_rr_{0};
-
-  mutable common::SpinMutex mr_mutex_;
-  std::unordered_map<std::uint64_t, MrEntry> mr_table_;
-  std::atomic<std::uint64_t> next_mr_id_{1};
-
-  // Stats live in the Fabric's telemetry registry under fabric/nic<rank>/...
-  // (sharded relaxed counters; stats() aggregates them in one pass).
-  telemetry::Counter& ctr_packets_sent_;
-  telemetry::Counter& ctr_bytes_sent_;
-  telemetry::Counter& ctr_packets_received_;
-  telemetry::Counter& ctr_tx_window_rejects_;
-  telemetry::Counter& ctr_rnr_stalls_;
-  telemetry::Counter& ctr_faults_dropped_;
-  telemetry::Counter& ctr_faults_duplicated_;
-  telemetry::Counter& ctr_faults_corrupted_;
-  telemetry::Counter& ctr_faults_delayed_;
-  telemetry::Counter& ctr_brownout_rejects_;
-  telemetry::Counter& ctr_rnr_storms_;
-  // One-way wire latency charged to each packet (post -> deliver_time), the
-  // per-rail send-latency distribution. Not recorded in zero_time mode.
-  telemetry::Histogram& hist_wire_latency_ns_;
+ protected:
+  virtual std::size_t poll_rx_sink(std::size_t max_packets, RxSink sink) = 0;
 };
 
-/// The collection of NICs for all simulated ranks (localities) in this
-/// process, plus the shared configuration.
+namespace detail {
+class ShmDomain;  // backend_shm-internal bootstrap/segment state
+}
+
+/// The collection of NICs for the simulated/real ranks (localities) hosted
+/// by this process, plus the shared configuration. With the "sim" backend
+/// every rank's NIC lives here; with the "shm" backend in multi-process
+/// mode only Config::local_rank's does (nic() aborts for the others).
 class Fabric {
  public:
   /// `registry` scopes all metrics for this fabric and every layer stacked on
@@ -230,9 +138,18 @@ class Fabric {
                   telemetry::Registry* registry = nullptr);
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
+  ~Fabric();
 
-  Nic& nic(Rank rank) { return *nics_[rank]; }
-  const Nic& nic(Rank rank) const { return *nics_[rank]; }
+  /// The endpoint of `rank`. Aborts (with a pointer at AMTNET_SHM_RANK)
+  /// when that rank is hosted by another process.
+  Nic& nic(Rank rank);
+  const Nic& nic(Rank rank) const;
+
+  /// True when `rank`'s endpoint lives in this process.
+  bool nic_is_local(Rank rank) const {
+    return rank < nics_.size() && nics_[rank] != nullptr;
+  }
+
   Rank num_ranks() const { return config_.num_ranks; }
   const Config& config() const { return config_; }
 
@@ -243,105 +160,8 @@ class Fabric {
   std::unique_ptr<telemetry::Registry> owned_registry_;  // when not injected
   telemetry::Registry* registry_;
   Config config_;
-  std::vector<std::unique_ptr<Nic>> nics_;
+  std::unique_ptr<detail::ShmDomain> shm_domain_;  // shm backend only
+  std::vector<std::unique_ptr<Nic>> nics_;  // null for non-local ranks
 };
-
-// ---- template implementation -------------------------------------------
-
-inline void Nic::on_packet_delivered(Rank src) {
-  fabric_.nic(src).tx_in_flight_.value.fetch_sub(1,
-                                                 std::memory_order_relaxed);
-}
-
-template <typename Sink>
-std::size_t Nic::poll_rx(std::size_t max_packets, Sink&& sink) {
-  const std::size_t n_channels = rx_channels_.size();
-  if (n_channels == 0 || max_packets == 0) return 0;
-  const common::Nanos now =
-      config_.zero_time ? 0 : common::now_ns();
-  const std::uint64_t start =
-      poll_rr_.value.fetch_add(1, std::memory_order_relaxed);
-  // Injected RNR storm: refuse every buffer-consuming delivery for this
-  // call, exactly as if the SRQ had drained (senders see stalled channels
-  // and eventually retransmit / back off).
-  const bool rnr_storm = faults_on_ && rnr_storm_active();
-
-  std::size_t processed = 0;
-  for (std::size_t i = 0; i < n_channels && processed < max_packets; ++i) {
-    detail::Channel& channel =
-        *rx_channels_[(start + i) % n_channels];
-    std::byte* reserved = nullptr;  // SRQ buffer pre-acquired by the predicate
-
-    auto deliverable = [&](const detail::Packet& p) {
-      if (!config_.zero_time && p.deliver_time > now) return false;
-      if (p.kind == detail::Packet::Kind::kSend && !p.payload.empty() &&
-          reserved == nullptr) {
-        if (rnr_storm) {
-          ctr_rnr_stalls_.add();
-          return false;
-        }
-        reserved = srq_.try_acquire();
-        if (reserved == nullptr) {
-          // RNR: stall this channel until buffers are recycled.
-          ctr_rnr_stalls_.add();
-          AMTNET_TRACE_INSTANT("fabric", "rnr_stall");
-          return false;
-        }
-      }
-      return true;
-    };
-
-    auto consume = [&](detail::Packet&& p) {
-      ctr_packets_received_.add();
-      on_packet_delivered(p.tx_owner);
-      if (p.kind == detail::Packet::Kind::kReadResp) {
-        // Serve the read: snapshot the remote registered region now and
-        // land it in the reader's buffer, then surface completion.
-        const auto entry = fabric_.nic(p.src).lookup_mr(p.mr_id);
-        if (entry && p.mr_offset + p.read_len <= entry->len) {
-          std::memcpy(p.read_dst, entry->base + p.mr_offset, p.read_len);
-        }
-        RxEvent event;
-        event.kind = RxEvent::Kind::kReadDone;
-        event.src = p.src;
-        event.imm = p.imm;
-        event.size = p.read_len;
-        sink(std::move(event));
-      } else if (p.kind == detail::Packet::Kind::kSend) {
-        RxEvent event;
-        event.kind = RxEvent::Kind::kRecv;
-        event.src = p.src;
-        event.imm = p.imm;
-        event.size = p.payload.size();
-        if (!p.payload.empty()) {
-          event.payload = std::move(p.payload);
-          event.credit = RecvBuffer(&srq_, reserved, event.size);
-          reserved = nullptr;
-        }
-        sink(std::move(event));
-      } else {
-        // RDMA write: land the data, then surface the immediate if any.
-        const auto entry = lookup_mr(p.mr_id);
-        if (entry && p.mr_offset + p.payload.size() <= entry->len) {
-          std::memcpy(entry->base + p.mr_offset, p.payload.data(),
-                      p.payload.size());
-        }
-        if (p.has_imm) {
-          RxEvent event;
-          event.kind = RxEvent::Kind::kWriteImm;
-          event.src = p.src;
-          event.imm = p.imm;
-          event.size = p.payload.size();
-          sink(std::move(event));
-        }
-      }
-    };
-
-    processed += channel.queue.try_drain_while(max_packets - processed,
-                                               deliverable, consume);
-    if (reserved != nullptr) srq_.release(reserved);
-  }
-  return processed;
-}
 
 }  // namespace fabric

@@ -32,6 +32,26 @@ struct MrKey {
 };
 
 struct Config {
+  /// Transport backend: "sim" (the in-process simulated fabric, the default
+  /// — all modelling knobs below apply) or "shm" (the real multi-process
+  /// POSIX shared-memory fabric; latency/bandwidth/fault-window modelling
+  /// does not apply, the wire is real hardware).
+  std::string backend = "sim";
+  /// shm backend: the rank hosted by THIS process. -1 = single-process mode
+  /// (every rank's endpoint is constructed in this process — the mode the
+  /// conformance tests use). Ranks other than local_rank have no NIC here;
+  /// amtnet_launch sets AMTNET_SHM_RANK per process.
+  int local_rank = -1;
+  /// shm backend: rendezvous namespace shared by all processes of one run
+  /// (segment names and bootstrap files derive from it). "" = a per-fabric
+  /// unique session, which is what single-process mode wants.
+  std::string shm_session;
+  /// shm backend: slots per directed per-pair ring (rounded up to a power
+  /// of two). Each slot holds one eager datagram of up to srq_buffer_size.
+  std::size_t shm_ring_depth = 256;
+  /// shm backend: seconds to wait for peer processes during bootstrap.
+  double shm_bootstrap_timeout_s = 20.0;
+
   Rank num_ranks = 2;
   double latency_us = 1.1;       // one-way wire latency per packet
   double bandwidth_gbps = 100.0; // per-NIC line rate, split across rails
@@ -51,7 +71,28 @@ struct Config {
   FaultConfig faults;
 
   double bytes_per_ns() const { return bandwidth_gbps / 8.0; }
+
+  bool is_shm() const { return backend == "shm"; }
+  /// True when every rank's endpoint lives in this process.
+  bool single_process() const { return !is_shm() || local_rank < 0; }
+  /// True when `rank`'s endpoint lives in this process.
+  bool rank_is_local(Rank rank) const {
+    return single_process() || rank == static_cast<Rank>(local_rank);
+  }
 };
+
+/// Overrides backend-selection fields from the environment (unset variables
+/// leave the passed-in value untouched):
+///   AMTNET_BACKEND          sim | shm
+///   AMTNET_SHM_RANK         rank hosted by this process (multi-process mode)
+///   AMTNET_SHM_SESSION      rendezvous namespace (set by amtnet_launch)
+///   AMTNET_SHM_RING_DEPTH   slots per directed per-pair ring
+/// (AMTNET_SHM_RANKS is consumed one level up, by amt::make_runtime_config,
+/// because it overrides the locality count, not a fabric field.)
+void apply_backend_env(Config& config);
+
+/// Throws std::invalid_argument unless name is "sim" or "shm".
+void validate_backend_name(const std::string& name);
 
 /// Named platform profiles mirroring the paper's Table 2 and Table 3.
 struct Profile {

@@ -1,5 +1,6 @@
 #include "stack/stack.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "parcelport_lci/parcelport_lci.hpp"
@@ -34,15 +35,30 @@ fabric::Config platform_config(const std::string& platform,
 amt::RuntimeConfig make_runtime_config(const StackOptions& options) {
   amt::RuntimeConfig config;
   config.num_localities = options.num_localities;
+  // amtnet_launch exports the multi-process locality count; it must win so
+  // SPMD binaries written against a single-process default run unmodified.
+  if (const char* ranks = std::getenv("AMTNET_SHM_RANKS");
+      ranks != nullptr && *ranks != '\0') {
+    config.num_localities = static_cast<amt::Rank>(std::atoi(ranks));
+  }
   config.threads_per_locality = options.threads_per_locality;
   config.zero_copy_threshold = options.zero_copy_threshold;
   config.max_connections = options.max_connections;
   config.parcelport = amt::ParcelportConfig::parse(options.parcelport);
   amt::apply_admission_env(config.parcelport.admission);
-  config.fabric = platform_config(options.platform, options.num_localities);
+  config.fabric = platform_config(options.platform, config.num_localities);
   if (options.fabric_rails != 0) config.fabric.num_rails = options.fabric_rails;
   config.fabric.faults = options.faults;
   fabric::apply_fault_env(config.fabric.faults);
+  // Backend resolution: AMTNET_BACKEND env > StackOptions::backend >
+  // backend<name> config token > "sim".
+  if (!options.backend.empty()) {
+    fabric::validate_backend_name(options.backend);
+    config.parcelport.fabric_backend = options.backend;
+  }
+  config.fabric.backend = config.parcelport.fabric_backend;
+  fabric::apply_backend_env(config.fabric);
+  config.parcelport.fabric_backend = config.fabric.backend;
   return config;
 }
 

@@ -23,6 +23,10 @@ struct StackOptions {
   std::size_t zero_copy_threshold = amt::kDefaultZeroCopyThreshold;
   std::size_t max_connections = 8192;  // HPX connection-cache cap
   unsigned fabric_rails = 0;           // 0 = keep the platform default
+  /// Fabric transport backend: "" keeps whatever the parcelport name's
+  /// backend<sim|shm> token says (default sim). Explicit values here beat
+  /// the token; the AMTNET_BACKEND env var beats both.
+  std::string backend;
   // Fault-injection seeds/probabilities; AMTNET_FAULT_* env knobs are layered
   // on top of these in make_runtime_config (env wins over code defaults).
   fabric::FaultConfig faults;

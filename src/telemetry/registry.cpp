@@ -101,8 +101,12 @@ std::string Snapshot::to_json(
   std::string out = "{\"schema\":\"";
   out += kJsonSchema;
   out += "\",\"tags\":{";
+  // Snapshot identity tags first, explicit arguments overriding on key
+  // collision (std::map::insert keeps the existing = explicit entry).
+  std::map<std::string, std::string> merged = tags;
+  merged.insert(this->tags.begin(), this->tags.end());
   bool first = true;
-  for (const auto& [key, value] : tags) {
+  for (const auto& [key, value] : merged) {
     if (!first) out += ',';
     first = false;
     out += '"';
@@ -194,9 +198,15 @@ Histogram& Registry::histogram(std::string_view name) {
   return *it->second;
 }
 
+void Registry::set_tag(std::string_view key, std::string_view value) {
+  std::lock_guard lock(mutex_);
+  tags_[std::string(key)] = std::string(value);
+}
+
 Snapshot Registry::snapshot() const {
   Snapshot snap;
   std::lock_guard lock(mutex_);
+  snap.tags.insert(tags_.begin(), tags_.end());
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace_back(name, counter->value());

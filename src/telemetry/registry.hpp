@@ -33,6 +33,11 @@ struct HistogramSummary {
 /// All values are relaxed reads taken during the same snapshot() call; they
 /// are individually coherent but not a cross-metric atomic cut.
 struct Snapshot {
+  /// Identity of the process/registry that produced the snapshot (e.g.
+  /// backend=shm, locality_rank=2 in multi-process runs), set via
+  /// Registry::set_tag. Empty for the historical single-process sim case,
+  /// so existing exports stay byte-identical.
+  std::map<std::string, std::string> tags;
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, std::int64_t>> gauges;
   std::vector<HistogramSummary> histograms;
@@ -56,7 +61,8 @@ struct Snapshot {
   /// Schema-versioned export for downstream tooling (the experiment driver
   /// stores one per benchmark point): {"schema":"amtnet-telemetry-v1",
   /// "tags":{...},"counters":...}. Tags identify the run that produced the
-  /// snapshot (suite, point labels, seed, ...).
+  /// snapshot (suite, point labels, seed, ...); the snapshot's own identity
+  /// tags are merged in first, explicit arguments winning on collision.
   static constexpr const char* kJsonSchema = "amtnet-telemetry-v1";
   std::string to_json(const std::map<std::string, std::string>& tags) const;
 };
@@ -74,10 +80,15 @@ class Registry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// Attaches an identity tag copied into every snapshot (the fabric sets
+  /// backend/locality_rank for shm runs). Last write per key wins.
+  void set_tag(std::string_view key, std::string_view value);
+
   Snapshot snapshot() const;
 
  private:
   mutable common::SpinMutex mutex_;
+  std::map<std::string, std::string, std::less<>> tags_;
   // node_ptr-stable maps; unique_ptr keeps metric addresses fixed regardless.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
@@ -105,6 +116,7 @@ class Registry {
     static Histogram stub;
     return stub;
   }
+  void set_tag(std::string_view, std::string_view) {}
   Snapshot snapshot() const { return {}; }
 };
 

@@ -1,0 +1,159 @@
+// amtnet_launch: SPMD process launcher for the shm fabric backend.
+//
+//   amtnet_launch -n <P> [options] [--] <binary> [args...]
+//
+// Spawns P copies of <binary>, one per locality rank, with the environment
+// each needs to join the same shm fabric:
+//   AMTNET_BACKEND=shm        selects the shared-memory backend
+//   AMTNET_SHM_RANK=<r>       the rank this process hosts
+//   AMTNET_SHM_RANKS=<P>      the locality count (overrides StackOptions)
+//   AMTNET_SHM_SESSION=<s>    the rendezvous namespace (shared by all P)
+//   AMTNET_CPU_FIRST/_COUNT   a disjoint core range per rank, so worker and
+//                             progress threads of different ranks do not
+//                             stack on the same cores
+//
+// Options:
+//   -n <P>             number of ranks (required, >= 1)
+//   --session <name>   rendezvous session name (default: generated unique)
+//   --cpus-per-rank <k> cores per rank (default: hardware cores / P, min 1)
+//   --no-pin           do not export a CPU range (no worker pinning)
+//
+// Exit status: 0 when every rank exits 0; otherwise the first non-zero
+// status (remaining ranks get SIGTERM so a crashed rank fails fast instead
+// of wedging the run on a bootstrap timeout).
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/affinity.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: amtnet_launch -n <P> [--session NAME] "
+               "[--cpus-per-rank K] [--no-pin] [--] <binary> [args...]\n");
+}
+
+volatile sig_atomic_t g_signal = 0;
+void on_signal(int sig) { g_signal = sig; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int ranks = 0;
+  std::string session;
+  int cpus_per_rank = 0;
+  bool pin = true;
+  int arg = 1;
+  for (; arg < argc; ++arg) {
+    const std::string a = argv[arg];
+    if (a == "-n" && arg + 1 < argc) {
+      ranks = std::atoi(argv[++arg]);
+    } else if (a == "--session" && arg + 1 < argc) {
+      session = argv[++arg];
+    } else if (a == "--cpus-per-rank" && arg + 1 < argc) {
+      cpus_per_rank = std::atoi(argv[++arg]);
+    } else if (a == "--no-pin") {
+      pin = false;
+    } else if (a == "--") {
+      ++arg;
+      break;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "amtnet_launch: unknown option %s\n", a.c_str());
+      usage();
+      return 2;
+    } else {
+      break;  // first non-option: the binary
+    }
+  }
+  if (ranks < 1 || arg >= argc) {
+    usage();
+    return 2;
+  }
+  if (session.empty()) {
+    session = "launch-" + std::to_string(::getpid()) + "-" +
+              std::to_string(static_cast<long long>(std::time(nullptr)));
+  }
+  const unsigned cores = common::hardware_core_count();
+  if (cpus_per_rank <= 0) {
+    cpus_per_rank = static_cast<int>(cores) / ranks;
+    if (cpus_per_rank < 1) cpus_per_rank = 1;
+  }
+
+  std::vector<char*> child_argv(argv + arg, argv + argc);
+  child_argv.push_back(nullptr);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::vector<pid_t> children(static_cast<std::size_t>(ranks), -1);
+  for (int r = 0; r < ranks; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("amtnet_launch: fork");
+      for (int k = 0; k < r; ++k) ::kill(children[k], SIGTERM);
+      return 1;
+    }
+    if (pid == 0) {
+      ::setenv("AMTNET_BACKEND", "shm", 1);
+      ::setenv("AMTNET_SHM_RANK", std::to_string(r).c_str(), 1);
+      ::setenv("AMTNET_SHM_RANKS", std::to_string(ranks).c_str(), 1);
+      ::setenv("AMTNET_SHM_SESSION", session.c_str(), 1);
+      if (pin) {
+        const unsigned first =
+            (static_cast<unsigned>(r * cpus_per_rank)) % cores;
+        ::setenv("AMTNET_CPU_FIRST", std::to_string(first).c_str(), 1);
+        ::setenv("AMTNET_CPU_COUNT", std::to_string(cpus_per_rank).c_str(),
+                 1);
+      }
+      ::execvp(child_argv[0], child_argv.data());
+      std::perror("amtnet_launch: execvp");
+      _exit(127);
+    }
+    children[static_cast<std::size_t>(r)] = pid;
+  }
+
+  int failure = 0;
+  int remaining = ranks;
+  while (remaining > 0) {
+    if (g_signal != 0) {
+      for (const pid_t pid : children) {
+        if (pid > 0) ::kill(pid, SIGTERM);
+      }
+      g_signal = 0;
+      failure = failure != 0 ? failure : 130;
+    }
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    --remaining;
+    int code = 0;
+    if (WIFEXITED(status)) {
+      code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      code = 128 + WTERMSIG(status);
+    }
+    if (code != 0 && failure == 0) {
+      failure = code;
+      std::fprintf(stderr, "amtnet_launch: a rank failed with status %d; "
+                           "terminating the others\n", code);
+      for (const pid_t other : children) {
+        if (other > 0 && other != pid) ::kill(other, SIGTERM);
+      }
+    }
+  }
+  return failure;
+}
