@@ -227,8 +227,9 @@ const std::vector<Knob>& knob_registry() {
        "power of two); each slot holds one eager datagram",
        "ablation_backend"},
       {Kind::kEnv, "AMTNET_SHM_FORCE_FALLBACK", "0",
-       "shm backend: 1 disables cross-memory attach so one-sided put/get "
-       "takes the segmented ring-record path (testing)",
+       "shm backend: 1 disables the direct (same-process) and cross-memory "
+       "attach copy modes so one-sided put/get takes the segmented "
+       "ring-record path (testing)",
        "test_backends"},
       {Kind::kEnv, "AMTNET_CPU_FIRST", "unset (no pinning)",
        "first CPU of this process's affinity range; worker/progress threads "

@@ -295,9 +295,12 @@ ShmDomain::PeerMode ShmDomain::peer_mode(Rank r) {
   PeerMode mode = PeerMode::kFallback;
   const auto pid =
       static_cast<pid_t>(header->pid.load(std::memory_order_relaxed));
-  if (pid == ::getpid()) {
+  if (force_fallback_) {
+    // Forced before the same-process check, so single-process tests reach
+    // the segmented-ring path too.
+  } else if (pid == ::getpid()) {
     mode = PeerMode::kDirect;
-  } else if (!force_fallback_) {
+  } else {
 #if defined(__linux__)
     // Prove cross-memory attach works by reading the peer's published probe
     // word out of its private memory.
@@ -455,9 +458,8 @@ bool ShmNic::push_record(Rank dst, OutRecord&& rec, bool stash) {
   if (peer.pending.empty() && push_now_locked(ring, rec)) return true;
   if (stash) {
     // Committed mid-operation records queue behind whatever is already
-    // staged, preserving FIFO order on the ring.
-    ctr_packets_sent_.add();
-    ctr_bytes_sent_.add(rec.header.len + 32);
+    // staged, preserving FIFO order on the ring. Telemetry counts at actual
+    // ring insertion (push_now_locked), so nothing is counted here.
     peer.pending.push_back(std::move(rec));
     return true;
   }
@@ -603,6 +605,8 @@ common::Status ShmNic::write_common(Rank dst, const MrKey& rkey,
   // kRetry (TX-window semantics); once any fragment is in, the rest are
   // committed and stage on a full ring instead.
   const std::size_t cap = config_.srq_buffer_size;
+  const std::uint64_t write_id =
+      next_write_id_.fetch_add(1, std::memory_order_relaxed);
   std::size_t off = 0;
   bool first = true;
   do {
@@ -612,6 +616,7 @@ common::Status ShmNic::write_common(Rank dst, const MrKey& rkey,
     rec.header.len = static_cast<std::uint32_t>(n);
     rec.header.mr_id = rkey.id;
     rec.header.offset = offset + off;
+    rec.header.op_id = write_id;
     if (n > 0) {
       rec.payload.assign(static_cast<const std::byte*>(data) + off,
                          static_cast<const std::byte*>(data) + off + n);
@@ -698,7 +703,7 @@ common::Status ShmNic::post_read(Rank dst, const MrKey& rkey,
   rec.header.mr_id = rkey.id;
   rec.header.offset = offset;
   rec.header.total_len = len;
-  rec.header.read_id = read_id;
+  rec.header.op_id = read_id;
   if (!push_record(dst, std::move(rec), /*stash=*/false)) {
     std::lock_guard<common::SpinMutex> guard(reads_mutex_);
     pending_reads_.erase(read_id);
@@ -753,7 +758,7 @@ void ShmNic::serve_read_request(Rank requester, const detail::ShmRecord& req) {
     rec.header.kind = detail::ShmRecord::kReadFrag;
     rec.header.len = static_cast<std::uint32_t>(n);
     rec.header.offset = off;
-    rec.header.read_id = req.read_id;
+    rec.header.op_id = req.op_id;
     if (n > 0) rec.payload.assign(src + off, src + off + n);
     off += n;
     if (off >= total) {
@@ -793,24 +798,49 @@ void ShmNic::handle_record(Rank src, const detail::ShmRecord& rec,
       break;
     }
     case detail::ShmRecord::kWriteFrag: {
-      std::uint64_t vaddr = 0;
-      std::uint64_t mr_len = 0;
-      if (domain_.lookup_mr(rank_, rec.mr_id, vaddr, mr_len) &&
-          rec.offset + rec.len <= mr_len) {
-        std::memcpy(reinterpret_cast<std::byte*>(vaddr) + rec.offset, payload,
-                    rec.len);
-      } else {
-        AMTNET_LOG_ERROR("shm write fragment for invalid MR id ", rec.mr_id);
+      // Fragments of one write may be consumed by several concurrent
+      // pollers, so both the MR copy and the progress accounting happen
+      // under writes_mutex_: whichever thread lands the final byte (not
+      // necessarily the one holding the kFlagLast fragment) surfaces the
+      // kWriteImm, and only after every fragment is in place.
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(src) << 48) ^ rec.op_id;
+      RxEvent done;
+      bool complete = false;
+      bool has_imm = false;
+      {
+        std::lock_guard<common::SpinMutex> guard(writes_mutex_);
+        PendingWrite& pending = pending_writes_[key];
+        std::uint64_t vaddr = 0;
+        std::uint64_t mr_len = 0;
+        if (domain_.lookup_mr(rank_, rec.mr_id, vaddr, mr_len) &&
+            rec.offset + rec.len <= mr_len) {
+          if (rec.len > 0) {
+            std::memcpy(reinterpret_cast<std::byte*>(vaddr) + rec.offset,
+                        payload, rec.len);
+          }
+        } else {
+          AMTNET_LOG_ERROR("shm write fragment for invalid MR id ",
+                           rec.mr_id);
+        }
+        pending.received += rec.len;
+        if ((rec.flags & detail::ShmRecord::kFlagLast) != 0) {
+          pending.got_last = true;
+          pending.total = rec.total_len;
+          pending.has_imm = (rec.flags & detail::ShmRecord::kFlagImm) != 0;
+          pending.imm = rec.imm;
+        }
+        if (pending.got_last && pending.received >= pending.total) {
+          done.kind = RxEvent::Kind::kWriteImm;
+          done.src = src;
+          done.imm = pending.imm;
+          done.size = pending.total;
+          has_imm = pending.has_imm;
+          complete = true;
+          pending_writes_.erase(key);
+        }
       }
-      if ((rec.flags & detail::ShmRecord::kFlagLast) != 0 &&
-          (rec.flags & detail::ShmRecord::kFlagImm) != 0) {
-        RxEvent event;
-        event.kind = RxEvent::Kind::kWriteImm;
-        event.src = src;
-        event.imm = rec.imm;
-        event.size = rec.total_len;
-        sink(std::move(event));
-      }
+      if (complete && has_imm) sink(std::move(done));
       break;
     }
     case detail::ShmRecord::kReadReq: {
@@ -822,7 +852,7 @@ void ShmNic::handle_record(Rank src, const detail::ShmRecord& rec,
       bool complete = false;
       {
         std::lock_guard<common::SpinMutex> guard(reads_mutex_);
-        auto it = pending_reads_.find(rec.read_id);
+        auto it = pending_reads_.find(rec.op_id);
         if (it == pending_reads_.end()) break;  // duplicate/stale
         PendingRead& pending = it->second;
         if (rec.len > 0) {
@@ -836,10 +866,21 @@ void ShmNic::handle_record(Rank src, const detail::ShmRecord& rec,
           pending.served = rec.total_len;
         }
         if (pending.got_last && pending.received >= pending.served) {
+          // served < total means the target refused the request (stale or
+          // deregistered MR): the destination buffer was never filled, so
+          // surface a zero-size completion instead of claiming the full
+          // read succeeded.
+          const bool failed = pending.served < pending.total;
+          if (failed) {
+            AMTNET_LOG_ERROR("shm read ", rec.op_id, " from rank ", src,
+                             " failed at the target (MR invalid or "
+                             "deregistered); completing with size 0 of ",
+                             pending.total, " requested bytes");
+          }
           done.kind = RxEvent::Kind::kReadDone;
           done.src = src;
           done.imm = pending.imm;
-          done.size = pending.total;
+          done.size = failed ? 0 : pending.total;
           complete = true;
           pending_reads_.erase(it);
         }

@@ -197,6 +197,19 @@ class ShmNic final : public Nic {
     bool got_last = false;
   };
 
+  /// Target-side state of one in-flight fallback write (keyed by sender rank
+  /// + the sender-allocated write id). poll_rx may run on several threads, so
+  /// fragments of one write can be consumed concurrently; tracking received
+  /// bytes here keeps the kWriteImm completion from being surfaced before
+  /// every fragment has actually landed in the MR.
+  struct PendingWrite {
+    std::uint64_t imm = 0;
+    std::size_t total = 0;
+    std::size_t received = 0;
+    bool got_last = false;
+    bool has_imm = false;
+  };
+
   /// Pushes under the peer lock; false when the ring is full AND `stash` is
   /// false (caller sees kRetry). With `stash`, a full ring queues the
   /// record in `pending` and the push always succeeds logically.
@@ -238,7 +251,10 @@ class ShmNic final : public Nic {
 
   common::SpinMutex reads_mutex_;
   std::unordered_map<std::uint64_t, PendingRead> pending_reads_;
+  common::SpinMutex writes_mutex_;
+  std::unordered_map<std::uint64_t, PendingWrite> pending_writes_;
   std::atomic<std::uint64_t> next_read_id_{1};
+  std::atomic<std::uint64_t> next_write_id_{1};
   std::atomic<std::uint64_t> next_mr_id_{1};
   std::atomic<std::uint64_t> poll_rr_{0};
 

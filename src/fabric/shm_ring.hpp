@@ -26,9 +26,9 @@ struct ShmRecord {
   enum Kind : std::uint8_t {
     kEager = 1,      // post_send datagram: payload + imm
     kWriteNotice,    // CMA/direct write already landed; total_len (+imm)
-    kWriteFrag,      // fallback write fragment into (mr_id, offset)
-    kReadReq,        // fallback read request: mr_id/offset/total_len/read_id
-    kReadFrag,       // fallback read response fragment at `offset` of read_id
+    kWriteFrag,      // fallback write fragment into (mr_id, offset) of op_id
+    kReadReq,        // fallback read request: mr_id/offset/total_len/op_id
+    kReadFrag,       // fallback read response fragment at `offset` of op_id
   };
   enum Flags : std::uint8_t {
     kFlagLast = 1,  // final fragment of its write/read
@@ -42,7 +42,8 @@ struct ShmRecord {
   std::uint64_t mr_id = 0;      // kWriteFrag / kReadReq
   std::uint64_t offset = 0;     // kWriteFrag: MR offset; kReadFrag: dst offset
   std::uint64_t total_len = 0;  // whole-operation size (kReadReq: read size)
-  std::uint64_t read_id = 0;    // kReadReq / kReadFrag
+  std::uint64_t op_id = 0;      // kReadReq / kReadFrag: read id; kWriteFrag:
+                                // write id (unique per sender NIC)
 };
 
 struct ShmSlot {

@@ -7,6 +7,7 @@
 // Every shm case skips gracefully on platforms without POSIX shm.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
@@ -372,6 +373,128 @@ TEST(ShmFallback, ZeroCopyTrafficSurvivesSegmentedRings) {
   conformance::run_conformance(options);
   ::unsetenv("AMTNET_SHM_FORCE_FALLBACK");
   ::unsetenv("AMTNET_SHM_RING_DEPTH");
+}
+
+// A fallback read whose MR was deregistered before the target served it
+// must not pretend success: the requester's kReadDone carries size 0 (not
+// the requested length) and the destination buffer stays untouched.
+TEST(ShmFallback, RefusedReadCompletesWithZeroSize) {
+  if (!fabric::shm_available()) {
+    GTEST_SKIP() << "POSIX shared memory unavailable on this platform";
+  }
+  ::setenv("AMTNET_SHM_FORCE_FALLBACK", "1", 1);
+  fabric::Config config;
+  config.backend = "shm";
+  config.num_ranks = 2;
+  fabric::Fabric fab(config);
+  fabric::Nic& requester = fab.nic(0);
+  fabric::Nic& target = fab.nic(1);
+
+  std::vector<std::byte> region(1024, std::byte{0x5a});
+  const fabric::MrKey key =
+      target.register_memory(region.data(), region.size());
+  std::vector<std::byte> dst(1024, std::byte{0xee});
+  ASSERT_EQ(requester.post_read(1, key, 0, dst.data(), dst.size(), 7),
+            common::Status::kOk);
+  // The request is in flight; deregistering now races it, exactly like a
+  // receiver tearing down a rendezvous buffer.
+  target.deregister_memory(key);
+
+  target.poll_rx(64, [](fabric::RxEvent&&) {});  // serves (and refuses) it
+  std::size_t done_events = 0;
+  std::size_t done_size = ~std::size_t{0};
+  std::uint64_t done_imm = 0;
+  for (int i = 0; i < 100 && done_events == 0; ++i) {
+    requester.poll_rx(64, [&](fabric::RxEvent&& event) {
+      if (event.kind == fabric::RxEvent::Kind::kReadDone) {
+        ++done_events;
+        done_size = event.size;
+        done_imm = event.imm;
+      }
+    });
+  }
+  EXPECT_EQ(done_events, 1u);
+  EXPECT_EQ(done_size, 0u);  // NOT the 1024 bytes requested
+  EXPECT_EQ(done_imm, 7u);
+  const auto untouched = static_cast<std::size_t>(
+      std::count(dst.begin(), dst.end(), std::byte{0xee}));
+  EXPECT_EQ(untouched, dst.size());
+  ::unsetenv("AMTNET_SHM_FORCE_FALLBACK");
+}
+
+// poll_rx may run on several threads at once (the Nic contract), so the
+// fragments of one fallback write can be consumed concurrently. The
+// kWriteImm completion must still only surface after EVERY fragment has
+// landed in the MR; the sink verifies the whole region at the moment the
+// event fires. Also pins the staged-record telemetry: with a tiny ring
+// forcing fragments through the pending queue, each ring record is counted
+// exactly once (sender packets_sent == target packets_received).
+TEST(ShmFallback, WriteImmSurfacesOnlyAfterAllFragmentsUnderConcurrentPolls) {
+  if (!fabric::shm_available()) {
+    GTEST_SKIP() << "POSIX shared memory unavailable on this platform";
+  }
+  ::setenv("AMTNET_SHM_FORCE_FALLBACK", "1", 1);
+  fabric::Config config;
+  config.backend = "shm";
+  config.num_ranks = 2;
+  config.srq_buffer_size = 128;  // 4 KiB writes -> 32 fragments
+  config.shm_ring_depth = 16;    // smaller than a write: staging engages
+  fabric::Fabric fab(config);
+  fabric::Nic& writer = fab.nic(0);
+  fabric::Nic& target = fab.nic(1);
+
+  constexpr std::size_t kLen = 4096;
+  constexpr int kIters = 200;
+  std::vector<std::byte> region(kLen, std::byte{0});
+  const fabric::MrKey key =
+      target.register_memory(region.data(), region.size());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> imm_seen{0};
+  std::atomic<int> torn{0};
+  auto sink = [&](fabric::RxEvent&& event) {
+    if (event.kind != fabric::RxEvent::Kind::kWriteImm) return;
+    const auto fill = static_cast<std::byte>(event.imm & 0xff);
+    for (std::size_t i = 0; i < kLen; ++i) {
+      if (region[i] != fill) {
+        torn.fetch_add(1);
+        break;
+      }
+    }
+    imm_seen.fetch_add(1);
+  };
+  std::thread pollers[3];
+  for (auto& t : pollers) {
+    t = std::thread([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        target.poll_rx(8, sink);
+      }
+    });
+  }
+
+  std::vector<std::byte> src(kLen);
+  for (int iter = 1; iter <= kIters; ++iter) {
+    const std::uint64_t imm = static_cast<std::uint64_t>(iter) & 0xff;
+    std::fill(src.begin(), src.end(), static_cast<std::byte>(imm));
+    common::Status status;
+    do {
+      status = writer.post_write_imm(1, key, 0, src.data(), kLen, imm);
+    } while (status == common::Status::kRetry);
+    ASSERT_EQ(status, common::Status::kOk);
+    while (imm_seen.load() < iter) {
+      // The writer's own poll flushes fragments staged on the full ring.
+      writer.poll_rx(8, [](fabric::RxEvent&&) {});
+      std::this_thread::yield();
+    }
+  }
+  stop.store(true);
+  for (auto& t : pollers) t.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(imm_seen.load(), kIters);
+  EXPECT_EQ(writer.stats().packets_sent, target.stats().packets_received);
+  target.deregister_memory(key);
+  ::unsetenv("AMTNET_SHM_FORCE_FALLBACK");
 }
 
 // ---------------- real two-process ping-pong ----------------

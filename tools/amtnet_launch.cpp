@@ -140,6 +140,14 @@ int main(int argc, char** argv) {
       break;
     }
     --remaining;
+    // Forget the reaped pid: the OS may reuse it, so later kill loops must
+    // not be able to signal an unrelated process through a stale entry.
+    for (pid_t& child : children) {
+      if (child == pid) {
+        child = -1;
+        break;
+      }
+    }
     int code = 0;
     if (WIFEXITED(status)) {
       code = WEXITSTATUS(status);
